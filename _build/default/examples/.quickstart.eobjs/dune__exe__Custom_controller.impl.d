@@ -1,0 +1,1 @@
+examples/custom_controller.ml: Connection Endpoint Engine Format Hashtbl Ip Link List Printf Smapp_core Smapp_mptcp Smapp_netsim Smapp_sim Time Topology

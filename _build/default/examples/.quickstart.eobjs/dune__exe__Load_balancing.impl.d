@@ -1,0 +1,1 @@
+examples/load_balancing.ml: Endpoint Engine Host Ip Link List Path_manager Printf Smapp_apps Smapp_controllers Smapp_core Smapp_mptcp Smapp_netsim Smapp_sim Smapp_tcp Time Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Connection Endpoint Engine Format Ip Link List Printf Smapp_mptcp Smapp_netsim Smapp_sim Time Topology

@@ -1,0 +1,1 @@
+examples/smart_backup.ml: Connection Endpoint Engine Format Ip Link List Netem Printf Smapp_controllers Smapp_core Smapp_mptcp Smapp_netsim Smapp_sim Smapp_tcp Subflow Time Topology

@@ -1,0 +1,1 @@
+examples/smart_streaming.ml: Array Connection Endpoint Engine Float Ip List Printf Smapp_apps Smapp_controllers Smapp_core Smapp_mptcp Smapp_netsim Smapp_sim Smapp_stats Time Topology

@@ -1,0 +1,1 @@
+lib/apps/bulk.ml: Connection Engine Smapp_mptcp Smapp_sim Time

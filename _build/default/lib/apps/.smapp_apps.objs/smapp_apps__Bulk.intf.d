@@ -1,0 +1,1 @@
+lib/apps/bulk.mli: Connection Smapp_mptcp Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/apps/http.ml: Connection Endpoint Engine Smapp_mptcp Smapp_sim Time

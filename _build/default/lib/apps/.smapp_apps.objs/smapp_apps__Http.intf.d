@@ -1,0 +1,1 @@
+lib/apps/http.mli: Endpoint Ip Smapp_mptcp Smapp_netsim Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/apps/keepalive.ml: Connection Engine Smapp_mptcp Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/apps/keepalive.mli: Connection Smapp_mptcp Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/apps/stream_app.ml: Connection Engine List Option Smapp_mptcp Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/apps/stream_app.mli: Connection Smapp_mptcp Smapp_sim Time

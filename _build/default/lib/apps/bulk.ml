@@ -1,0 +1,31 @@
+open Smapp_sim
+open Smapp_mptcp
+
+let sender conn ~bytes =
+  let start () =
+    if bytes > 0 then Connection.send conn bytes;
+    Connection.close conn
+  in
+  if Connection.established conn then start ()
+  else
+    Connection.subscribe conn (function
+      | Connection.Established -> start ()
+      | _ -> ())
+
+type receiver_stats = {
+  mutable received : int;
+  mutable completed_at : Time.t option;
+  mutable closed_at : Time.t option;
+}
+
+let receiver conn ~expect =
+  let stats = { received = 0; completed_at = None; closed_at = None } in
+  let engine = Connection.engine conn in
+  Connection.set_receive conn (fun len ->
+      stats.received <- stats.received + len;
+      if stats.received >= expect && stats.completed_at = None then
+        stats.completed_at <- Some (Engine.now engine));
+  Connection.subscribe conn (function
+    | Connection.Closed -> stats.closed_at <- Some (Engine.now engine)
+    | _ -> ());
+  stats

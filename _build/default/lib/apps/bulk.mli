@@ -1,0 +1,18 @@
+(** Bulk transfer: send a file-sized blob, close, measure completion — the
+    workload of §4.4 (100 MB over ECMP paths). *)
+
+open Smapp_sim
+open Smapp_mptcp
+
+val sender : Connection.t -> bytes:int -> unit
+(** Queue [bytes] once established (immediately if already established) and
+    close the connection afterwards. *)
+
+type receiver_stats = {
+  mutable received : int;
+  mutable completed_at : Time.t option;  (** when [expect] bytes arrived *)
+  mutable closed_at : Time.t option;
+}
+
+val receiver : Connection.t -> expect:int -> receiver_stats
+(** Count delivered bytes on an accepted connection. *)

@@ -1,0 +1,36 @@
+open Smapp_sim
+open Smapp_mptcp
+
+type t = { mutable sent : int }
+
+let messages_sent t = t.sent
+
+let start conn ?(message_bytes = 64) ?(interval = Time.span_s 20) ~duration () =
+  let t = { sent = 0 } in
+  let engine = Connection.engine conn in
+  let run () =
+    let stop_at = Time.add (Engine.now engine) duration in
+    ignore
+      (Engine.every engine interval (fun () ->
+           if Time.(Engine.now engine >= stop_at) || Connection.closed conn then begin
+             if not (Connection.closed conn) then Connection.close conn;
+             `Stop
+           end
+           else begin
+             (* only queue if the previous messages got through: a stalled
+                long-lived connection should not pile up data *)
+             if Connection.send_buffer_bytes conn < 16 * message_bytes then begin
+               Connection.send conn message_bytes;
+               t.sent <- t.sent + 1
+             end;
+             `Continue
+           end))
+  in
+  if Connection.established conn then run ()
+  else
+    Connection.subscribe conn (function
+      | Connection.Established -> run ()
+      | _ -> ());
+  t
+
+let echo_peer conn = Connection.set_receive conn (fun _ -> ())

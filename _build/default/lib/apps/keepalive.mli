@@ -1,0 +1,23 @@
+(** A long-lived connection (ssh, chat, mobile push notifications — §4.1)
+    that exchanges a small message every interval and cares about the
+    connection staying usable, not about throughput. *)
+
+open Smapp_sim
+open Smapp_mptcp
+
+type t
+
+val start :
+  Connection.t ->
+  ?message_bytes:int ->
+  ?interval:Time.span ->
+  duration:Time.span ->
+  unit ->
+  t
+(** Send [message_bytes] every [interval] (defaults 64 B, 20 s — RFC 3948's
+    keepalive cadence) for [duration], then close. *)
+
+val messages_sent : t -> int
+
+val echo_peer : Connection.t -> unit
+(** The other side: swallow everything (and keep the connection open). *)

@@ -1,0 +1,1 @@
+lib/controllers/backup.ml: Conn_view Hashtbl Ip List Option Smapp_core Smapp_netsim Smapp_sim Time

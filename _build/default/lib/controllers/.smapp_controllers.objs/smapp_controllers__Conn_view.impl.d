@@ -1,0 +1,1 @@
+lib/controllers/conn_view.ml: Ip List Smapp_core Smapp_netsim Smapp_tcp

@@ -1,0 +1,1 @@
+lib/controllers/conn_view.mli: Ip Smapp_core Smapp_netsim Smapp_tcp

@@ -1,0 +1,1 @@
+lib/controllers/fullmesh.ml: Conn_view Engine Hashtbl Ip List Smapp_core Smapp_netsim Smapp_sim Smapp_tcp Time

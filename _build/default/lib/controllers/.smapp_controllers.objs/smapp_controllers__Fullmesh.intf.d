@@ -1,0 +1,1 @@
+lib/controllers/fullmesh.mli: Ip Smapp_core Smapp_netsim Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/controllers/ndiffports.ml: Conn_view Ip Smapp_core Smapp_netsim

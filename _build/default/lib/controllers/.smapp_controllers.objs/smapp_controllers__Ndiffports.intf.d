@@ -1,0 +1,1 @@
+lib/controllers/ndiffports.mli: Smapp_core

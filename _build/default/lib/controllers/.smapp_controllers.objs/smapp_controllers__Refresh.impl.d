@@ -1,0 +1,1 @@
+lib/controllers/refresh.ml: Conn_view Engine Float Hashtbl Ip List Smapp_core Smapp_netsim Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/controllers/refresh.mli: Smapp_core Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/controllers/stream.ml: Conn_view Engine Hashtbl Ip List Option Smapp_core Smapp_netsim Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/controllers/stream.mli: Ip Smapp_core Smapp_netsim Smapp_sim Time

@@ -1,0 +1,77 @@
+module Pm_lib = Smapp_core.Pm_lib
+module Pm_msg = Smapp_core.Pm_msg
+open Smapp_sim
+open Smapp_netsim
+
+type config = {
+  rto_threshold : Time.span;
+  backup_sources : Ip.t list;
+  backup_destination : Ip.endpoint option;
+}
+
+let default_config ~backup_sources () =
+  { rto_threshold = Time.span_s 1; backup_sources; backup_destination = None }
+
+type t = {
+  view : Conn_view.t;
+  config : config;
+  mutable failovers : int;
+  (* per token: backup sources not yet consumed *)
+  remaining : (int, Ip.t list) Hashtbl.t;
+}
+
+let failovers t = t.failovers
+
+let next_backup t (conn : Conn_view.conn) =
+  let token = conn.Conn_view.cv_token in
+  let avail =
+    match Hashtbl.find_opt t.remaining token with
+    | Some l -> l
+    | None -> t.config.backup_sources
+  in
+  (* skip sources already carrying a live subflow *)
+  let in_use src =
+    List.exists
+      (fun s -> Ip.equal s.Conn_view.sv_flow.Ip.src.Ip.addr src)
+      conn.Conn_view.cv_subs
+  in
+  match List.filter (fun src -> not (in_use src)) avail with
+  | [] -> None
+  | src :: _ ->
+      Hashtbl.replace t.remaining token (List.filter (fun a -> not (Ip.equal a src)) avail);
+      Some src
+
+let handle_timeout t token sub_id rto =
+  if Time.compare_span rto t.config.rto_threshold > 0 then begin
+    match Conn_view.find t.view token with
+    | None -> ()
+    | Some conn -> (
+        match Conn_view.find_sub conn sub_id with
+        | None -> ()
+        | Some sub -> (
+            match next_backup t conn with
+            | None -> () (* nowhere to go: let TCP keep trying *)
+            | Some src ->
+                let dst =
+                  Option.value t.config.backup_destination
+                    ~default:sub.Conn_view.sv_flow.Ip.dst
+                in
+                t.failovers <- t.failovers + 1;
+                let pm = Conn_view.pm t.view in
+                Pm_lib.create_subflow pm ~token ~src ~dst ();
+                Pm_lib.remove_subflow pm ~token ~sub_id ()))
+  end
+
+let start pm config =
+  let t_ref = ref None in
+  let on_event _ = function
+    | Pm_msg.Timeout { token; sub_id; rto; count = _ } -> (
+        match !t_ref with Some t -> handle_timeout t token sub_id rto | None -> ())
+    | _ -> ()
+  in
+  let view = Conn_view.create pm ~extra_mask:Pm_msg.Mask.timeout ~on_event () in
+  let t = { view; config; failovers = 0; remaining = Hashtbl.create 7 } in
+  t_ref := Some t;
+  Conn_view.on_conn_closed view (fun conn ->
+      Hashtbl.remove t.remaining conn.Conn_view.cv_token);
+  t

@@ -1,0 +1,110 @@
+module Pm_lib = Smapp_core.Pm_lib
+module Pm_msg = Smapp_core.Pm_msg
+open Smapp_netsim
+
+type sub = { sv_id : int; sv_flow : Ip.flow; sv_backup : bool }
+
+type conn = {
+  cv_token : int;
+  cv_initial_flow : Ip.flow;
+  mutable cv_established : bool;
+  mutable cv_subs : sub list;
+  mutable cv_remote_addrs : (int * Ip.endpoint) list;
+}
+
+type t = {
+  pm : Pm_lib.t;
+  mutable conn_list : conn list;
+  mutable established_cbs : (conn -> unit) list;
+  mutable closed_cbs : (conn -> unit) list;
+  mutable sub_estab_cbs : (conn -> sub -> unit) list;
+  mutable sub_closed_cbs : (conn -> sub -> Smapp_tcp.Tcp_error.t option -> unit) list;
+}
+
+let pm t = t.pm
+let conns t = t.conn_list
+let find t token = List.find_opt (fun c -> c.cv_token = token) t.conn_list
+let find_sub conn sub_id = List.find_opt (fun s -> s.sv_id = sub_id) conn.cv_subs
+
+let on_conn_established t f = t.established_cbs <- t.established_cbs @ [ f ]
+let on_conn_closed t f = t.closed_cbs <- t.closed_cbs @ [ f ]
+let on_sub_established t f = t.sub_estab_cbs <- t.sub_estab_cbs @ [ f ]
+let on_sub_closed t f = t.sub_closed_cbs <- t.sub_closed_cbs @ [ f ]
+
+let handle t = function
+  | Pm_msg.Created { token; flow; sub_id = _ } ->
+      if find t token = None then
+        t.conn_list <-
+          t.conn_list
+          @ [
+              {
+                cv_token = token;
+                cv_initial_flow = flow;
+                cv_established = false;
+                cv_subs = [];
+                cv_remote_addrs = [];
+              };
+            ]
+  | Pm_msg.Estab { token } -> (
+      match find t token with
+      | Some conn ->
+          conn.cv_established <- true;
+          List.iter (fun f -> f conn) t.established_cbs
+      | None -> ())
+  | Pm_msg.Closed { token } -> (
+      match find t token with
+      | Some conn ->
+          t.conn_list <- List.filter (fun c -> c.cv_token <> token) t.conn_list;
+          List.iter (fun f -> f conn) t.closed_cbs
+      | None -> ())
+  | Pm_msg.Sub_estab { token; sub_id; flow; backup } -> (
+      match find t token with
+      | Some conn ->
+          let sub = { sv_id = sub_id; sv_flow = flow; sv_backup = backup } in
+          conn.cv_subs <- conn.cv_subs @ [ sub ];
+          List.iter (fun f -> f conn sub) t.sub_estab_cbs
+      | None -> ())
+  | Pm_msg.Sub_closed { token; sub_id; flow; error } -> (
+      match find t token with
+      | Some conn ->
+          let sub =
+            match find_sub conn sub_id with
+            | Some s -> s
+            | None -> { sv_id = sub_id; sv_flow = flow; sv_backup = false }
+          in
+          conn.cv_subs <- List.filter (fun s -> s.sv_id <> sub_id) conn.cv_subs;
+          List.iter (fun f -> f conn sub error) t.sub_closed_cbs
+      | None -> ())
+  | Pm_msg.Timeout _ -> ()
+  | Pm_msg.Add_addr { token; addr_id; endpoint } -> (
+      match find t token with
+      | Some conn ->
+          if not (List.mem_assoc addr_id conn.cv_remote_addrs) then
+            conn.cv_remote_addrs <- conn.cv_remote_addrs @ [ (addr_id, endpoint) ]
+      | None -> ())
+  | Pm_msg.Rem_addr { token; addr_id } -> (
+      match find t token with
+      | Some conn -> conn.cv_remote_addrs <- List.remove_assoc addr_id conn.cv_remote_addrs
+      | None -> ())
+  | Pm_msg.New_local_addr _ | Pm_msg.Del_local_addr _ -> ()
+
+let base_mask =
+  Pm_msg.Mask.created lor Pm_msg.Mask.estab lor Pm_msg.Mask.closed
+  lor Pm_msg.Mask.sub_estab lor Pm_msg.Mask.sub_closed lor Pm_msg.Mask.add_addr
+  lor Pm_msg.Mask.rem_addr
+
+let create pm ?(extra_mask = 0) ?on_event () =
+  let t =
+    {
+      pm;
+      conn_list = [];
+      established_cbs = [];
+      closed_cbs = [];
+      sub_estab_cbs = [];
+      sub_closed_cbs = [];
+    }
+  in
+  Pm_lib.on_event pm ~mask:(base_mask lor extra_mask) (fun ev ->
+      handle t ev;
+      match on_event with Some f -> f t ev | None -> ());
+  t

@@ -1,0 +1,152 @@
+module Pm_lib = Smapp_core.Pm_lib
+module Pm_msg = Smapp_core.Pm_msg
+open Smapp_sim
+open Smapp_netsim
+
+type config = {
+  local_addresses : Ip.t list;
+  reconnect_after_reset : Time.span;
+  reconnect_after_unreachable : Time.span;
+  reconnect_after_timeout : Time.span;
+  max_reconnect_attempts : int;
+}
+
+let default_config ?(local_addresses = []) () =
+  {
+    local_addresses;
+    reconnect_after_reset = Time.span_s 1;
+    reconnect_after_unreachable = Time.span_s 5;
+    reconnect_after_timeout = Time.span_s 3;
+    max_reconnect_attempts = 10;
+  }
+
+type t = {
+  view : Conn_view.t;
+  config : config;
+  mutable locals : Ip.t list;
+  mutable created : int;
+  mutable reconnects : int;
+  (* (token, src, dst) pairs already requested, to keep the mesh idempotent *)
+  requested : (int * int * int * int, int) Hashtbl.t; (* -> reconnect attempts *)
+}
+
+let subflows_created t = t.created
+let reconnects_scheduled t = t.reconnects
+let local_addresses t = t.locals
+
+let key token src (dst : Ip.endpoint) =
+  (token, Ip.to_int src, Ip.to_int dst.Ip.addr, dst.Ip.port)
+
+let spawn t (conn : Conn_view.conn) src dst =
+  let k = key conn.Conn_view.cv_token src dst in
+  if not (Hashtbl.mem t.requested k) then begin
+    Hashtbl.replace t.requested k 0;
+    t.created <- t.created + 1;
+    Pm_lib.create_subflow (Conn_view.pm t.view) ~token:conn.Conn_view.cv_token ~src ~dst ()
+  end
+
+let remote_endpoints (conn : Conn_view.conn) =
+  conn.Conn_view.cv_initial_flow.Ip.dst
+  :: List.map snd conn.Conn_view.cv_remote_addrs
+
+(* (Re)build the mesh for one connection. *)
+let mesh t conn =
+  if conn.Conn_view.cv_established then
+    List.iter
+      (fun src -> List.iter (fun dst -> spawn t conn src dst) (remote_endpoints conn))
+      t.locals
+
+let schedule_reconnect t (conn : Conn_view.conn) (sub : Conn_view.sub) error =
+  let delay =
+    match error with
+    | Some Smapp_tcp.Tcp_error.Econnreset | Some Smapp_tcp.Tcp_error.Econnrefused ->
+        t.config.reconnect_after_reset
+    | Some Smapp_tcp.Tcp_error.Enetunreach | Some Smapp_tcp.Tcp_error.Ehostunreach ->
+        t.config.reconnect_after_unreachable
+    | Some Smapp_tcp.Tcp_error.Etimedout -> t.config.reconnect_after_timeout
+    | None -> Time.span_zero (* orderly close: do not resurrect *)
+  in
+  if error <> None then begin
+    let flow = sub.Conn_view.sv_flow in
+    let src = flow.Ip.src.Ip.addr and dst = flow.Ip.dst in
+    let k = key conn.Conn_view.cv_token src dst in
+    let attempts = match Hashtbl.find_opt t.requested k with Some n -> n | None -> 0 in
+    if attempts < t.config.max_reconnect_attempts then begin
+      Hashtbl.replace t.requested k (attempts + 1);
+      t.reconnects <- t.reconnects + 1;
+      ignore
+        (Engine.after (Pm_lib.engine (Conn_view.pm t.view)) delay (fun () ->
+             (* only if the connection still exists and the pair is absent *)
+             match Conn_view.find t.view conn.Conn_view.cv_token with
+             | Some conn ->
+                 let already =
+                   List.exists
+                     (fun s ->
+                       Ip.equal s.Conn_view.sv_flow.Ip.src.Ip.addr src
+                       && Ip.equal_endpoint s.Conn_view.sv_flow.Ip.dst dst)
+                     conn.Conn_view.cv_subs
+                 in
+                 if (not already) && List.exists (Ip.equal src) t.locals then begin
+                   t.created <- t.created + 1;
+                   Pm_lib.create_subflow (Conn_view.pm t.view)
+                     ~token:conn.Conn_view.cv_token ~src ~dst ()
+                 end
+             | None -> ()))
+    end
+  end
+
+let start pm config =
+  let t_ref = ref None in
+  let on_event _view ev =
+    match !t_ref with
+    | None -> ()
+    | Some t -> (
+        match ev with
+        | Pm_msg.New_local_addr { addr; _ } ->
+            if not (List.exists (Ip.equal addr) t.locals) then begin
+              t.locals <- t.locals @ [ addr ];
+              List.iter (mesh t) (Conn_view.conns t.view)
+            end
+        | Pm_msg.Del_local_addr { addr; _ } ->
+            t.locals <- List.filter (fun a -> not (Ip.equal a addr)) t.locals
+        | Pm_msg.Add_addr { token; _ } -> (
+            match Conn_view.find t.view token with
+            | Some conn -> mesh t conn
+            | None -> ())
+        | Pm_msg.Created _ | Pm_msg.Estab _ | Pm_msg.Closed _ | Pm_msg.Sub_estab _
+        | Pm_msg.Sub_closed _ | Pm_msg.Timeout _ | Pm_msg.Rem_addr _ ->
+            ())
+  in
+  let view =
+    Conn_view.create pm
+      ~extra_mask:(Pm_msg.Mask.new_local_addr lor Pm_msg.Mask.del_local_addr)
+      ~on_event ()
+  in
+  let t =
+    {
+      view;
+      config;
+      locals = config.local_addresses;
+      created = 0;
+      reconnects = 0;
+      requested = Hashtbl.create 16;
+    }
+  in
+  t_ref := Some t;
+  Conn_view.on_conn_established view (fun conn ->
+      (* the initial subflow's pair is taken *)
+      let flow = conn.Conn_view.cv_initial_flow in
+      Hashtbl.replace t.requested
+        (key conn.Conn_view.cv_token flow.Ip.src.Ip.addr flow.Ip.dst)
+        0;
+      mesh t conn);
+  Conn_view.on_sub_closed view (fun conn sub error -> schedule_reconnect t conn sub error);
+  Conn_view.on_conn_closed view (fun conn ->
+      (* forget this connection's request marks *)
+      let token = conn.Conn_view.cv_token in
+      let keys =
+        Hashtbl.fold (fun ((tk, _, _, _) as k) _ acc -> if tk = token then k :: acc else acc)
+          t.requested []
+      in
+      List.iter (Hashtbl.remove t.requested) keys);
+  t

@@ -1,0 +1,38 @@
+(** The §4.1 subflow controller: a userspace reimplementation of the
+    in-kernel full-mesh path manager ("about 800 lines of user space C"),
+    extended with failure recovery.
+
+    It listens to every event of §3, maintains the mesh of (local address x
+    remote address) subflows, reacts to [new_local_addr]/[del_local_addr],
+    and — beyond the kernel one — re-establishes failed subflows with a
+    backoff chosen from the error condition: short after a RST, longer after
+    an ICMP unreachable, in between after an RTO kill. This keeps long-lived
+    connections alive through middlebox state loss without application
+    keepalives. *)
+
+module Pm_lib = Smapp_core.Pm_lib
+module Pm_msg = Smapp_core.Pm_msg
+
+
+open Smapp_sim
+open Smapp_netsim
+
+type config = {
+  local_addresses : Ip.t list;
+      (** interfaces known at startup (a real controller enumerates them via
+          rtnetlink); updated by address events afterwards *)
+  reconnect_after_reset : Time.span;  (** default 1 s *)
+  reconnect_after_unreachable : Time.span;  (** default 5 s *)
+  reconnect_after_timeout : Time.span;  (** default 3 s *)
+  max_reconnect_attempts : int;  (** per subflow, default 10 *)
+}
+
+val default_config : ?local_addresses:Ip.t list -> unit -> config
+
+type t
+
+val start : Pm_lib.t -> config -> t
+
+val subflows_created : t -> int
+val reconnects_scheduled : t -> int
+val local_addresses : t -> Ip.t list

@@ -1,0 +1,18 @@
+module Pm_lib = Smapp_core.Pm_lib
+module Pm_msg = Smapp_core.Pm_msg
+open Smapp_netsim
+
+type t = { view : Conn_view.t; n : int; mutable requested : int }
+
+let subflows_requested t = t.requested
+
+let start pm ~n =
+  let t = { view = Conn_view.create pm (); n; requested = 0 } in
+  Conn_view.on_conn_established t.view (fun conn ->
+      let flow = conn.Conn_view.cv_initial_flow in
+      for _ = 2 to t.n do
+        t.requested <- t.requested + 1;
+        Pm_lib.create_subflow pm ~token:conn.Conn_view.cv_token
+          ~src:flow.Ip.src.Ip.addr ~dst:flow.Ip.dst ()
+      done);
+  t

@@ -1,0 +1,131 @@
+module Pm_lib = Smapp_core.Pm_lib
+module Pm_msg = Smapp_core.Pm_msg
+open Smapp_sim
+open Smapp_netsim
+
+type config = {
+  block_bytes : int;
+  period : Time.span;
+  check_after : Time.span;
+  min_progress : int;
+  rto_limit : Time.span;
+  spare_source : Ip.t;
+  spare_destination : Ip.endpoint option;
+}
+
+let default_config ~spare_source ?spare_destination () =
+  {
+    block_bytes = 64 * 1024;
+    period = Time.span_s 1;
+    check_after = Time.span_ms 500;
+    min_progress = 32 * 1024;
+    rto_limit = Time.span_s 1;
+    spare_source;
+    spare_destination;
+  }
+
+type conn_state = {
+  token : int;
+  mutable blocks_started : int;
+  mutable spare_opened : bool;
+  mutable timer : Engine.timer option;
+}
+
+type t = {
+  view : Conn_view.t;
+  config : config;
+  states : (int, conn_state) Hashtbl.t;
+  mutable opened : int;
+  mutable closed : int;
+  mutable checks : int;
+}
+
+let second_subflows_opened t = t.opened
+let subflows_closed t = t.closed
+let checks_performed t = t.checks
+
+let pm t = Conn_view.pm t.view
+
+let open_spare t (conn : Conn_view.conn) st =
+  if not st.spare_opened then begin
+    st.spare_opened <- true;
+    t.opened <- t.opened + 1;
+    let dst =
+      Option.value t.config.spare_destination
+        ~default:conn.Conn_view.cv_initial_flow.Ip.dst
+    in
+    Pm_lib.create_subflow (pm t) ~token:st.token ~src:t.config.spare_source ~dst ()
+  end
+
+(* Progress check: [check_after] into block [i], at least
+   [i * block + min_progress] bytes of the stream must be acknowledged. *)
+let check_progress t st =
+  let block_index = st.blocks_started - 1 in
+  if block_index >= 0 then begin
+    t.checks <- t.checks + 1;
+    Pm_lib.get_conn_info (pm t) ~token:st.token (function
+      | Error _ -> ()
+      | Ok info ->
+          let expected = (block_index * t.config.block_bytes) + t.config.min_progress in
+          if info.Pm_msg.ci_bytes_acked < expected then begin
+            match Conn_view.find t.view st.token with
+            | Some conn -> open_spare t conn st
+            | None -> ()
+          end)
+  end
+
+let watch_connection t (conn : Conn_view.conn) =
+  let token = conn.Conn_view.cv_token in
+  if not (Hashtbl.mem t.states token) then begin
+    let st = { token; blocks_started = 0; spare_opened = false; timer = None } in
+    Hashtbl.replace t.states token st;
+    (* block i starts at i * period (counting from establishment); check at
+       start + check_after *)
+    let engine = Pm_lib.engine (pm t) in
+    st.blocks_started <- 1;
+    st.timer <-
+      Some
+        (Engine.every engine ~start:t.config.check_after t.config.period (fun () ->
+             if Hashtbl.mem t.states token then begin
+               check_progress t st;
+               st.blocks_started <- st.blocks_started + 1;
+               `Continue
+             end
+             else `Stop))
+  end
+
+let handle_timeout t token sub_id rto =
+  if Time.compare_span rto t.config.rto_limit > 0 then begin
+    match Conn_view.find t.view token with
+    | None -> ()
+    | Some conn ->
+        if Conn_view.find_sub conn sub_id <> None then begin
+          (* make sure the stream still has a path before cutting this one *)
+          (match Hashtbl.find_opt t.states token with
+          | Some st when List.length conn.Conn_view.cv_subs <= 1 -> open_spare t conn st
+          | Some _ | None -> ());
+          t.closed <- t.closed + 1;
+          Pm_lib.remove_subflow (pm t) ~token ~sub_id ()
+        end
+  end
+
+let start pm_lib config =
+  let t_ref = ref None in
+  let on_event _ = function
+    | Pm_msg.Timeout { token; sub_id; rto; count = _ } -> (
+        match !t_ref with Some t -> handle_timeout t token sub_id rto | None -> ())
+    | _ -> ()
+  in
+  let view = Conn_view.create pm_lib ~extra_mask:Pm_msg.Mask.timeout ~on_event () in
+  let t =
+    { view; config; states = Hashtbl.create 7; opened = 0; closed = 0; checks = 0 }
+  in
+  t_ref := Some t;
+  Conn_view.on_conn_established view (fun conn -> watch_connection t conn);
+  Conn_view.on_conn_closed view (fun conn ->
+      match Hashtbl.find_opt t.states conn.Conn_view.cv_token with
+      | Some st ->
+          (match st.timer with Some timer -> Engine.cancel timer | None -> ());
+          Hashtbl.remove t.states conn.Conn_view.cv_token
+      | None -> ());
+  t

@@ -1,0 +1,1 @@
+lib/core/kernel_pm.ml: Connection Endpoint Engine Host List Pm_msg Result Smapp_mptcp Smapp_netlink Smapp_netsim Smapp_sim Smapp_tcp Subflow Time

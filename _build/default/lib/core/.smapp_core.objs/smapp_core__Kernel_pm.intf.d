@@ -1,0 +1,1 @@
+lib/core/kernel_pm.mli: Channel Endpoint Smapp_mptcp Smapp_netlink Smapp_sim

@@ -1,0 +1,1 @@
+lib/core/pm_lib.ml: Engine List Option Pm_msg Smapp_netlink Smapp_sim

@@ -1,0 +1,1 @@
+lib/core/pm_lib.mli: Engine Ip Pm_msg Smapp_netlink Smapp_netsim Smapp_sim

@@ -1,0 +1,1 @@
+lib/core/pm_msg.mli: Format Ip Smapp_netlink Smapp_netsim Smapp_sim Smapp_tcp Tcp_error Tcp_info Time

@@ -1,0 +1,1 @@
+lib/core/setup.ml: Endpoint Kernel_pm Pm_lib Smapp_mptcp Smapp_netlink

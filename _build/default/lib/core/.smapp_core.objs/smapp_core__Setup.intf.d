@@ -1,0 +1,1 @@
+lib/core/setup.mli: Endpoint Kernel_pm Pm_lib Smapp_mptcp Smapp_netlink Smapp_sim Time

@@ -1,0 +1,27 @@
+(** The in-kernel Netlink path manager (paper §3, "1100 lines of C").
+
+    Plugs into the same hooks as the in-kernel [fullmesh]/[ndiffports] path
+    managers ({!Smapp_mptcp.Endpoint.subscribe_new_connections} and the
+    per-connection event stream), serializes every subscribed event onto the
+    Netlink channel, and executes the commands it receives: create subflow
+    from an arbitrary four-tuple, remove subflow, set backup priority, and
+    TCP_INFO-style state queries. *)
+
+open Smapp_mptcp
+open Smapp_netlink
+
+type t
+
+val attach : Endpoint.t -> Channel.t -> t
+(** Hook the path manager into the endpoint. All present and future
+    connections are covered; nothing is forwarded until a [Subscribe]
+    command sets a non-zero event mask. *)
+
+val endpoint : t -> Endpoint.t
+val mask : t -> int
+val events_sent : t -> int
+val commands_executed : t -> int
+
+val kernel_work_delay : Smapp_sim.Time.span
+(** In-kernel processing charged between receiving a command and acting on
+    it (same order as {!Path_manager.creation_delay}). *)

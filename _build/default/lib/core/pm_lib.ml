@@ -1,0 +1,114 @@
+open Smapp_sim
+module Channel = Smapp_netlink.Channel
+module Wire = Smapp_netlink.Wire
+
+type t = {
+  engine : Engine.t;
+  channel : Channel.t;
+  mutable listeners : (int * (Pm_msg.event -> unit)) list; (* mask, callback *)
+  mutable subscribed_mask : int;
+  mutable next_seq : int;
+  mutable pending : (int * (Pm_msg.reply -> unit)) list;
+  mutable events_received : int;
+}
+
+let engine t = t.engine
+let pending_requests t = List.length t.pending
+let events_received t = t.events_received
+
+let send_command t cmd on_reply =
+  t.next_seq <- t.next_seq + 1;
+  let seq = t.next_seq in
+  (match on_reply with
+  | Some f -> t.pending <- (seq, f) :: t.pending
+  | None -> ());
+  Channel.user_send t.channel (Wire.encode (Pm_msg.command_to_msg ~seq cmd))
+
+let resubscribe t =
+  let mask = List.fold_left (fun acc (m, _) -> acc lor m) 0 t.listeners in
+  if mask <> t.subscribed_mask then begin
+    t.subscribed_mask <- mask;
+    send_command t (Pm_msg.Subscribe { mask }) None
+  end
+
+let dispatch_event t ev =
+  t.events_received <- t.events_received + 1;
+  let mask = Pm_msg.mask_of_event ev in
+  List.iter (fun (m, f) -> if m land mask <> 0 then f ev) t.listeners
+
+let dispatch_reply t seq reply =
+  match List.assoc_opt seq t.pending with
+  | Some f ->
+      t.pending <- List.remove_assoc seq t.pending;
+      f reply
+  | None -> ()
+
+let on_bytes t bytes =
+  match Wire.decode_batch bytes with
+  | Error _ -> ()
+  | Ok msgs ->
+      List.iter
+        (fun m ->
+          match Pm_msg.event_of_msg m with
+          | Ok ev -> dispatch_event t ev
+          | Error _ -> (
+              match Pm_msg.reply_of_msg m with
+              | Ok reply -> dispatch_reply t m.Wire.header.Wire.seq reply
+              | Error _ -> ()))
+        msgs
+
+let create engine channel =
+  let t =
+    {
+      engine;
+      channel;
+      listeners = [];
+      subscribed_mask = 0;
+      next_seq = 0;
+      pending = [];
+      events_received = 0;
+    }
+  in
+  Channel.on_user_receive channel (on_bytes t);
+  t
+
+let on_event t ~mask f =
+  t.listeners <- t.listeners @ [ (mask, f) ];
+  resubscribe t
+
+let ack_handler on_result =
+  Option.map
+    (fun f -> function
+      | Pm_msg.Ack -> f (Ok ())
+      | Pm_msg.Error e -> f (Error e)
+      | Pm_msg.R_sub_info _ | Pm_msg.R_conn_info _ -> f (Error "unexpected reply"))
+    on_result
+
+let create_subflow t ~token ~src ?src_port ~dst ?(backup = false) ?on_result () =
+  send_command t
+    (Pm_msg.Create_subflow { token; src; src_port; dst; backup })
+    (ack_handler on_result)
+
+let remove_subflow t ~token ~sub_id ?on_result () =
+  send_command t (Pm_msg.Remove_subflow { token; sub_id }) (ack_handler on_result)
+
+let set_backup t ~token ~sub_id ~backup ?on_result () =
+  send_command t (Pm_msg.Set_backup { token; sub_id; backup }) (ack_handler on_result)
+
+let get_sub_info t ~token ~sub_id on_result =
+  send_command t
+    (Pm_msg.Get_sub_info { token; sub_id })
+    (Some
+       (function
+       | Pm_msg.R_sub_info i -> on_result (Ok i)
+       | Pm_msg.Error e -> on_result (Error e)
+       | Pm_msg.Ack | Pm_msg.R_conn_info _ -> on_result (Error "unexpected reply")))
+
+let get_conn_info t ~token on_result =
+  send_command t
+    (Pm_msg.Get_conn_info { token })
+    (Some
+       (function
+       | Pm_msg.R_conn_info i -> on_result (Ok i)
+       | Pm_msg.Error e -> on_result (Error e)
+       | Pm_msg.Ack | Pm_msg.R_sub_info _ -> on_result (Error "unexpected reply")))

@@ -1,0 +1,66 @@
+(** The userspace path-manager library (paper §3, "1900 lines of C").
+
+    "Writing code to send and receive Netlink events can be complex for
+    application developers. To ease the development of subflow controllers,
+    we abstract all the complexity of handling Netlink in a library" — this
+    module is that library: it owns the userspace end of the Netlink
+    channel, encodes commands, decodes events and replies, correlates
+    request/response by sequence number, and dispatches callbacks.
+
+    Subflow controllers ({!Smapp_controllers}) are written exclusively
+    against this interface plus timers; they never touch kernel objects. *)
+
+open Smapp_sim
+open Smapp_netsim
+
+type t
+
+val create : Engine.t -> Smapp_netlink.Channel.t -> t
+
+val engine : t -> Engine.t
+(** The userspace process's event loop, for controller timers. *)
+
+(** {1 Events} *)
+
+val on_event : t -> mask:int -> (Pm_msg.event -> unit) -> unit
+(** Register a callback for the event kinds in [mask] ({!Pm_msg.Mask});
+    updates the kernel-side subscription to the union of all registrations.
+    "The subflow controller receives only notifications for events it
+    registered to." *)
+
+(** {1 Commands} *)
+
+val create_subflow :
+  t ->
+  token:int ->
+  src:Ip.t ->
+  ?src_port:int ->
+  dst:Ip.endpoint ->
+  ?backup:bool ->
+  ?on_result:((unit, string) result -> unit) ->
+  unit ->
+  unit
+(** Ask the kernel to open a subflow over an arbitrary four-tuple. *)
+
+val remove_subflow :
+  t -> token:int -> sub_id:int -> ?on_result:((unit, string) result -> unit) -> unit -> unit
+
+val set_backup :
+  t ->
+  token:int ->
+  sub_id:int ->
+  backup:bool ->
+  ?on_result:((unit, string) result -> unit) ->
+  unit ->
+  unit
+
+val get_sub_info :
+  t -> token:int -> sub_id:int -> ((Pm_msg.sub_info, string) result -> unit) -> unit
+(** Asynchronous TCP_INFO-style query; the callback fires when the reply
+    crosses back from the kernel. *)
+
+val get_conn_info :
+  t -> token:int -> ((Pm_msg.conn_info, string) result -> unit) -> unit
+
+val pending_requests : t -> int
+val events_received : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/backoff.ml: Connection Endpoint Engine Float Harness Netem Smapp_mptcp Smapp_netsim Smapp_sim Smapp_tcp Subflow Time Topology

@@ -1,0 +1,1 @@
+lib/experiments/fig2a.ml: Connection Endpoint Engine Harness Host Ip List Netem Segment Smapp_controllers Smapp_core Smapp_mptcp Smapp_netsim Smapp_sim Smapp_tcp Subflow Time Topology

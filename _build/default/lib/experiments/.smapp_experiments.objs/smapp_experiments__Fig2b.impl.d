@@ -1,0 +1,1 @@
+lib/experiments/fig2b.ml: Connection Endpoint Harness List Smapp_apps Smapp_controllers Smapp_core Smapp_mptcp Smapp_netsim Smapp_sim Time Topology

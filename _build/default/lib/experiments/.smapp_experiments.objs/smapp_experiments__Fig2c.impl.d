@@ -1,0 +1,1 @@
+lib/experiments/fig2c.ml: Endpoint Engine Harness Host Ip Link List Option Path_manager Smapp_apps Smapp_controllers Smapp_core Smapp_mptcp Smapp_netsim Smapp_sim Smapp_tcp Time Topology

@@ -1,0 +1,1 @@
+lib/experiments/fig2c.mli: Smapp_tcp

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Endpoint Engine Harness Host Ip List Path_manager Smapp_apps Smapp_controllers Smapp_core Smapp_mptcp Smapp_netlink Smapp_netsim Smapp_sim Time Topology

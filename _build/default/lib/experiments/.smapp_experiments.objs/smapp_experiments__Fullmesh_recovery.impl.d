@@ -1,0 +1,1 @@
+lib/experiments/fullmesh_recovery.ml: Connection Endpoint Engine Harness Host List Smapp_apps Smapp_controllers Smapp_core Smapp_mptcp Smapp_netsim Smapp_sim Subflow Time Topology

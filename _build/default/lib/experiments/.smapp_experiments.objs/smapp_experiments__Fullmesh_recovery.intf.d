@@ -1,0 +1,1 @@
+lib/experiments/fullmesh_recovery.mli:

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Endpoint Engine Host Ip List Options Segment Smapp_mptcp Smapp_netsim Smapp_sim Smapp_tcp Time Topology

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Endpoint Engine Host Ip Smapp_mptcp Smapp_netsim Smapp_sim Smapp_tcp Time Topology

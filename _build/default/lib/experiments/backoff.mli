@@ -1,0 +1,19 @@
+(** The §4.2 narrative experiment: how long plain RFC 6824 backup semantics
+    take to fail over.
+
+    The backup subflow is pre-established with the backup flag; at t = 1 s
+    the primary's loss jumps to 30%. TCP keeps retransmitting with
+    exponential backoff ("15 doublings on Linux") until the subflow is
+    terminated — "after 12 minutes in our experiment" — and only then does
+    Multipath TCP move the traffic to the backup subflow. *)
+
+type result = {
+  subflow_died_at : float option;  (** seconds; the paper observes ~12 min *)
+  rto_expirations : int;
+  max_rto_seen : float;
+  bytes_before_failover : int;
+  bytes_after_failover : int;
+}
+
+val run : ?seed:int -> ?loss:float -> ?max_backoffs:int -> ?horizon:float -> unit -> result
+(** Defaults: 30% loss, 15 backoffs, 1500 s horizon. *)

@@ -1,0 +1,47 @@
+open Smapp_sim
+open Smapp_netsim
+open Smapp_mptcp
+module Setup = Smapp_core.Setup
+module Channel = Smapp_netlink.Channel
+
+type variant = Kernel | Userspace
+
+let variant_name = function Kernel -> "kernel" | Userspace -> "userspace"
+
+type result = {
+  variant : variant;
+  stress : float;
+  delays : float list;
+  requests_completed : int;
+}
+
+let run ?(seed = 42) ?(requests = 1000) ?(file_bytes = 512 * 1024) ?(stress = 1.0)
+    ~variant () =
+  let engine = Engine.create ~seed () in
+  let topo = Topology.direct_link engine ~rate_bps:1e9 ~delay:(Time.span_us 50) () in
+  let client_ep = Endpoint.of_host topo.Topology.client in
+  let server_ep = Endpoint.of_host topo.Topology.server in
+  let client_addr = List.hd (Host.addresses topo.Topology.client) in
+  let server_addr = List.hd (Host.addresses topo.Topology.server) in
+  (* the wire-level measurement *)
+  let tap = Harness.Syn_tap.install topo.Topology.client in
+  (match variant with
+  | Kernel -> Path_manager.auto_install (Path_manager.ndiffports ~n:2) client_ep
+  | Userspace ->
+      let setup = Setup.attach client_ep in
+      Channel.set_stress_factor setup.Setup.channel stress;
+      ignore (Smapp_controllers.Ndiffports.start setup.Setup.pm ~n:2));
+  Smapp_apps.Http.server server_ep ~port:80 ~response_bytes:file_bytes;
+  let finished = ref None in
+  let _stats =
+    Smapp_apps.Http.client client_ep ~src:client_addr
+      ~dst:(Ip.endpoint server_addr 80) ~response_bytes:file_bytes ~requests
+      ~on_done:(fun stats -> finished := Some stats)
+      ()
+  in
+  (* 1000 transfers of 512 KB at ~1 Gbps: well under 60 simulated seconds *)
+  Harness.run_seconds engine 120.0;
+  let completed =
+    match !finished with Some s -> s.Smapp_apps.Http.completed | None -> 0
+  in
+  { variant; stress; delays = Harness.Syn_tap.join_delays tap; requests_completed = completed }

@@ -1,0 +1,87 @@
+open Smapp_sim
+open Smapp_netsim
+open Smapp_mptcp
+module Setup = Smapp_core.Setup
+module Fullmesh = Smapp_controllers.Fullmesh
+
+type checkpoint = { at : float; label : string; subflows_alive : int }
+
+type result = {
+  checkpoints : checkpoint list;
+  reconnects : int;
+  subflows_created_by_controller : int;
+  messages_sent : int;
+  final_subflows : int;
+}
+
+let run ?(seed = 42) () =
+  let pair = Harness.make_pair ~seed () in
+  let engine = pair.Harness.engine in
+  let setup = Setup.attach pair.Harness.client_ep in
+  let controller =
+    Fullmesh.start setup.Smapp_core.Setup.pm
+      (Fullmesh.default_config
+         ~local_addresses:[ Harness.client_addr pair 0; Harness.client_addr pair 1 ]
+         ())
+  in
+  (* server side: echo sink; keep a handle to RST subflows later *)
+  let server_conn = ref None in
+  Endpoint.listen pair.Harness.server_ep ~port:80 (fun conn ->
+      server_conn := Some conn;
+      Smapp_apps.Keepalive.echo_peer conn);
+  let conn =
+    Endpoint.connect pair.Harness.client_ep
+      ~src:(Harness.client_addr pair 0)
+      ~dst:(Harness.server_endpoint pair 0 80)
+      ()
+  in
+  let app =
+    Smapp_apps.Keepalive.start conn ~interval:(Time.span_s 20)
+      ~duration:(Time.span_s 118) ()
+  in
+  let checkpoints = ref [] in
+  let note label =
+    checkpoints :=
+      {
+        at = Time.to_float_s (Engine.now engine);
+        label;
+        subflows_alive = List.length (Connection.subflows conn);
+      }
+      :: !checkpoints
+  in
+  let at seconds f = ignore (Engine.at engine (Time.add Time.zero (Time.span_s seconds)) f) in
+  at 10 (fun () -> note "steady state");
+  (* 1. middlebox drops state: RST on the second subflow, from the server *)
+  at 30 (fun () ->
+      (match !server_conn with
+      | Some sconn -> (
+          match
+            List.find_opt (fun sf -> not sf.Subflow.is_initial) (Connection.subflows sconn)
+          with
+          | Some sf -> Connection.remove_subflow sconn sf
+          | None -> ())
+      | None -> ());
+      note "rst injected");
+  at 35 (fun () -> note "after rst recovery window");
+  (* 2. interface flap on the second client NIC *)
+  at 60 (fun () ->
+      Host.set_nic_up (List.nth (Host.nics pair.Harness.topo.Topology.client) 1) false;
+      note "nic down");
+  at 62 (fun () ->
+      (* the subflow over the dead NIC is blackholed; the controller drops
+         nothing yet (TCP is still backing off) but the del_local_addr event
+         already removed the address from the mesh set *)
+      note "while nic down");
+  at 90 (fun () ->
+      Host.set_nic_up (List.nth (Host.nics pair.Harness.topo.Topology.client) 1) true;
+      note "nic up");
+  at 100 (fun () -> note "after nic recovery");
+  Harness.run_seconds engine 120.0;
+  note "end";
+  {
+    checkpoints = List.rev !checkpoints;
+    reconnects = Fullmesh.reconnects_scheduled controller;
+    subflows_created_by_controller = Fullmesh.subflows_created controller;
+    messages_sent = Smapp_apps.Keepalive.messages_sent app;
+    final_subflows = List.length (Connection.subflows conn);
+  }

@@ -1,0 +1,21 @@
+(** §4.1 — smarter long-lived connections.
+
+    A keepalive-style connection lives for minutes over two paths, managed
+    by the userspace full-mesh controller. Mid-life we inject the failures
+    the paper discusses: a middlebox-style RST on one subflow, and an
+    interface that goes away and comes back. The controller must keep the
+    mesh complete: re-establish after the RST (short timer), drop the
+    subflow while its interface is down, and rebuild it on
+    [new_local_addr]. *)
+
+type checkpoint = { at : float; label : string; subflows_alive : int }
+
+type result = {
+  checkpoints : checkpoint list;
+  reconnects : int;
+  subflows_created_by_controller : int;
+  messages_sent : int;
+  final_subflows : int;
+}
+
+val run : ?seed:int -> unit -> result

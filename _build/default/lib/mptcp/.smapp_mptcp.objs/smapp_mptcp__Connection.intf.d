@@ -1,0 +1,1 @@
+lib/mptcp/connection.mli: Crypto Engine Format Host Ip Rng Scheduler Segment Smapp_netsim Smapp_sim Smapp_tcp Stack Subflow Tcb Tcp_error Time

@@ -1,0 +1,1 @@
+lib/mptcp/crypto.ml: Char Int64 Sha1 Smapp_sim String

@@ -1,0 +1,1 @@
+lib/mptcp/crypto.mli: Smapp_sim

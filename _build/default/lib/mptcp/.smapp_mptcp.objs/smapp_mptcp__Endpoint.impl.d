@@ -1,0 +1,1 @@
+lib/mptcp/endpoint.ml: Cc Connection Engine List Option Options Rng Scheduler Segment Smapp_sim Smapp_tcp Stack Tcb

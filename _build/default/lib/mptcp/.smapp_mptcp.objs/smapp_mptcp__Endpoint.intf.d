@@ -1,0 +1,1 @@
+lib/mptcp/endpoint.mli: Cc Connection Engine Host Ip Scheduler Smapp_netsim Smapp_sim Smapp_tcp Stack Tcb

@@ -1,0 +1,1 @@
+lib/mptcp/intervals.mli:

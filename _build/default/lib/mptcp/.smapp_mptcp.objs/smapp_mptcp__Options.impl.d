@@ -1,0 +1,1 @@
+lib/mptcp/options.ml: Crypto Format Ip List Segment Smapp_netsim Smapp_tcp

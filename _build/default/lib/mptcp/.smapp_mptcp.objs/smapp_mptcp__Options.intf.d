@@ -1,0 +1,1 @@
+lib/mptcp/options.mli: Crypto Format Ip Segment Smapp_netsim Smapp_tcp

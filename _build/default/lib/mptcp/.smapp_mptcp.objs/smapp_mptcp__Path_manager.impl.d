@@ -1,0 +1,1 @@
+lib/mptcp/path_manager.ml: Connection Endpoint Engine Hashtbl Host Ip List Printf Rng Smapp_netsim Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/mptcp/path_manager.mli: Connection Endpoint Smapp_sim Time

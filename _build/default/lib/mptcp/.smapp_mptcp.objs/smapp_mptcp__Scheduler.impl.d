@@ -1,0 +1,1 @@
+lib/mptcp/scheduler.ml: List Smapp_sim Subflow Time

@@ -1,0 +1,1 @@
+lib/mptcp/sha1.mli:

@@ -1,0 +1,1 @@
+lib/mptcp/subflow.ml: Format Ip Smapp_netsim Smapp_sim Smapp_tcp Tcb Time

@@ -1,0 +1,1 @@
+lib/mptcp/subflow.mli: Format Ip Smapp_netsim Smapp_sim Smapp_tcp Tcb Tcp_info Time

@@ -1,0 +1,596 @@
+open Smapp_sim
+open Smapp_netsim
+open Smapp_tcp
+
+type role = Client | Server
+
+type event =
+  | Established
+  | Subflow_established of Subflow.t
+  | Subflow_closed of Subflow.t * Tcp_error.t option
+  | Subflow_rto of Subflow.t * Time.span * int
+  | Remote_add_addr of int * Ip.endpoint
+  | Remote_rem_addr of int
+  | Data_received of int
+  | Closed
+
+let pp_event ppf = function
+  | Established -> Format.fprintf ppf "established"
+  | Subflow_established sf -> Format.fprintf ppf "sub_estab(%a)" Subflow.pp sf
+  | Subflow_closed (sf, err) ->
+      Format.fprintf ppf "sub_closed(%a,%s)" Subflow.pp sf
+        (match err with None -> "fin" | Some e -> Tcp_error.to_string e)
+  | Subflow_rto (sf, rto, n) ->
+      Format.fprintf ppf "timeout(%a,rto=%a,n=%d)" Subflow.pp sf Time.pp_span rto n
+  | Remote_add_addr (id, ep) -> Format.fprintf ppf "add_addr(%d,%a)" id Ip.pp_endpoint ep
+  | Remote_rem_addr id -> Format.fprintf ppf "rem_addr(%d)" id
+  | Data_received n -> Format.fprintf ppf "data(%d)" n
+  | Closed -> Format.fprintf ppf "closed"
+
+type internal_deps = {
+  dep_engine : Engine.t;
+  dep_stack : Stack.t;
+  dep_rng : Rng.t;
+  dep_tcb_config : Tcb.config;
+  dep_on_meta_closed : t -> unit;
+}
+
+and chunk = { ch_dsn : int; ch_len : int; mutable ch_taken : int }
+
+(* per-subflow join handshake state *)
+and join_state = {
+  mutable j_local_nonce : int64;
+  mutable j_remote_nonce : int64 option;
+}
+
+and t = {
+  deps : internal_deps;
+  role : role;
+  id : int;
+  mutable sched : Scheduler.t;
+  local_key : Crypto.key;
+  mutable remote_key : Crypto.key option;
+  mutable initial_flow : Ip.flow;
+  mutable subflow_list : Subflow.t list;
+  mutable next_subflow_id : int;
+  mutable next_local_addr_id : int;
+  mutable local_addr_ids : (int * Ip.t) list;
+  mutable remote_addrs : (int * Ip.endpoint) list;
+  mutable listeners : (event -> unit) list;
+  mutable receive : int -> unit;
+  mutable join_policy : t -> Segment.t -> bool;
+  joins : (int, join_state) Hashtbl.t; (* subflow id -> handshake nonces *)
+  (* send side *)
+  send_q : chunk Queue.t;
+  mutable reinject_q : (int * int) list;
+  mutable dsn_next : int;
+  acked : Intervals.t;
+  (* receive side *)
+  reasm : Reasm.t;
+  mutable rcv_nxt : int;
+  mutable bytes_received : int;
+  (* lifecycle *)
+  mutable is_established : bool;
+  mutable closing : bool;
+  mutable fin_sent : bool;  (* subflow closes initiated after drain *)
+  mutable is_closed : bool;
+  mutable peer_closed : bool;
+  mutable pumping : bool;
+}
+
+let next_conn_id = ref 0
+
+let role t = t.role
+let id t = t.id
+let engine t = t.deps.dep_engine
+let host t = Stack.host t.deps.dep_stack
+let local_token t = Crypto.token t.local_key
+let remote_token t = Option.map Crypto.token t.remote_key
+let initial_flow t = t.initial_flow
+let subflows t = t.subflow_list
+let find_subflow t sid = List.find_opt (fun s -> s.Subflow.id = sid) t.subflow_list
+let established t = t.is_established
+let closed t = t.is_closed
+let subscribe t f = t.listeners <- t.listeners @ [ f ]
+let set_receive t f = t.receive <- f
+let set_join_policy t p = t.join_policy <- p
+let scheduler t = t.sched
+let set_scheduler t s = t.sched <- s
+let remote_addresses t = t.remote_addrs
+let bytes_sent t = t.dsn_next
+let bytes_acked t = Intervals.contiguous_from t.acked 0
+let bytes_received t = t.bytes_received
+
+let send_buffer_bytes t =
+  Queue.fold (fun acc c -> acc + (c.ch_len - c.ch_taken)) 0 t.send_q
+  + List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 t.reinject_q
+
+let emit t ev = List.iter (fun f -> f ev) t.listeners
+
+let mss t = t.deps.dep_tcb_config.Tcb.mss
+
+(* --- lifecycle helpers ------------------------------------------------------- *)
+
+let all_data_acked t =
+  Queue.is_empty t.send_q && t.reinject_q = []
+  && Intervals.covered t.acked 0 t.dsn_next
+
+let finish_if_done t =
+  if (not t.is_closed) && t.closing && t.fin_sent && t.subflow_list = [] then begin
+    t.is_closed <- true;
+    emit t Closed;
+    t.deps.dep_on_meta_closed t
+  end
+
+(* Once all stream data is acknowledged, FIN every subflow. *)
+let progress_close t =
+  if t.closing && (not t.fin_sent) && all_data_acked t then begin
+    t.fin_sent <- true;
+    List.iter (fun sf -> Tcb.close sf.Subflow.tcb) t.subflow_list;
+    finish_if_done t
+  end
+
+let first_established_tcb t =
+  List.find_map
+    (fun sf -> if Subflow.established sf then Some sf.Subflow.tcb else None)
+    t.subflow_list
+
+let abort_internal t ~notify_peer =
+  if not t.is_closed then begin
+    (* RFC 6824 MP_FASTCLOSE: tell the peer the whole connection is gone, so
+       its meta-level state dies with ours instead of lingering *)
+    (if notify_peer then
+       match (first_established_tcb t, t.remote_key) with
+       | Some tcb, Some key -> Tcb.send_ack_with_options tcb [ Options.Mp_fastclose { key } ]
+       | _ -> ());
+    List.iter (fun sf -> Tcb.abort sf.Subflow.tcb) t.subflow_list;
+    t.closing <- true;
+    t.fin_sent <- true;
+    finish_if_done t
+  end
+
+(* --- send path ----------------------------------------------------------------- *)
+
+(* Next unsent range: reinjections first, then fresh data. *)
+let peek_range t =
+  match t.reinject_q with
+  | (lo, hi) :: _ -> Some (lo, hi - lo, `Reinject)
+  | [] -> (
+      match Queue.peek_opt t.send_q with
+      | Some c when c.ch_taken < c.ch_len ->
+          Some (c.ch_dsn + c.ch_taken, c.ch_len - c.ch_taken, `Fresh)
+      | Some _ | None -> None)
+
+let consume_range t len = function
+  | `Reinject -> (
+      match t.reinject_q with
+      | (lo, hi) :: rest ->
+          if lo + len >= hi then t.reinject_q <- rest
+          else t.reinject_q <- (lo + len, hi) :: rest
+      | [] -> assert false)
+  | `Fresh -> (
+      match Queue.peek_opt t.send_q with
+      | Some c ->
+          c.ch_taken <- c.ch_taken + len;
+          if c.ch_taken >= c.ch_len then ignore (Queue.pop t.send_q)
+      | None -> assert false)
+
+let rec pump t =
+  if (not t.pumping) && t.is_established && not t.is_closed then begin
+    t.pumping <- true;
+    let continue = ref true in
+    while !continue do
+      match peek_range t with
+      | None -> continue := false
+      | Some (dsn, len, kind) -> (
+          (* require a full MSS of space (or the tail of the stream) so we
+             never shave silly slivers off a fractionally open window *)
+          match Scheduler.choose t.sched ~min_space:(min len (mss t)) t.subflow_list with
+          | None -> continue := false
+          | Some sf ->
+              let quantum =
+                min len (min (mss t) (Tcb.available_window sf.Subflow.tcb))
+              in
+              if quantum <= 0 then continue := false
+              else begin
+                consume_range t quantum kind;
+                Tcb.enqueue sf.Subflow.tcb ~dsn ~len:quantum
+              end)
+    done;
+    t.pumping <- false;
+    progress_close t
+  end
+
+and send t n =
+  if n <= 0 then invalid_arg "Connection.send: n must be positive";
+  if t.closing then invalid_arg "Connection.send: connection closing";
+  Queue.push { ch_dsn = t.dsn_next; ch_len = n; ch_taken = 0 } t.send_q;
+  t.dsn_next <- t.dsn_next + n;
+  pump t
+
+(* Reinjection of a dead subflow's unacknowledged ranges. *)
+let reinject_ranges t ranges =
+  let fresh =
+    List.concat_map (fun (dsn, len) -> Intervals.subtract t.acked dsn (dsn + len)) ranges
+  in
+  if fresh <> [] then begin
+    t.reinject_q <- fresh @ t.reinject_q;
+    pump t
+  end
+
+(* Opportunistic copy of a struggling subflow's outstanding data into the
+   meta reinjection queue: other subflows pick it up as their windows open,
+   while the original keeps retransmitting (paper §4.3 observes both). *)
+let opportunistic_reinject t src =
+  reinject_ranges t (Tcb.unacked_chunks src.Subflow.tcb)
+
+(* --- receive path ----------------------------------------------------------------- *)
+
+let deliver_ready t =
+  let continue = ref true in
+  while !continue do
+    match Reasm.pop_ready t.reasm ~rcv_nxt:t.rcv_nxt with
+    | Some (_, len) ->
+        t.rcv_nxt <- t.rcv_nxt + len;
+        t.bytes_received <- t.bytes_received + len;
+        t.receive len;
+        emit t (Data_received len)
+    | None -> continue := false
+  done
+
+let on_subflow_data t ~dsn ~len =
+  let skip = max 0 (t.rcv_nxt - dsn) in
+  if skip < len then
+    Reasm.insert t.reasm ~seq:(dsn + skip) ~len:(len - skip) ~dsn:(dsn + skip);
+  deliver_ready t
+
+(* --- option processing ---------------------------------------------------------- *)
+
+let join_state_of t sf =
+  match Hashtbl.find_opt t.joins sf.Subflow.id with
+  | Some js -> js
+  | None ->
+      let js = { j_local_nonce = 0L; j_remote_nonce = None } in
+      Hashtbl.replace t.joins sf.Subflow.id js;
+      js
+
+let verify_join_synack t sf ~hmac ~nonce =
+  match t.remote_key with
+  | None -> false
+  | Some remote_key ->
+      let js = join_state_of t sf in
+      js.j_remote_nonce <- Some nonce;
+      let expected =
+        Crypto.join_hmac ~local_key:remote_key ~remote_key:t.local_key ~local_nonce:nonce
+          ~remote_nonce:js.j_local_nonce
+      in
+      String.equal hmac expected
+
+let verify_join_ack t sf ~hmac =
+  match (t.remote_key, Hashtbl.find_opt t.joins sf.Subflow.id) with
+  | Some remote_key, Some js -> (
+      match js.j_remote_nonce with
+      | Some remote_nonce ->
+          let expected =
+            Crypto.join_hmac ~local_key:remote_key ~remote_key:t.local_key
+              ~local_nonce:remote_nonce ~remote_nonce:js.j_local_nonce
+          in
+          String.equal hmac expected
+      | None -> false)
+  | _ -> false
+
+let process_option t sf = function
+  | Options.Mp_capable { key } ->
+      if t.remote_key = None then t.remote_key <- Some key
+  | Options.Mp_join_synack { hmac; nonce; addr_id = _; backup = _ } ->
+      if not (verify_join_synack t sf ~hmac ~nonce) then Tcb.abort sf.Subflow.tcb
+  | Options.Mp_join_ack { hmac } ->
+      if not (verify_join_ack t sf ~hmac) then Tcb.abort sf.Subflow.tcb
+  | Options.Add_addr { addr_id; addr; port } ->
+      if not (List.mem_assoc addr_id t.remote_addrs) then begin
+        let ep = Ip.endpoint addr port in
+        t.remote_addrs <- t.remote_addrs @ [ (addr_id, ep) ];
+        emit t (Remote_add_addr (addr_id, ep))
+      end
+  | Options.Remove_addr { addr_id } ->
+      if List.mem_assoc addr_id t.remote_addrs then begin
+        t.remote_addrs <- List.remove_assoc addr_id t.remote_addrs;
+        emit t (Remote_rem_addr addr_id)
+      end
+  | Options.Mp_prio { backup } -> Tcb.set_backup sf.Subflow.tcb backup
+  | Options.Mp_fastclose _ ->
+      (* peer killed the whole connection *)
+      abort_internal t ~notify_peer:false
+  | Options.Mp_join _ -> () (* handled at accept time *)
+  | _ -> ()
+
+(* --- subflow callbacks ------------------------------------------------------------ *)
+
+let lia_probe t () =
+  List.filter_map
+    (fun sf ->
+      if Subflow.established sf then begin
+        let info = Subflow.info sf in
+        let srtt =
+          match info.Tcp_info.srtt with
+          | None -> 0.0
+          | Some s -> Time.span_to_float_s s
+        in
+        Some { Cc.s_cwnd = info.Tcp_info.snd_cwnd; s_srtt = srtt }
+      end
+      else None)
+    t.subflow_list
+
+let subflow_callbacks t sf_ref ~initial ~joiner =
+  let sf () =
+    match !sf_ref with
+    | Some sf -> sf
+    | None -> failwith "subflow callback before registration"
+  in
+  {
+    Tcb.on_established =
+      (fun tcb ->
+        let sf = sf () in
+        sf.Subflow.established_at <- Some (Engine.now t.deps.dep_engine);
+        if initial then begin
+          t.is_established <- true;
+          emit t Established
+        end;
+        (* a client-side joiner proves itself with the third-ack HMAC *)
+        if joiner && t.role = Client then begin
+          match (t.remote_key, Hashtbl.find_opt t.joins (sf.Subflow.id)) with
+          | Some _, Some js ->
+              let hmac =
+                Crypto.join_hmac ~local_key:t.local_key
+                  ~remote_key:(Option.get t.remote_key)
+                  ~local_nonce:js.j_local_nonce
+                  ~remote_nonce:(Option.value js.j_remote_nonce ~default:0L)
+              in
+              Tcb.send_ack_with_options tcb [ Options.Mp_join_ack { hmac } ]
+          | _ -> ()
+        end;
+        emit t (Subflow_established sf);
+        pump t);
+    on_data = (fun _ ~dsn ~len -> on_subflow_data t ~dsn ~len);
+    on_fin =
+      (fun _ ->
+        t.peer_closed <- true;
+        (* the peer is closing the connection: close our side once drained *)
+        if not t.closing then begin
+          t.closing <- true;
+          progress_close t
+        end);
+    on_can_send = (fun _ -> pump t);
+    on_rto_event =
+      (fun _ rto count ->
+        let sf = sf () in
+        emit t (Subflow_rto (sf, rto, count));
+        if count = 1 then opportunistic_reinject t sf);
+    on_close =
+      (fun tcb err ->
+        let sf = sf () in
+        t.subflow_list <-
+          List.filter (fun s -> s.Subflow.id <> sf.Subflow.id) t.subflow_list;
+        Hashtbl.remove t.joins sf.Subflow.id;
+        reinject_ranges t (Tcb.unacked_chunks tcb);
+        emit t (Subflow_closed (sf, err));
+        finish_if_done t;
+        if not t.is_closed then pump t);
+    on_ack_progress = (fun _ -> ());
+    on_chunk_acked =
+      (fun _ ~dsn ~len ->
+        Intervals.add t.acked dsn (dsn + len);
+        progress_close t);
+    on_options = (fun _ seg -> List.iter (process_option t (sf ())) seg.Segment.options);
+  }
+
+let register_subflow t tcb ~addr_id ~initial =
+  let sf =
+    {
+      Subflow.id = t.next_subflow_id;
+      tcb;
+      addr_id;
+      is_initial = initial;
+      created_at = Engine.now t.deps.dep_engine;
+      established_at = None;
+    }
+  in
+  t.next_subflow_id <- t.next_subflow_id + 1;
+  t.subflow_list <- t.subflow_list @ [ sf ];
+  Cc.set_sibling_probe (Tcb.cc tcb) (lia_probe t);
+  sf
+
+(* --- public control-plane commands -------------------------------------------------- *)
+
+let add_subflow t ~src ?src_port ?dst ?(backup = false) () =
+  if t.is_closed then Error "connection closed"
+  else begin
+    match t.remote_key with
+    | None -> Error "connection not established"
+    | Some remote_key ->
+        let dst = Option.value dst ~default:t.initial_flow.Ip.dst in
+        let token = Crypto.token remote_key in
+        let nonce = Rng.int64 t.deps.dep_rng in
+        let addr_id =
+          match List.find_opt (fun (_, a) -> Ip.equal a src) t.local_addr_ids with
+          | Some (id, _) -> id
+          | None ->
+              let id = t.next_local_addr_id in
+              t.next_local_addr_id <- id + 1;
+              t.local_addr_ids <- (id, src) :: t.local_addr_ids;
+              id
+        in
+        let sf_ref = ref None in
+        let cbs = subflow_callbacks t sf_ref ~initial:false ~joiner:true in
+        (match
+           (* reject duplicate four-tuples up front for a clean error *)
+           src_port
+         with
+        | Some p
+          when Stack.find t.deps.dep_stack
+                 (Ip.flow ~src:(Ip.endpoint src p) ~dst)
+               <> None ->
+            Error "four-tuple already in use"
+        | _ -> (
+            try
+              let tcb =
+                Stack.connect t.deps.dep_stack ~src ~dst ?src_port
+                  ~config:t.deps.dep_tcb_config ~backup
+                  ~syn_options:[ Options.Mp_join { token; nonce; addr_id; backup } ]
+                  cbs
+              in
+              let sf = register_subflow t tcb ~addr_id ~initial:false in
+              sf_ref := Some sf;
+              (join_state_of t sf).j_local_nonce <- nonce;
+              Ok sf
+            with Invalid_argument msg | Failure msg -> Error msg))
+  end
+
+let remove_subflow t sf =
+  if List.exists (fun s -> s.Subflow.id = sf.Subflow.id) t.subflow_list then
+    Tcb.abort sf.Subflow.tcb
+
+let set_subflow_backup t sf backup =
+  if List.exists (fun s -> s.Subflow.id = sf.Subflow.id) t.subflow_list then begin
+    Tcb.set_backup sf.Subflow.tcb backup;
+    Tcb.send_ack_with_options sf.Subflow.tcb [ Options.Mp_prio { backup } ];
+    pump t
+  end
+
+let announce_addr t addr port =
+  let addr_id =
+    match List.find_opt (fun (_, a) -> Ip.equal a addr) t.local_addr_ids with
+    | Some (id, _) -> id
+    | None ->
+        let id = t.next_local_addr_id in
+        t.next_local_addr_id <- id + 1;
+        t.local_addr_ids <- (id, addr) :: t.local_addr_ids;
+        id
+  in
+  match first_established_tcb t with
+  | Some tcb ->
+      Tcb.send_ack_with_options tcb [ Options.Add_addr { addr_id; addr; port } ]
+  | None -> ()
+
+let withdraw_addr t addr =
+  match List.find_opt (fun (_, a) -> Ip.equal a addr) t.local_addr_ids with
+  | None -> ()
+  | Some (addr_id, _) -> (
+      t.local_addr_ids <- List.remove_assoc addr_id t.local_addr_ids;
+      match first_established_tcb t with
+      | Some tcb -> Tcb.send_ack_with_options tcb [ Options.Remove_addr { addr_id } ]
+      | None -> ())
+
+let close t =
+  if not t.closing then begin
+    t.closing <- true;
+    progress_close t
+  end
+
+let abort t = abort_internal t ~notify_peer:true
+
+(* --- constructors --------------------------------------------------------------------- *)
+
+let make deps ~scheduler ~role ~initial_flow =
+  incr next_conn_id;
+  {
+    deps;
+    role;
+    id = !next_conn_id;
+    sched = scheduler;
+    local_key = Crypto.generate_key deps.dep_rng;
+    remote_key = None;
+    initial_flow;
+    subflow_list = [];
+    next_subflow_id = 0;
+    next_local_addr_id = 1;
+    local_addr_ids = [ (0, initial_flow.Ip.src.Ip.addr) ];
+    remote_addrs = [];
+    listeners = [];
+    receive = (fun _ -> ());
+    join_policy = (fun _ _ -> true);
+    joins = Hashtbl.create 7;
+    send_q = Queue.create ();
+    reinject_q = [];
+    dsn_next = 0;
+    acked = Intervals.create ();
+    reasm = Reasm.create ();
+    rcv_nxt = 0;
+    bytes_received = 0;
+    is_established = false;
+    closing = false;
+    fin_sent = false;
+    is_closed = false;
+    peer_closed = false;
+    pumping = false;
+  }
+
+let create_client deps ~scheduler ~src ~dst ?src_port () =
+  (* the flow's source port may be ephemeral: fill after connect *)
+  let placeholder_flow = Ip.flow ~src:(Ip.endpoint src 0) ~dst in
+  let t = make deps ~scheduler ~role:Client ~initial_flow:placeholder_flow in
+  let sf_ref = ref None in
+  let cbs = subflow_callbacks t sf_ref ~initial:true ~joiner:false in
+  let tcb =
+    Stack.connect deps.dep_stack ~src ~dst ?src_port ~config:deps.dep_tcb_config
+      ~syn_options:[ Options.Mp_capable { key = t.local_key } ]
+      cbs
+  in
+  t.initial_flow <- Tcb.flow tcb;
+  let sf = register_subflow t tcb ~addr_id:0 ~initial:true in
+  sf_ref := Some sf;
+  t
+
+let create_server deps ~scheduler ~syn ~client_key =
+  let initial_flow = Ip.reverse syn.Segment.flow in
+  let t = make deps ~scheduler ~role:Server ~initial_flow in
+  t.remote_key <- Some client_key;
+  let sf_ref = ref None in
+  let cbs = subflow_callbacks t sf_ref ~initial:true ~joiner:false in
+  let accept =
+    {
+      Stack.acc_config = Some deps.dep_tcb_config;
+      acc_synack_options = [ Options.Mp_capable { key = t.local_key } ];
+      acc_callbacks = cbs;
+      acc_on_created =
+        (fun tcb ->
+          let sf = register_subflow t tcb ~addr_id:0 ~initial:true in
+          sf_ref := Some sf);
+    }
+  in
+  (t, accept)
+
+let attach_join t ~syn ~join =
+  let token, client_nonce, remote_addr_id, backup = join in
+  if t.is_closed || token <> Crypto.token t.local_key then None
+  else if not (t.join_policy t syn) then None
+  else begin
+    match t.remote_key with
+    | None -> None
+    | Some remote_key ->
+        let server_nonce = Rng.int64 t.deps.dep_rng in
+        let hmac =
+          Crypto.join_hmac ~local_key:t.local_key ~remote_key ~local_nonce:server_nonce
+            ~remote_nonce:client_nonce
+        in
+        let sf_ref = ref None in
+        let cbs = subflow_callbacks t sf_ref ~initial:false ~joiner:true in
+        Some
+          {
+            Stack.acc_config = Some t.deps.dep_tcb_config;
+            acc_synack_options =
+              [
+                Options.Mp_join_synack
+                  { hmac; nonce = server_nonce; addr_id = remote_addr_id; backup };
+              ];
+            acc_callbacks = cbs;
+            acc_on_created =
+              (fun tcb ->
+                Tcb.set_backup tcb backup;
+                let sf = register_subflow t tcb ~addr_id:remote_addr_id ~initial:false in
+                sf_ref := Some sf;
+                let js = join_state_of t sf in
+                js.j_local_nonce <- server_nonce;
+                js.j_remote_nonce <- Some client_nonce);
+          }
+  end

@@ -1,0 +1,26 @@
+type key = int64
+
+let generate_key rng = Smapp_sim.Rng.int64 rng
+
+let bytes_of_int64 k =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical k ((7 - i) * 8)) 0xFFL)))
+
+let key_bytes = bytes_of_int64
+
+let token key =
+  let d = Sha1.digest (key_bytes key) in
+  let byte i = Char.code d.[i] in
+  (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+
+let idsn key =
+  let d = Sha1.digest (key_bytes key) in
+  let byte i = Char.code d.[i] in
+  let rec acc i v = if i >= 20 then v else acc (i + 1) ((v lsl 8) lor byte i) in
+  (* low 8 bytes of the digest, truncated to a non-negative OCaml int *)
+  acc 12 0 land max_int
+
+let join_hmac ~local_key ~remote_key ~local_nonce ~remote_nonce =
+  Sha1.hmac
+    ~key:(key_bytes local_key ^ key_bytes remote_key)
+    (bytes_of_int64 local_nonce ^ bytes_of_int64 remote_nonce)

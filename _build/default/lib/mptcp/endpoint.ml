@@ -1,0 +1,78 @@
+open Smapp_sim
+open Smapp_tcp
+
+type t = {
+  stack : Stack.t;
+  engine : Engine.t;
+  rng : Rng.t;
+  tcb_config : Tcb.config;
+  scheduler_factory : unit -> Scheduler.t;
+  mutable metas : (int * Connection.t) list; (* local token -> connection *)
+  mutable watchers : (Connection.t -> unit) list;
+}
+
+let stack t = t.stack
+let host t = Stack.host t.stack
+let engine t = t.engine
+let tcb_config t = t.tcb_config
+let connections t = List.map snd t.metas
+let find_by_token t token = List.assoc_opt token t.metas
+let subscribe_new_connections t f = t.watchers <- t.watchers @ [ f ]
+
+let create ?(cc = Cc.Lia) ?tcb_config ?(scheduler = fun () -> Scheduler.lowest_rtt) stack =
+  let base = Option.value tcb_config ~default:(Stack.default_config stack) in
+  {
+    stack;
+    engine = Stack.engine stack;
+    rng = Engine.split_rng (Stack.engine stack);
+    tcb_config = { base with Tcb.cc_algo = cc };
+    scheduler_factory = scheduler;
+    metas = [];
+    watchers = [];
+  }
+
+let of_host ?cc ?tcb_config host = create ?cc ?tcb_config (Stack.attach host)
+
+let deps t =
+  {
+    Connection.dep_engine = t.engine;
+    dep_stack = t.stack;
+    dep_rng = t.rng;
+    dep_tcb_config = t.tcb_config;
+    dep_on_meta_closed =
+      (fun conn ->
+        t.metas <- List.filter (fun (_, c) -> Connection.id c <> Connection.id conn) t.metas);
+  }
+
+let register t conn =
+  t.metas <- (Connection.local_token conn, conn) :: t.metas;
+  List.iter (fun f -> f conn) t.watchers
+
+let connect t ~src ~dst ?src_port () =
+  let conn =
+    Connection.create_client (deps t) ~scheduler:(t.scheduler_factory ()) ~src ~dst
+      ?src_port ()
+  in
+  register t conn;
+  conn
+
+let listen t ~port on_accept =
+  Stack.listen t.stack ~port (fun syn ->
+      match Options.find_capable syn.Segment.options with
+      | Some client_key ->
+          let conn, accept =
+            Connection.create_server (deps t) ~scheduler:(t.scheduler_factory ()) ~syn
+              ~client_key
+          in
+          register t conn;
+          Connection.subscribe conn (function
+            | Connection.Established -> on_accept conn
+            | _ -> ());
+          Some accept
+      | None -> (
+          match Options.find_join syn.Segment.options with
+          | Some ((token, _, _, _) as join) -> (
+              match find_by_token t token with
+              | Some conn -> Connection.attach_join conn ~syn ~join
+              | None -> None)
+          | None -> None (* plain TCP is refused: this endpoint speaks MPTCP *)))

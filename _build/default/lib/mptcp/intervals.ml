@@ -1,0 +1,50 @@
+(* Sorted list of disjoint, non-adjacent [lo, hi) pairs. *)
+type t = { mutable ranges : (int * int) list }
+
+let create () = { ranges = [] }
+
+let add t lo hi =
+  if hi > lo then begin
+    let rec go = function
+      | [] -> [ (lo, hi) ]
+      | ((rlo, rhi) as r) :: rest ->
+          if hi < rlo then (lo, hi) :: r :: rest
+          else if rhi < lo then r :: go rest
+          else begin
+            (* overlapping or adjacent: merge and keep absorbing *)
+            let rec absorb lo hi = function
+              | (rlo, rhi) :: rest when rlo <= hi -> absorb lo (max hi rhi) rest
+              | rest -> (lo, hi) :: rest
+            in
+            absorb (min lo rlo) (max hi rhi) rest
+          end
+    in
+    t.ranges <- go t.ranges
+  end
+
+let mem t x = List.exists (fun (lo, hi) -> lo <= x && x < hi) t.ranges
+let covered t lo hi = hi <= lo || List.exists (fun (rlo, rhi) -> rlo <= lo && hi <= rhi) t.ranges
+
+let subtract t lo hi =
+  let rec go lo acc = function
+    | _ when lo >= hi -> List.rev acc
+    | [] -> List.rev ((lo, hi) :: acc)
+    | (rlo, rhi) :: rest ->
+        if rhi <= lo then go lo acc rest
+        else if rlo >= hi then List.rev ((lo, hi) :: acc)
+        else begin
+          let acc = if rlo > lo then (lo, rlo) :: acc else acc in
+          go rhi acc rest
+        end
+  in
+  go lo [] t.ranges
+
+let contiguous_from t x =
+  let rec go x = function
+    | [] -> x
+    | (rlo, rhi) :: rest -> if rlo <= x && x < rhi then go rhi rest else if rlo > x then x else go x rest
+  in
+  go x t.ranges
+
+let total t = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 t.ranges
+let ranges t = t.ranges

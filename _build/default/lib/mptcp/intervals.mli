@@ -1,0 +1,25 @@
+(** Sets of disjoint half-open integer intervals.
+
+    Used to track which data-sequence ranges of a Multipath TCP connection
+    have been acknowledged, so reinjection never duplicates delivered data. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> int -> unit
+(** [add t lo hi] inserts [\[lo, hi)]. Overlaps and adjacency are merged.
+    Empty or negative ranges are ignored. *)
+
+val mem : t -> int -> bool
+val covered : t -> int -> int -> bool
+(** Is [\[lo, hi)] entirely contained? *)
+
+val subtract : t -> int -> int -> (int * int) list
+(** [subtract t lo hi]: the parts of [\[lo, hi)] NOT in the set, in order. *)
+
+val contiguous_from : t -> int -> int
+(** [contiguous_from t x]: the first integer >= [x] not in the set — e.g.
+    the meta-level snd_una given [x] = start of stream. *)
+
+val total : t -> int
+val ranges : t -> (int * int) list

@@ -1,0 +1,36 @@
+open Smapp_netsim
+open Smapp_tcp
+
+type Segment.tcp_option +=
+  | Mp_capable of { key : Crypto.key }
+  | Mp_join of { token : int; nonce : int64; addr_id : int; backup : bool }
+  | Mp_join_synack of { hmac : string; nonce : int64; addr_id : int; backup : bool }
+  | Mp_join_ack of { hmac : string }
+  | Add_addr of { addr_id : int; addr : Ip.t; port : int }
+  | Remove_addr of { addr_id : int }
+  | Mp_prio of { backup : bool }
+  | Mp_fastclose of { key : Crypto.key }
+
+let pp ppf = function
+  | Mp_capable { key } -> Format.fprintf ppf "MP_CAPABLE(key=%Lx)" key
+  | Mp_join { token; addr_id; backup; _ } ->
+      Format.fprintf ppf "MP_JOIN(token=%x,id=%d,backup=%b)" token addr_id backup
+  | Mp_join_synack { addr_id; backup; _ } ->
+      Format.fprintf ppf "MP_JOIN_SYNACK(id=%d,backup=%b)" addr_id backup
+  | Mp_join_ack _ -> Format.fprintf ppf "MP_JOIN_ACK"
+  | Add_addr { addr_id; addr; port } ->
+      Format.fprintf ppf "ADD_ADDR(id=%d,%a:%d)" addr_id Ip.pp addr port
+  | Remove_addr { addr_id } -> Format.fprintf ppf "REMOVE_ADDR(id=%d)" addr_id
+  | Mp_prio { backup } -> Format.fprintf ppf "MP_PRIO(backup=%b)" backup
+  | Mp_fastclose _ -> Format.fprintf ppf "MP_FASTCLOSE"
+  | _ -> Format.fprintf ppf "<non-mptcp option>"
+
+let find_capable options =
+  List.find_map (function Mp_capable { key } -> Some key | _ -> None) options
+
+let find_join options =
+  List.find_map
+    (function
+      | Mp_join { token; nonce; addr_id; backup } -> Some (token, nonce, addr_id, backup)
+      | _ -> None)
+    options

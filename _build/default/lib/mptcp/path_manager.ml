@@ -1,0 +1,94 @@
+open Smapp_sim
+open Smapp_netsim
+
+(* Kernel-side work between noticing an event and emitting the MP_JOIN SYN:
+   allocating the request socket, route lookup, etc. Calibrated so that the
+   userspace manager's extra netlink round-trip (~23us in the paper) stands
+   out against it. *)
+let creation_delay = Time.span_us 8
+
+(* jittered like any in-kernel work: softirq scheduling is not constant *)
+let jittered engine =
+  let rng = Engine.split_rng engine in
+  fun () ->
+    let f = 0.7 +. Rng.float rng 0.6 in
+    Time.span_of_float_s (Time.span_to_float_s creation_delay *. f)
+
+type t = { name : string; attach : Connection.t -> unit }
+
+let name t = t.name
+
+let fullmesh ?(subflows_per_pair = 1) () =
+  let attach conn =
+    if Connection.role conn = Connection.Client then begin
+      let engine = Connection.engine conn in
+      let delay = jittered engine in
+      (* the set of (src, dst) pairs we already created or are creating *)
+      let created = Hashtbl.create 7 in
+      let key src dst = (Ip.to_int src, Ip.to_int dst.Ip.addr, dst.Ip.port) in
+      let mark src dst = Hashtbl.replace created (key src dst) () in
+      let have src dst = Hashtbl.mem created (key src dst) in
+      let host = Connection.host conn in
+      let spawn src dst =
+        if not (have src dst) then begin
+          mark src dst;
+          ignore
+            (Engine.after engine (delay ()) (fun () ->
+                 for _ = 1 to subflows_per_pair do
+                   ignore (Connection.add_subflow conn ~src ~dst ())
+                 done))
+        end
+      in
+      let remote_endpoints () =
+        let initial = (Connection.initial_flow conn).Ip.dst in
+        initial :: List.map snd (Connection.remote_addresses conn)
+      in
+      let mesh () =
+        List.iter
+          (fun src ->
+            List.iter
+              (fun dst -> spawn src dst)
+              (remote_endpoints ()))
+          (Host.addresses host)
+      in
+      (* the initial subflow's pair is already in use *)
+      let init_flow = Connection.initial_flow conn in
+      mark init_flow.Ip.src.Ip.addr init_flow.Ip.dst;
+      Connection.subscribe conn (function
+        | Connection.Established -> mesh ()
+        | Connection.Remote_add_addr (_, _) -> if Connection.established conn then mesh ()
+        | Connection.Remote_rem_addr _ | Connection.Subflow_established _
+        | Connection.Subflow_closed (_, _)
+        | Connection.Subflow_rto (_, _, _)
+        | Connection.Data_received _ | Connection.Closed ->
+            ());
+      Host.on_addr_change host (fun _nic dir ->
+          if dir = `Up && Connection.established conn && not (Connection.closed conn)
+          then mesh ())
+    end
+  in
+  { name = "fullmesh"; attach }
+
+let ndiffports ~n =
+  let attach conn =
+    if Connection.role conn = Connection.Client then
+      Connection.subscribe conn (function
+        | Connection.Established ->
+            let engine = Connection.engine conn in
+            let src = (Connection.initial_flow conn).Ip.src.Ip.addr in
+            ignore
+              (Engine.after engine (jittered engine ()) (fun () ->
+                   for _ = 2 to n do
+                     ignore (Connection.add_subflow conn ~src ())
+                   done))
+        | _ -> ())
+  in
+  { name = Printf.sprintf "ndiffports-%d" n; attach }
+
+let default = { name = "default"; attach = (fun _ -> ()) }
+
+let install t conn = t.attach conn
+
+let auto_install t endpoint =
+  List.iter t.attach (Endpoint.connections endpoint);
+  Endpoint.subscribe_new_connections endpoint t.attach

@@ -1,0 +1,40 @@
+(** The in-kernel path managers shipped with the Linux Multipath TCP stack
+    (paper §2): [full-mesh] and [ndiffports]. These are the baselines the
+    userspace subflow controllers are compared against; they run "inside the
+    kernel", i.e. they react to connection events synchronously with no
+    messaging latency.
+
+    A path manager is installed on a connection ({!install}) — typically for
+    every client connection via {!auto_install}. Like the Linux ones, they
+    only ever create subflows on the client side. *)
+
+open Smapp_sim
+
+type t
+(** A path-manager blueprint. *)
+
+val name : t -> string
+
+val fullmesh : ?subflows_per_pair:int -> unit -> t
+(** Create one subflow for every (local address x remote address) pair, as
+    soon as the connection is established, the peer announces an address
+    (ADD_ADDR), or a local interface comes up. *)
+
+val ndiffports : n:int -> t
+(** Create [n] subflows (including the initial one) over the same address
+    pair with distinct random source ports, immediately after
+    establishment — the datacenter/ECMP path manager. *)
+
+val default : t
+(** No extra subflows (Linux's default path manager). *)
+
+val install : t -> Connection.t -> unit
+(** Attach to one connection. No-op on server-role connections. *)
+
+val auto_install : t -> Endpoint.t -> unit
+(** Attach to every present and future client connection of the endpoint. *)
+
+val creation_delay : Time.span
+(** The in-kernel reaction latency we charge between an event and the SYN of
+    the subflow it triggers (a few microseconds of kernel work). Fig 3
+    compares this against the netlink round trip of the userspace manager. *)

@@ -1,0 +1,15 @@
+(** SHA-1, implemented from scratch (FIPS 180-1).
+
+    RFC 6824 derives connection tokens and initial data sequence numbers
+    from SHA-1 over the keys exchanged in MP_CAPABLE, and authenticates
+    MP_JOIN with HMAC-SHA1; no crypto package is available offline, so we
+    carry our own. Tested against the FIPS test vectors. *)
+
+val digest : string -> string
+(** 20-byte raw digest. *)
+
+val hex : string -> string
+(** Hex-encoded digest of the input. *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA1 (RFC 2104), 20-byte raw output. *)

@@ -1,0 +1,1 @@
+lib/netlink/channel.ml: Engine Rng Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/netlink/channel.mli: Engine Smapp_sim Time

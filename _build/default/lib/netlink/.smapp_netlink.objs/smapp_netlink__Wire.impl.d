@@ -1,0 +1,1 @@
+lib/netlink/wire.ml: Buffer Char Format Int64 List Printf Result String

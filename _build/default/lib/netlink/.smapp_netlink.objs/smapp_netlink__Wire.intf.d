@@ -1,0 +1,1 @@
+lib/netlink/wire.mli: Format

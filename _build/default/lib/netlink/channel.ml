@@ -1,0 +1,50 @@
+open Smapp_sim
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  mutable latency : Time.span;
+  mutable stress : float;
+  mutable to_kernel : string -> unit;
+  mutable to_user : string -> unit;
+  mutable k2u : int;
+  mutable u2k : int;
+}
+
+let default_latency = Time.span_us 14
+
+let create engine ?(latency = default_latency) () =
+  {
+    engine;
+    rng = Engine.split_rng engine;
+    latency;
+    stress = 1.0;
+    to_kernel = (fun _ -> ());
+    to_user = (fun _ -> ());
+    k2u = 0;
+    u2k = 0;
+  }
+
+let set_latency t l = t.latency <- l
+let latency t = t.latency
+let set_stress_factor t f = if f <= 0.0 then invalid_arg "stress factor" else t.stress <- f
+
+(* each crossing jitters +/-30% around the calibrated mean, modelling
+   scheduler wake-up noise *)
+let crossing t =
+  let jitter = 0.7 +. Rng.float t.rng 0.6 in
+  Time.span_of_float_s (Time.span_to_float_s t.latency *. t.stress *. jitter)
+
+let on_kernel_receive t f = t.to_kernel <- f
+let on_user_receive t f = t.to_user <- f
+
+let kernel_send t bytes =
+  t.k2u <- t.k2u + 1;
+  ignore (Engine.after t.engine (crossing t) (fun () -> t.to_user bytes))
+
+let user_send t bytes =
+  t.u2k <- t.u2k + 1;
+  ignore (Engine.after t.engine (crossing t) (fun () -> t.to_kernel bytes))
+
+let kernel_to_user_messages t = t.k2u
+let user_to_kernel_messages t = t.u2k

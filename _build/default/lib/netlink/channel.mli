@@ -1,0 +1,40 @@
+(** A simulated Netlink socket between the kernel and one userspace process.
+
+    Messages are byte strings ({!Wire}); each direction imposes a
+    configurable latency modelling the system-call / socket-wakeup /
+    scheduling cost of crossing the kernel boundary. This latency is the
+    quantity Fig 3 of the paper measures: the userspace path manager pays
+    two crossings (event up, command down) that the in-kernel one does not.
+
+    The default per-crossing latency (14 µs) is calibrated so the userspace
+    manager's extra delay lands near the paper's measured 23 µs; a
+    multiplier emulates the paper's CPU-stress experiment (≤ 37 µs). *)
+
+open Smapp_sim
+
+type t
+
+val default_latency : Time.span
+
+val create : Engine.t -> ?latency:Time.span -> unit -> t
+
+val set_latency : t -> Time.span -> unit
+val latency : t -> Time.span
+
+val set_stress_factor : t -> float -> unit
+(** Multiply the crossing latency (CPU contention emulation); 1.0 default. *)
+
+val on_kernel_receive : t -> (string -> unit) -> unit
+(** Handler for bytes arriving in the kernel (commands). *)
+
+val on_user_receive : t -> (string -> unit) -> unit
+(** Handler for bytes arriving in userspace (events, replies). *)
+
+val kernel_send : t -> string -> unit
+(** Kernel -> userspace, delivered after the crossing latency. *)
+
+val user_send : t -> string -> unit
+(** Userspace -> kernel. *)
+
+val kernel_to_user_messages : t -> int
+val user_to_kernel_messages : t -> int

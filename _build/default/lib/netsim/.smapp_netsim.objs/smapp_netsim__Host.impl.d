@@ -1,0 +1,1 @@
+lib/netsim/host.ml: Engine Ip Link List Packet Printf Smapp_sim

@@ -1,0 +1,1 @@
+lib/netsim/host.mli: Engine Ip Link Packet Smapp_sim

@@ -1,0 +1,1 @@
+lib/netsim/ip.ml: Format Int Int64 Map Printf String

@@ -1,0 +1,1 @@
+lib/netsim/ip.mli: Format Map

@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Engine Packet Rng Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/netsim/netem.ml: Engine Host Link Smapp_sim Topology

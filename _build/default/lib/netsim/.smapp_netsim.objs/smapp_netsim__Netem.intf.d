@@ -1,0 +1,1 @@
+lib/netsim/netem.mli: Engine Host Smapp_sim Time Topology

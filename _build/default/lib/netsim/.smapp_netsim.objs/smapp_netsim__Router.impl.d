@@ -1,0 +1,1 @@
+lib/netsim/router.ml: Engine Ip Link List Packet Smapp_sim

@@ -1,0 +1,1 @@
+lib/netsim/router.mli: Engine Ip Link Packet Smapp_sim

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Host Ip Link List Printf Router Smapp_sim Time

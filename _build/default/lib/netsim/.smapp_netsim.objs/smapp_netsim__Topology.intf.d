@@ -1,0 +1,1 @@
+lib/netsim/topology.mli: Engine Host Ip Link Router Smapp_sim Time

@@ -1,0 +1,75 @@
+open Smapp_sim
+
+type nic = {
+  nic_name : string;
+  addr : Ip.t;
+  mutable up : bool;
+  mutable tx : Link.t option;
+  owner : t;
+}
+
+and t = {
+  name : string;
+  engine : Engine.t;
+  mutable nic_list : nic list;
+  mutable receive : (Packet.t -> unit) option;
+  mutable addr_listeners : (nic -> [ `Up | `Down ] -> unit) list;
+  mutable taps : (Packet.t -> unit) list;
+  mutable discarded : int;
+}
+
+let create engine name =
+  {
+    name;
+    engine;
+    nic_list = [];
+    receive = None;
+    addr_listeners = [];
+    taps = [];
+    discarded = 0;
+  }
+
+let name t = t.name
+let engine t = t.engine
+
+let add_nic t ~name ~addr =
+  if List.exists (fun n -> Ip.equal n.addr addr) t.nic_list then
+    invalid_arg (Printf.sprintf "Host.add_nic: duplicate address %s" (Ip.to_string addr));
+  let nic = { nic_name = name; addr; up = true; tx = None; owner = t } in
+  t.nic_list <- t.nic_list @ [ nic ];
+  nic
+
+let attach nic link = nic.tx <- Some link
+let nic_name nic = nic.nic_name
+let nic_addr nic = nic.addr
+let nic_up nic = nic.up
+
+let set_nic_up nic up =
+  if nic.up <> up then begin
+    nic.up <- up;
+    let dir = if up then `Up else `Down in
+    List.iter (fun f -> f nic dir) nic.owner.addr_listeners
+  end
+
+let nics t = t.nic_list
+let find_nic t addr = List.find_opt (fun n -> Ip.equal n.addr addr) t.nic_list
+let addresses t = List.filter_map (fun n -> if n.up then Some n.addr else None) t.nic_list
+
+let set_receive t f = t.receive <- Some f
+
+let deliver t pkt =
+  let dst_addr = pkt.Packet.flow.Ip.dst.Ip.addr in
+  match (find_nic t dst_addr, t.receive) with
+  | Some nic, Some receive when nic.up -> receive pkt
+  | _ -> t.discarded <- t.discarded + 1
+
+let send t pkt =
+  List.iter (fun tap -> tap pkt) t.taps;
+  let src_addr = pkt.Packet.flow.Ip.src.Ip.addr in
+  match find_nic t src_addr with
+  | Some { up = true; tx = Some link; _ } -> Link.send link pkt
+  | Some _ | None -> ()
+
+let on_addr_change t f = t.addr_listeners <- t.addr_listeners @ [ f ]
+let add_tap t f = t.taps <- t.taps @ [ f ]
+let rx_discarded t = t.discarded

@@ -1,0 +1,91 @@
+open Smapp_sim
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable lost : int;
+  mutable dropped : int;
+  mutable bytes_delivered : int;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  rng : Rng.t;
+  mutable rate_bps : float;
+  mutable delay : Time.span;
+  mutable loss : float;
+  queue_capacity : int;
+  mutable queued : int;       (* packets waiting for or in transmission *)
+  mutable busy_until : Time.t;
+  mutable dst : (Packet.t -> unit) option;
+  mutable up : bool;
+  stats : stats;
+}
+
+let create engine ?(name = "link") ~rate_bps ~delay ?(loss = 0.0) ?(queue_capacity = 100)
+    () =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate must be positive";
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Link.create: loss out of [0,1]";
+  {
+    engine;
+    name;
+    rng = Engine.split_rng engine;
+    rate_bps;
+    delay;
+    loss;
+    queue_capacity;
+    queued = 0;
+    busy_until = Time.zero;
+    dst = None;
+    up = true;
+    stats = { sent = 0; delivered = 0; lost = 0; dropped = 0; bytes_delivered = 0 };
+  }
+
+let set_dst t dst = t.dst <- Some dst
+
+let tx_span t size =
+  Time.span_of_float_s (float_of_int (size * 8) /. t.rate_bps)
+
+let send t pkt =
+  t.stats.sent <- t.stats.sent + 1;
+  match t.dst with
+  | None -> invalid_arg "Link.send: destination not set"
+  | Some dst ->
+      if not t.up then t.stats.dropped <- t.stats.dropped + 1
+      else if t.queued >= t.queue_capacity then t.stats.dropped <- t.stats.dropped + 1
+      else begin
+        let now = Engine.now t.engine in
+        let start = if Time.(t.busy_until > now) then t.busy_until else now in
+        let tx_done = Time.add start (tx_span t pkt.Packet.size) in
+        t.busy_until <- tx_done;
+        t.queued <- t.queued + 1;
+        (* Decide loss when the packet leaves the queue head: it consumed
+           bandwidth either way, like a packet corrupted on the wire. *)
+        let lost = Rng.bernoulli t.rng t.loss in
+        let deliver_at = Time.add tx_done t.delay in
+        ignore
+          (Engine.at t.engine tx_done (fun () -> t.queued <- t.queued - 1));
+        if lost then t.stats.lost <- t.stats.lost + 1
+        else
+          ignore
+            (Engine.at t.engine deliver_at (fun () ->
+                 t.stats.delivered <- t.stats.delivered + 1;
+                 t.stats.bytes_delivered <- t.stats.bytes_delivered + pkt.Packet.size;
+                 dst pkt))
+      end
+
+let set_loss t loss =
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Link.set_loss: out of [0,1]";
+  t.loss <- loss
+
+let loss t = t.loss
+let set_delay t delay = t.delay <- delay
+let delay t = t.delay
+let set_rate t rate = if rate <= 0.0 then invalid_arg "Link.set_rate" else t.rate_bps <- rate
+let rate_bps t = t.rate_bps
+let set_up t up = t.up <- up
+let is_up t = t.up
+let stats t = t.stats
+let name t = t.name
+let in_flight t = t.queued

@@ -1,0 +1,49 @@
+(** Simplex links with rate, propagation delay, random loss and a drop-tail
+    queue — the simulated equivalent of a Mininet link shaped with
+    [tc netem]. A duplex cable is simply a pair of simplex links. *)
+
+open Smapp_sim
+
+type t
+
+type stats = {
+  mutable sent : int;      (** packets handed to the link *)
+  mutable delivered : int;
+  mutable lost : int;      (** random (netem) losses *)
+  mutable dropped : int;   (** queue overflows and down-link drops *)
+  mutable bytes_delivered : int;
+}
+
+val create :
+  Engine.t ->
+  ?name:string ->
+  rate_bps:float ->
+  delay:Time.span ->
+  ?loss:float ->
+  ?queue_capacity:int ->
+  unit ->
+  t
+(** [queue_capacity] is a packet count (default 100). [loss] is the random
+    loss probability in [\[0,1\]] (default 0). *)
+
+val set_dst : t -> (Packet.t -> unit) -> unit
+(** Where delivered packets go. Must be called before any [send]. *)
+
+val send : t -> Packet.t -> unit
+(** Queue a packet for transmission. Silently drops on a full queue, random
+    loss, or a downed link: the transport layer sees only the absence of an
+    acknowledgement, exactly as on a real wire. *)
+
+val set_loss : t -> float -> unit
+val loss : t -> float
+val set_delay : t -> Time.span -> unit
+val delay : t -> Time.span
+val set_rate : t -> float -> unit
+val rate_bps : t -> float
+val set_up : t -> bool -> unit
+val is_up : t -> bool
+val stats : t -> stats
+val name : t -> string
+
+val in_flight : t -> int
+(** Packets queued or on the wire. *)

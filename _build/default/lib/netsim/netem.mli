@@ -1,0 +1,20 @@
+(** Scheduled network impairments — the [tc netem] knob-turning the paper's
+    Mininet scripts perform mid-experiment (e.g. "after 1 second, the loss
+    ratio over the primary path increases to 30%"). *)
+
+open Smapp_sim
+
+val loss_at : Engine.t -> Time.t -> Topology.duplex -> float -> unit
+(** Set both directions' loss probability at an absolute time. *)
+
+val loss_fwd_at : Engine.t -> Time.t -> Topology.duplex -> float -> unit
+(** Impair only the client-to-server direction. *)
+
+val down_at : Engine.t -> Time.t -> Topology.duplex -> unit
+val up_at : Engine.t -> Time.t -> Topology.duplex -> unit
+
+val nic_down_at : Engine.t -> Time.t -> Host.nic -> unit
+val nic_up_at : Engine.t -> Time.t -> Host.nic -> unit
+
+val flap_nic : Engine.t -> Host.nic -> down_at:Time.t -> up_at:Time.t -> unit
+(** Interface loss-of-connectivity followed by recovery. *)

@@ -1,0 +1,116 @@
+open Smapp_sim
+
+type duplex = { fwd : Link.t; back : Link.t }
+
+let duplex engine ?(name = "cable") ~rate_bps ~delay ?loss ?queue_capacity () =
+  let fwd =
+    Link.create engine ~name:(name ^ ".fwd") ~rate_bps ~delay ?loss ?queue_capacity ()
+  in
+  let back =
+    Link.create engine ~name:(name ^ ".back") ~rate_bps ~delay ?loss ?queue_capacity ()
+  in
+  { fwd; back }
+
+let set_duplex_loss d loss =
+  Link.set_loss d.fwd loss;
+  Link.set_loss d.back loss
+
+let set_duplex_up d up =
+  Link.set_up d.fwd up;
+  Link.set_up d.back up
+
+type path = { cable : duplex; client_addr : Ip.t; server_addr : Ip.t }
+type parallel = { client : Host.t; server : Host.t; paths : path list }
+
+(* [pick params i] repeats the last element when the list is shorter. *)
+let rec pick params i =
+  match params with
+  | [] -> invalid_arg "Topology: empty parameter list"
+  | [ last ] -> last
+  | first :: rest -> if i = 0 then first else pick rest (i - 1)
+
+let parallel_paths engine ?(rates_bps = [ 5_000_000.0 ]) ?(delays = [ Time.span_ms 10 ])
+    ?(losses = [ 0.0 ]) ~n () =
+  if n < 1 then invalid_arg "Topology.parallel_paths: n must be >= 1";
+  let client = Host.create engine "client" in
+  let server = Host.create engine "server" in
+  let make_path i =
+    let client_addr = Ip.v4 10 0 i 1 and server_addr = Ip.v4 10 0 i 2 in
+    let cnic = Host.add_nic client ~name:(Printf.sprintf "c-eth%d" i) ~addr:client_addr in
+    let snic = Host.add_nic server ~name:(Printf.sprintf "s-eth%d" i) ~addr:server_addr in
+    let cable =
+      duplex engine
+        ~name:(Printf.sprintf "path%d" i)
+        ~rate_bps:(pick rates_bps i) ~delay:(pick delays i) ~loss:(pick losses i) ()
+    in
+    Host.attach cnic cable.fwd;
+    Host.attach snic cable.back;
+    Link.set_dst cable.fwd (Host.deliver server);
+    Link.set_dst cable.back (Host.deliver client);
+    { cable; client_addr; server_addr }
+  in
+  { client; server; paths = List.init n make_path }
+
+type ecmp = {
+  client : Host.t;
+  server : Host.t;
+  r1 : Router.t;
+  r2 : Router.t;
+  core : duplex list;
+  access_client : duplex;
+  access_server : duplex;
+}
+
+let ecmp_fabric engine ?(salt = 0) ?(core_rate_bps = 8_000_000.0)
+    ?(core_delays = [ Time.span_ms 10; Time.span_ms 20; Time.span_ms 30; Time.span_ms 40 ])
+    ?(core_queue = 25) ~n () =
+  if n < 1 then invalid_arg "Topology.ecmp_fabric: n must be >= 1";
+  let client = Host.create engine "client" in
+  let server = Host.create engine "server" in
+  let client_addr = Ip.v4 10 1 0 1 and server_addr = Ip.v4 10 2 0 1 in
+  let cnic = Host.add_nic client ~name:"c-eth0" ~addr:client_addr in
+  let snic = Host.add_nic server ~name:"s-eth0" ~addr:server_addr in
+  let r1 = Router.create engine ~salt "r1" in
+  let r2 = Router.create engine ~salt:(salt + 1) "r2" in
+  let access rate delay name = duplex engine ~name ~rate_bps:rate ~delay () in
+  let access_client = access 1e9 (Time.span_us 100) "access-c" in
+  let access_server = access 1e9 (Time.span_us 100) "access-s" in
+  Host.attach cnic access_client.fwd;
+  Host.attach snic access_server.fwd;
+  Link.set_dst access_client.fwd (Router.deliver r1);
+  Link.set_dst access_client.back (Host.deliver client);
+  Link.set_dst access_server.fwd (Router.deliver r2);
+  Link.set_dst access_server.back (Host.deliver server);
+  let core =
+    List.init n (fun i ->
+        let cable =
+          duplex engine
+            ~name:(Printf.sprintf "core%d" i)
+            ~rate_bps:core_rate_bps ~delay:(pick core_delays i)
+            ~queue_capacity:core_queue ()
+        in
+        Link.set_dst cable.fwd (Router.deliver r2);
+        Link.set_dst cable.back (Router.deliver r1);
+        cable)
+  in
+  Router.add_route r1 server_addr (List.map (fun c -> c.fwd) core);
+  Router.add_route r1 client_addr [ access_client.back ];
+  Router.add_route r2 client_addr (List.map (fun c -> c.back) core);
+  Router.add_route r2 server_addr [ access_server.back ];
+  { client; server; r1; r2; core; access_client; access_server }
+
+type direct = { client : Host.t; server : Host.t; cable : duplex }
+
+let direct_link engine ?(rate_bps = 1e9) ?(delay = Time.span_us 50) () =
+  let client = Host.create engine "client" in
+  let server = Host.create engine "server" in
+  let cnic = Host.add_nic client ~name:"c-eth0" ~addr:(Ip.v4 10 0 0 1) in
+  let snic = Host.add_nic server ~name:"s-eth0" ~addr:(Ip.v4 10 0 0 2) in
+  (* a gigabit NIC ring plus switch buffers hold far more than the shaped
+     links' queues; big enough that full receive windows never tail-drop *)
+  let cable = duplex engine ~name:"direct" ~rate_bps ~delay ~queue_capacity:4096 () in
+  Host.attach cnic cable.fwd;
+  Host.attach snic cable.back;
+  Link.set_dst cable.fwd (Host.deliver server);
+  Link.set_dst cable.back (Host.deliver client);
+  { client; server; cable }

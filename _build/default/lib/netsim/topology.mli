@@ -1,0 +1,89 @@
+(** Canned topologies for the paper's experiments.
+
+    All builders wire both directions of every cable and register link
+    destinations; after building, hosts only need a transport stack
+    ({!Host.set_receive}). *)
+
+open Smapp_sim
+
+type duplex = { fwd : Link.t; back : Link.t }
+
+val duplex :
+  Engine.t ->
+  ?name:string ->
+  rate_bps:float ->
+  delay:Time.span ->
+  ?loss:float ->
+  ?queue_capacity:int ->
+  unit ->
+  duplex
+(** An unattached duplex cable; use [connect_*] or set destinations by hand. *)
+
+val set_duplex_loss : duplex -> float -> unit
+val set_duplex_up : duplex -> bool -> unit
+
+type path = {
+  cable : duplex;  (** [fwd] carries client-to-server traffic *)
+  client_addr : Ip.t;
+  server_addr : Ip.t;
+}
+
+type parallel = {
+  client : Host.t;
+  server : Host.t;
+  paths : path list;
+}
+(** A multihomed client and server joined by [n] disjoint paths — the
+    smartphone topology of §4.2/§4.3 (n = 2) generalised. Path [i] uses the
+    subnet [10.0.i.0/24]: client [10.0.i.1], server [10.0.i.2]. *)
+
+val parallel_paths :
+  Engine.t ->
+  ?rates_bps:float list ->
+  ?delays:Time.span list ->
+  ?losses:float list ->
+  n:int ->
+  unit ->
+  parallel
+(** Per-path parameter lists are padded by repeating their last element;
+    defaults: 5 Mbps, 10 ms, 0 loss (the §4.3 setup). *)
+
+type ecmp = {
+  client : Host.t;
+  server : Host.t;
+  r1 : Router.t;  (** client-side router *)
+  r2 : Router.t;  (** server-side router *)
+  core : duplex list;  (** the parallel equal-cost paths, [fwd] = r1 to r2 *)
+  access_client : duplex;
+  access_server : duplex;
+}
+(** Single-homed hosts behind two routers that load-balance over [n]
+    parallel core paths — §4.4's topology. Client is [10.1.0.1], server
+    [10.2.0.1]; access links are fast (1 Gbps, 0.1 ms). *)
+
+val ecmp_fabric :
+  Engine.t ->
+  ?salt:int ->
+  ?core_rate_bps:float ->
+  ?core_delays:Time.span list ->
+  ?core_queue:int ->
+  n:int ->
+  unit ->
+  ecmp
+(** Defaults: 8 Mbps cores with delays 10, 20, 30, 40 ms (repeating the last
+    when [n] exceeds the list) and 25-packet (≈ BDP) drop-tail queues, like
+    a Mininet link with a bounded queue. *)
+
+type direct = {
+  client : Host.t;
+  server : Host.t;
+  cable : duplex;
+}
+
+val direct_link :
+  Engine.t ->
+  ?rate_bps:float ->
+  ?delay:Time.span ->
+  unit ->
+  direct
+(** The §4.5 lab setup: two hosts and one cable (default 1 Gbps, 50 µs). *)

@@ -1,0 +1,120 @@
+type event = {
+  time : Time.t;
+  seq : int;
+  mutable callback : (unit -> unit) option; (* None once cancelled or fired *)
+}
+
+(* A timer is a handle over the currently armed event. Periodic timers
+   ([every]) re-arm by replacing [current]; cancelling the handle always
+   cancels whichever event is armed right now. *)
+type timer = { engine : t; mutable current : event option }
+
+and t = {
+  mutable clock : Time.t;
+  queue : event Heap.t;
+  root_rng : Rng.t;
+  mutable next_seq : int;
+  mutable live : int; (* queued events not yet cancelled *)
+}
+
+let compare_event a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 42) () =
+  {
+    clock = Time.zero;
+    queue = Heap.create ~cmp:compare_event;
+    root_rng = Rng.of_int seed;
+    next_seq = 0;
+    live = 0;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+let split_rng t = Rng.split t.root_rng
+
+let schedule_event t when_ f =
+  if Time.(when_ < t.clock) then
+    invalid_arg
+      (Format.asprintf "Engine.at: %a is before now (%a)" Time.pp when_ Time.pp t.clock);
+  let ev = { time = when_; seq = t.next_seq; callback = Some f } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.add t.queue ev;
+  t.live <- t.live + 1;
+  ev
+
+let at t when_ f =
+  let timer = { engine = t; current = None } in
+  let ev =
+    schedule_event t when_ (fun () ->
+        timer.current <- None;
+        f ())
+  in
+  timer.current <- Some ev;
+  timer
+
+let after t d f =
+  let d = Time.span_max d Time.span_zero in
+  at t (Time.add t.clock d) f
+
+let cancel timer =
+  match timer.current with
+  | None -> ()
+  | Some ev ->
+      if Option.is_some ev.callback then begin
+        ev.callback <- None;
+        timer.engine.live <- timer.engine.live - 1
+      end;
+      timer.current <- None
+
+let timer_active timer =
+  match timer.current with
+  | None -> false
+  | Some ev -> Option.is_some ev.callback
+
+let every t ?start period f =
+  let start = Option.value start ~default:period in
+  let timer = { engine = t; current = None } in
+  let rec arm delay =
+    let ev =
+      schedule_event t
+        (Time.add t.clock (Time.span_max delay Time.span_zero))
+        (fun () ->
+          timer.current <- None;
+          match f () with
+          | `Continue -> arm period
+          | `Stop -> ())
+    in
+    timer.current <- Some ev
+  in
+  arm start;
+  timer
+
+let run ?until ?(max_events = max_int) t =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue && !executed < max_events do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some ev -> (
+        match until with
+        | Some limit when Time.(ev.time > limit) ->
+            t.clock <- limit;
+            continue := false
+        | _ -> (
+            ignore (Heap.pop t.queue);
+            match ev.callback with
+            | None -> () (* cancelled: already uncounted *)
+            | Some f ->
+                ev.callback <- None;
+                t.live <- t.live - 1;
+                t.clock <- ev.time;
+                incr executed;
+                f ()))
+  done;
+  match until with
+  | Some limit when Heap.is_empty t.queue && Time.(t.clock < limit) -> t.clock <- limit
+  | _ -> ()
+
+let pending t = t.live

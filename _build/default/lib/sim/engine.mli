@@ -1,0 +1,48 @@
+(** The discrete-event simulation engine.
+
+    An engine owns a virtual clock and an event queue. Components schedule
+    callbacks at absolute or relative times; [run] executes them in time
+    order. Events scheduled at the same instant run in scheduling order
+    (a strictly increasing sequence number breaks ties), which keeps runs
+    deterministic. *)
+
+type t
+
+type timer
+(** A handle on a scheduled event, usable to cancel it. *)
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine with clock at {!Time.zero}. [seed] (default 42) seeds the
+    root RNG from which component streams are split. *)
+
+val now : t -> Time.t
+val rng : t -> Rng.t
+
+val split_rng : t -> Rng.t
+(** An independent RNG stream for one component. *)
+
+val at : t -> Time.t -> (unit -> unit) -> timer
+(** [at t when_ f] schedules [f] at absolute time [when_]. Scheduling in the
+    past raises [Invalid_argument]. *)
+
+val after : t -> Time.span -> (unit -> unit) -> timer
+(** [after t d f] schedules [f] at [now t + d]. Negative [d] is clamped
+    to zero. *)
+
+val cancel : timer -> unit
+(** Cancelling an already-fired or already-cancelled timer is a no-op. *)
+
+val timer_active : timer -> bool
+
+val every : t -> ?start:Time.span -> Time.span -> (unit -> [ `Continue | `Stop ]) -> timer
+(** [every t ~start period f] runs [f] at [now + start] (default [period])
+    and then every [period] until it returns [`Stop] or the returned handle
+    (re-armed in place) is cancelled. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Drain the queue. Stops when empty, when the clock would pass [until]
+    (events after [until] stay queued, clock ends at [until]), or after
+    [max_events] callbacks. *)
+
+val pending : t -> int
+(** Number of queued (non-cancelled) events. *)

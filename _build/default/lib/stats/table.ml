@@ -1,0 +1,32 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let widths t =
+  let all = t.headers :: List.rev t.rows in
+  let ncols = List.length t.headers in
+  let w = Array.make ncols 0 in
+  let update row = List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row in
+  List.iter update all;
+  w
+
+let pp ppf t =
+  let w = widths t in
+  let pp_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Format.pp_print_string ppf "  ";
+        Format.fprintf ppf "%-*s" w.(i) cell)
+      row;
+    Format.pp_print_newline ppf ()
+  in
+  pp_row t.headers;
+  pp_row (List.map (fun n -> String.make n '-') (Array.to_list w));
+  List.iter pp_row (List.rev t.rows)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,23 @@
+type t = { label : string; mutable points : (float * float) list; mutable n : int }
+
+let create ?(label = "") () = { label; points = []; n = 0 }
+let label t = t.label
+
+let add t time value =
+  t.points <- (time, value) :: t.points;
+  t.n <- t.n + 1
+
+let length t = t.n
+let to_list t = List.rev t.points
+
+let last t = match t.points with [] -> None | p :: _ -> Some p
+
+let values t = Array.of_list (List.rev_map snd t.points)
+let times t = Array.of_list (List.rev_map fst t.points)
+
+let span t =
+  match t.points with
+  | [] -> None
+  | (last_t, _) :: _ ->
+      let rec first = function [ (ft, _) ] -> ft | _ :: rest -> first rest | [] -> last_t in
+      Some (first t.points, last_t)

@@ -1,0 +1,22 @@
+(** Append-only time series of (time, value) points.
+
+    Used to record traces such as Fig 2a's data-sequence-number-vs-time
+    evolution per subflow. *)
+
+type t
+
+val create : ?label:string -> unit -> t
+val label : t -> string
+val add : t -> float -> float -> unit
+(** [add t time value]; times should be non-decreasing but this is not
+    enforced (reinjections can log slightly out of order). *)
+
+val length : t -> int
+val to_list : t -> (float * float) list
+val last : t -> (float * float) option
+
+val values : t -> float array
+val times : t -> float array
+
+val span : t -> (float * float) option
+(** [(first_time, last_time)], [None] when empty. *)

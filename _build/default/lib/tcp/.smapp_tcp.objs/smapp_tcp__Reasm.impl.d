@@ -1,0 +1,1 @@
+lib/tcp/reasm.ml: List

@@ -1,0 +1,1 @@
+lib/tcp/segment.ml: Format Ip Packet Seq32 Smapp_netsim

@@ -1,0 +1,1 @@
+lib/tcp/segment.mli: Format Ip Packet Seq32 Smapp_netsim

@@ -1,0 +1,1 @@
+lib/tcp/stack.ml: Engine Format Host Ip List Option Packet Rng Segment Seq32 Smapp_netsim Smapp_sim Tcb Tcp_error

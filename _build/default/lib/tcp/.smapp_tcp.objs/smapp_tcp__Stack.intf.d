@@ -1,0 +1,1 @@
+lib/tcp/stack.mli: Engine Host Ip Segment Smapp_netsim Smapp_sim Tcb

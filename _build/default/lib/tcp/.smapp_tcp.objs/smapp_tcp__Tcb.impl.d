@@ -1,0 +1,1 @@
+lib/tcp/tcb.ml: Cc Engine Ip List Queue Reasm Rng Rtt Segment Seq32 Smapp_netsim Smapp_sim Tcp_error Tcp_info Time

@@ -1,0 +1,1 @@
+lib/tcp/tcb.mli: Cc Engine Ip Segment Smapp_netsim Smapp_sim Tcp_error Tcp_info Time

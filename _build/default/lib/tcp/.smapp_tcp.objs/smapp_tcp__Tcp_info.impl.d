@@ -1,0 +1,1 @@
+lib/tcp/tcp_info.ml: Format Smapp_sim Time

@@ -1,0 +1,1 @@
+lib/tcp/tcp_info.mli: Format Smapp_sim Time

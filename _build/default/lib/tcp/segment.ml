@@ -1,0 +1,47 @@
+open Smapp_netsim
+
+type tcp_option = ..
+
+type mapping = { dsn : int; len : int }
+
+type t = {
+  flow : Ip.flow;
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  seq : Seq32.t;
+  ack_seq : Seq32.t;
+  window : int;
+  sack : (Seq32.t * Seq32.t) list;
+  payload : mapping option;
+  options : tcp_option list;
+}
+
+let header_bytes = 60
+
+let payload_len t = match t.payload with None -> 0 | Some m -> m.len
+let wire_size t = header_bytes + payload_len t
+
+let make ~flow ?(syn = false) ?(ack = false) ?(fin = false) ?(rst = false) ~seq
+    ?(ack_seq = Seq32.zero) ?(window = 1 lsl 20) ?(sack = []) ?payload ?(options = []) () =
+  (match payload with
+  | Some { len; _ } when len <= 0 -> invalid_arg "Segment.make: empty payload"
+  | Some _ | None -> ());
+  { flow; syn; ack; fin; rst; seq; ack_seq; window; sack; payload; options }
+
+let seq_span t =
+  payload_len t + (if t.syn then 1 else 0) + if t.fin then 1 else 0
+
+let pp ppf t =
+  let flag b c = if b then c else "" in
+  Format.fprintf ppf "%a [%s%s%s%s] seq=%a ack=%a len=%d" Ip.pp_flow t.flow
+    (flag t.syn "S") (flag t.ack ".") (flag t.fin "F") (flag t.rst "R") Seq32.pp t.seq
+    Seq32.pp t.ack_seq (payload_len t)
+
+type Packet.payload += Tcp of t
+
+let to_packet t = Packet.make ~flow:t.flow ~size:(wire_size t) (Tcp t)
+
+let of_packet pkt =
+  match pkt.Packet.payload with Tcp t -> Some t | _ -> None

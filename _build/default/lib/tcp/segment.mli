@@ -1,0 +1,69 @@
+(** TCP segments as carried inside {!Smapp_netsim.Packet} payloads.
+
+    Payload bytes are counted, not materialised: a data segment carries the
+    length and the 64-bit stream offset ("data sequence number") its bytes
+    map to. For plain TCP the offset is simply the connection byte offset;
+    Multipath TCP reuses it as the DSS data sequence number, which is exactly
+    how the real protocol maps subflow bytes onto the meta stream.
+
+    [options] is extensible so the MPTCP library can define MP_CAPABLE,
+    MP_JOIN, ADD_ADDR, ... without a dependency cycle. *)
+
+open Smapp_netsim
+
+type tcp_option = ..
+(** Extended by upper layers; each constructor is one TCP option. *)
+
+type mapping = {
+  dsn : int;  (** stream offset of the first payload byte *)
+  len : int;  (** payload byte count, > 0 *)
+}
+
+type t = {
+  flow : Ip.flow;
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  seq : Seq32.t;  (** subflow sequence of first payload byte (or of SYN/FIN) *)
+  ack_seq : Seq32.t;  (** valid when [ack] *)
+  window : int;
+  sack : (Seq32.t * Seq32.t) list;
+      (** selective acknowledgement blocks, [lo, hi) in wire space *)
+  payload : mapping option;
+  options : tcp_option list;
+}
+
+val header_bytes : int
+(** Fixed on-wire header cost we charge per segment (IP + TCP + typical
+    option load): 60 bytes. *)
+
+val wire_size : t -> int
+(** [header_bytes] + payload length. *)
+
+val make :
+  flow:Ip.flow ->
+  ?syn:bool ->
+  ?ack:bool ->
+  ?fin:bool ->
+  ?rst:bool ->
+  seq:Seq32.t ->
+  ?ack_seq:Seq32.t ->
+  ?window:int ->
+  ?sack:(Seq32.t * Seq32.t) list ->
+  ?payload:mapping ->
+  ?options:tcp_option list ->
+  unit ->
+  t
+
+val payload_len : t -> int
+
+val seq_span : t -> int
+(** Sequence space the segment consumes: payload + 1 per SYN/FIN flag. *)
+
+val pp : Format.formatter -> t -> unit
+
+type Packet.payload += Tcp of t
+
+val to_packet : t -> Packet.t
+val of_packet : Packet.t -> t option

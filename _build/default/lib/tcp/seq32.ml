@@ -1,0 +1,19 @@
+type t = int
+
+let modulus = 1 lsl 32
+let mask = modulus - 1
+let zero = 0
+let of_int x = x land mask
+let to_int t = t
+let add t n = (t + n) land mask
+
+let diff a b =
+  let d = (a - b) land mask in
+  if d >= modulus / 2 then d - modulus else d
+
+let lt a b = diff a b < 0
+let le a b = diff a b <= 0
+let gt a b = diff a b > 0
+let ge a b = diff a b >= 0
+let equal = Int.equal
+let pp ppf t = Format.fprintf ppf "%u" t

@@ -1,0 +1,28 @@
+(** 32-bit TCP sequence numbers with wrap-around arithmetic (RFC 793).
+
+    Comparisons are modular: [lt a b] means [a] precedes [b] assuming the two
+    are within half the sequence space of each other, which TCP's window
+    rules guarantee. *)
+
+type t = private int
+(** Always in [\[0, 2^32)]. *)
+
+val zero : t
+val of_int : int -> t
+(** Reduces modulo 2^32. *)
+
+val to_int : t -> int
+
+val add : t -> int -> t
+(** Advance by a byte count (may be negative). *)
+
+val diff : t -> t -> int
+(** [diff a b] is the signed modular distance [a - b], in
+    [\[-2^31, 2^31)]. *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,759 @@
+open Smapp_sim
+open Smapp_netsim
+
+type config = {
+  mss : int;
+  rcv_window : int;
+  cc_algo : Cc.algo;
+  initial_cwnd_segments : int;
+  max_rto_backoffs : int;
+  max_syn_retries : int;
+  min_rto : Time.span;
+  max_rto : Time.span;
+  initial_rto : Time.span;
+}
+
+let default_config =
+  {
+    mss = 1400;
+    rcv_window = 1 lsl 20;
+    cc_algo = Cc.Reno;
+    initial_cwnd_segments = 10;
+    max_rto_backoffs = 15;
+    max_syn_retries = 6;
+    min_rto = Time.span_ms 200;
+    max_rto = Time.span_s 120;
+    initial_rto = Time.span_s 1;
+  }
+
+(* A chunk queued for transmission: [sent] bytes already left. *)
+type chunk = { c_dsn : int; c_len : int; mutable c_sent : int }
+
+(* An in-flight range awaiting acknowledgement. *)
+type rtx = {
+  r_off : int;  (* unwrapped send offset of first byte *)
+  r_len : int;  (* 0 for a bare FIN *)
+  r_dsn : int;
+  r_fin : bool;
+  mutable r_sent_at : Time.t;
+  mutable r_rexmit : bool;
+  mutable r_sacked : bool;
+  mutable r_retx_epoch : int;  (* recovery round it was last retransmitted in *)
+}
+
+type callbacks = {
+  on_established : t -> unit;
+  on_data : t -> dsn:int -> len:int -> unit;
+  on_fin : t -> unit;
+  on_can_send : t -> unit;
+  on_rto_event : t -> Time.span -> int -> unit;
+  on_close : t -> Tcp_error.t option -> unit;
+  on_ack_progress : t -> unit;
+  on_chunk_acked : t -> dsn:int -> len:int -> unit;
+  on_options : t -> Segment.t -> unit;
+}
+
+and t = {
+  engine : Engine.t;
+  config : config;
+  cbs : callbacks;
+  tx : Segment.t -> unit;
+  flow : Ip.flow;
+  rtt : Rtt.t;
+  cc : Cc.t;
+  reasm : Reasm.t;
+  iss : Seq32.t;
+  mutable irs : Seq32.t;  (* valid once SYN received *)
+  mutable state : Tcp_info.state;
+  (* send side, unwrapped offsets: 0 = SYN, data starts at 1 *)
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable peer_rwnd : int;
+  send_queue : chunk Queue.t;
+  mutable queued_bytes : int;
+  mutable rtx_queue : rtx list;  (* sorted by r_off *)
+  mutable rto_timer : Engine.timer option;
+  mutable rto_backoffs : int;
+  mutable total_retrans : int;
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+  mutable recover : int;
+  mutable recovery_epoch : int;
+  (* receive side, unwrapped: 0 = peer SYN, data starts at 1 *)
+  mutable rcv_nxt : int;
+  mutable bytes_received : int;
+  (* handshake *)
+  mutable syn_retries : int;
+  mutable syn_timer : Engine.timer option;
+  syn_options : Segment.tcp_option list;
+  synack_options : Segment.tcp_option list;
+  (* teardown *)
+  mutable fin_pending : bool;
+  mutable fin_offset : int option;  (* snd offset the FIN consumes *)
+  mutable closed_notified : bool;
+  mutable backup : bool;
+  mutable pumping : bool;
+  mutable final_unacked : (int * int) list;  (* snapshot taken at teardown *)
+  mutable last_transmit : Time.t;
+}
+
+let null_callbacks =
+  {
+    on_established = (fun _ -> ());
+    on_data = (fun _ ~dsn:_ ~len:_ -> ());
+    on_fin = (fun _ -> ());
+    on_can_send = (fun _ -> ());
+    on_rto_event = (fun _ _ _ -> ());
+    on_close = (fun _ _ -> ());
+    on_ack_progress = (fun _ -> ());
+    on_chunk_acked = (fun _ ~dsn:_ ~len:_ -> ());
+    on_options = (fun _ _ -> ());
+  }
+
+let flow t = t.flow
+let state t = t.state
+let established t = t.state = Tcp_info.Established
+let set_backup t b = t.backup <- b
+let is_backup t = t.backup
+let srtt t = Rtt.srtt t.rtt
+
+let current_rto t = Rtt.backoff t.rtt (Rtt.rto t.rtt) t.rto_backoffs
+
+let srtt_seconds t =
+  match Rtt.srtt t.rtt with None -> 0.0 | Some s -> Time.span_to_float_s s
+
+let pacing_rate t = Cc.pacing_rate t.cc ~srtt:(srtt_seconds t)
+
+(* --- wire <-> unwrapped sequence conversion ------------------------------ *)
+
+let wire_of_snd t off = Seq32.add t.iss off
+let wire_of_rcv t off = Seq32.add t.irs off
+
+(* Unwrap a wire sequence number around a reference unwrapped offset. *)
+let unwrap_rcv t seq = t.rcv_nxt + Seq32.diff seq (wire_of_rcv t t.rcv_nxt)
+let unwrap_ack t ack = t.snd_una + Seq32.diff ack (wire_of_snd t t.snd_una)
+
+(* --- segment emission ----------------------------------------------------- *)
+
+let advertised_window t = max 0 (t.config.rcv_window - Reasm.buffered_bytes t.reasm)
+
+(* SACK blocks advertising the out-of-order ranges we hold. *)
+let sack_blocks t =
+  List.map
+    (fun (start, len) -> (wire_of_rcv t start, wire_of_rcv t (start + len)))
+    (Reasm.first_ranges t.reasm 3)
+
+let emit t seg = t.tx seg
+
+let send_ack_segment t ?(options = []) () =
+  emit t
+    (Segment.make ~flow:t.flow ~ack:true ~seq:(wire_of_snd t t.snd_nxt)
+       ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t)
+       ~sack:(sack_blocks t) ~options ())
+
+let send_rst t =
+  emit t
+    (Segment.make ~flow:t.flow ~rst:true ~ack:true ~seq:(wire_of_snd t t.snd_nxt)
+       ~ack_seq:(wire_of_rcv t t.rcv_nxt) ())
+
+(* --- timers ---------------------------------------------------------------- *)
+
+let cancel_timer = function Some timer -> Engine.cancel timer | None -> ()
+
+let rec arm_rto t =
+  cancel_timer t.rto_timer;
+  if t.rtx_queue = [] then t.rto_timer <- None
+  else t.rto_timer <- Some (Engine.after t.engine (current_rto t) (fun () -> on_rto_expire t))
+
+and on_rto_expire t =
+  t.rto_timer <- None;
+  if t.rtx_queue <> [] then begin
+    t.rto_backoffs <- t.rto_backoffs + 1;
+    if t.rto_backoffs > t.config.max_rto_backoffs then kill t Tcp_error.Etimedout
+    else begin
+      Cc.on_rto t.cc;
+      t.in_recovery <- false;
+      t.dup_acks <- 0;
+      (* RFC 2018: after an RTO, SACK information must not be trusted *)
+      List.iter (fun r -> r.r_sacked <- false) t.rtx_queue;
+      t.recovery_epoch <- t.recovery_epoch + 1;
+      retransmit_first t;
+      t.cbs.on_rto_event t (current_rto t) t.rto_backoffs;
+      if t.state <> Tcp_info.Closed then arm_rto t
+    end
+  end
+
+and retransmit_entry t r =
+  r.r_rexmit <- true;
+  r.r_retx_epoch <- t.recovery_epoch;
+  t.total_retrans <- t.total_retrans + 1;
+  r.r_sent_at <- Engine.now t.engine;
+  let payload =
+    if r.r_len > 0 then Some { Segment.dsn = r.r_dsn; len = r.r_len } else None
+  in
+  emit t
+    (Segment.make ~flow:t.flow ~ack:true ~fin:r.r_fin ~seq:(wire_of_snd t r.r_off)
+       ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t)
+       ~sack:(sack_blocks t) ?payload ())
+
+and retransmit_first t =
+  match List.find_opt (fun r -> not r.r_sacked) t.rtx_queue with
+  | Some r -> retransmit_entry t r
+  | None -> (
+      match t.rtx_queue with [] -> () | r :: _ -> retransmit_entry t r)
+
+(* --- teardown -------------------------------------------------------------- *)
+
+and compute_unacked t =
+  let sent =
+    List.filter_map
+      (fun r -> if r.r_len > 0 then Some (r.r_dsn, r.r_len) else None)
+      t.rtx_queue
+  in
+  let queued =
+    Queue.fold
+      (fun acc c ->
+        if c.c_sent < c.c_len then (c.c_dsn + c.c_sent, c.c_len - c.c_sent) :: acc
+        else acc)
+      [] t.send_queue
+  in
+  sent @ List.rev queued
+
+and teardown t err =
+  t.final_unacked <- compute_unacked t;
+  cancel_timer t.rto_timer;
+  t.rto_timer <- None;
+  cancel_timer t.syn_timer;
+  t.syn_timer <- None;
+  t.state <- Tcp_info.Closed;
+  t.rtx_queue <- [];
+  Queue.clear t.send_queue;
+  t.queued_bytes <- 0;
+  if not t.closed_notified then begin
+    t.closed_notified <- true;
+    t.cbs.on_close t err
+  end
+
+and kill t err = teardown t (Some err)
+
+let abort t =
+  if t.state <> Tcp_info.Closed then begin
+    send_rst t;
+    teardown t (Some Tcp_error.Econnreset)
+  end
+
+(* --- transmission ---------------------------------------------------------- *)
+
+let bytes_in_flight t = t.snd_nxt - t.snd_una
+let send_queue_bytes t = t.queued_bytes
+
+let send_window t = min (Cc.cwnd t.cc) t.peer_rwnd
+
+let window_space t = max 0 (send_window t - bytes_in_flight t)
+
+(* Window space not already spoken for by queued-but-untransmitted bytes:
+   what an upper layer may still enqueue and see transmitted immediately. *)
+let available_window t = max 0 (window_space t - t.queued_bytes)
+
+let insert_rtx t entry =
+  (* entries are emitted in offset order, so append keeps the sort *)
+  t.rtx_queue <- t.rtx_queue @ [ entry ]
+
+let transmit_chunk_bytes t =
+  (* Slow start after idle: an application pause longer than the RTO decays
+     the window (RFC 2861), like Linux's tcp_slow_start_after_idle. *)
+  (if bytes_in_flight t = 0 then begin
+     let idle = Time.diff (Engine.now t.engine) t.last_transmit in
+     let rto = Rtt.rto t.rtt in
+     if Time.compare_span idle rto > 0 then begin
+       let idle_rtos = Time.span_to_ns idle / max 1 (Time.span_to_ns rto) in
+       Cc.on_idle_restart t.cc ~idle_rtos
+     end
+   end);
+  (* Take up to MSS bytes from the head chunk and emit one data segment.
+     Sender-side silly-window avoidance: when a full MSS is waiting, don't
+     shave sub-MSS segments off a fractionally open window — wait for acks
+     to open at least one MSS. *)
+  let chunk = Queue.peek t.send_queue in
+  let remaining = chunk.c_len - chunk.c_sent in
+  let len = min t.config.mss (min remaining (window_space t)) in
+  if len <= 0 || (len < t.config.mss && len < remaining) then false
+  else begin
+    let dsn = chunk.c_dsn + chunk.c_sent in
+    let off = t.snd_nxt in
+    chunk.c_sent <- chunk.c_sent + len;
+    if chunk.c_sent = chunk.c_len then ignore (Queue.pop t.send_queue);
+    t.queued_bytes <- t.queued_bytes - len;
+    t.snd_nxt <- t.snd_nxt + len;
+    t.last_transmit <- Engine.now t.engine;
+    insert_rtx t
+      { r_off = off; r_len = len; r_dsn = dsn; r_fin = false;
+        r_sent_at = Engine.now t.engine; r_rexmit = false; r_sacked = false;
+        r_retx_epoch = -1 };
+    emit t
+      (Segment.make ~flow:t.flow ~ack:true ~seq:(wire_of_snd t off)
+         ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t)
+         ~sack:(sack_blocks t) ~payload:{ Segment.dsn; len } ());
+    if t.rto_timer = None then arm_rto t;
+    true
+  end
+
+let maybe_send_fin t =
+  (* FIN goes out once all queued data has been transmitted. *)
+  if
+    t.fin_pending && t.fin_offset = None && Queue.is_empty t.send_queue
+    && (t.state = Tcp_info.Established || t.state = Tcp_info.Close_wait)
+  then begin
+    let off = t.snd_nxt in
+    t.snd_nxt <- t.snd_nxt + 1;
+    t.fin_offset <- Some off;
+    insert_rtx t
+      { r_off = off; r_len = 0; r_dsn = 0; r_fin = true;
+        r_sent_at = Engine.now t.engine; r_rexmit = false; r_sacked = false;
+        r_retx_epoch = -1 };
+    emit t
+      (Segment.make ~flow:t.flow ~ack:true ~fin:true ~seq:(wire_of_snd t off)
+         ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t) ());
+    if t.rto_timer = None then arm_rto t;
+    t.state <-
+      (match t.state with
+      | Tcp_info.Close_wait -> Tcp_info.Last_ack
+      | _ -> Tcp_info.Fin_wait_1)
+  end
+
+let rec pump t =
+  if (not t.pumping) && t.state = Tcp_info.Established then begin
+    t.pumping <- true;
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      if not (Queue.is_empty t.send_queue) then begin
+        if window_space t > 0 then progress := transmit_chunk_bytes t
+      end
+      else if window_space t > 0 && not t.fin_pending then begin
+        (* ask the upper layer for more; it may enqueue synchronously *)
+        let before = t.queued_bytes in
+        t.cbs.on_can_send t;
+        if t.queued_bytes > before then progress := true
+      end
+    done;
+    t.pumping <- false;
+    maybe_send_fin t
+  end
+  else if t.state = Tcp_info.Close_wait then maybe_send_fin t
+
+and enqueue t ~dsn ~len =
+  if len <= 0 then invalid_arg "Tcb.enqueue: len must be positive";
+  if t.fin_pending then invalid_arg "Tcb.enqueue: already closing";
+  Queue.push { c_dsn = dsn; c_len = len; c_sent = 0 } t.send_queue;
+  t.queued_bytes <- t.queued_bytes + len;
+  if not t.pumping then pump t
+
+let close t =
+  match t.state with
+  | Tcp_info.Closed | Tcp_info.Time_wait | Tcp_info.Fin_wait_1 | Tcp_info.Fin_wait_2
+  | Tcp_info.Closing | Tcp_info.Last_ack ->
+      ()
+  | Tcp_info.Syn_sent | Tcp_info.Syn_received -> teardown t None
+  | Tcp_info.Established | Tcp_info.Close_wait ->
+      t.fin_pending <- true;
+      maybe_send_fin t
+
+let unacked_chunks t =
+  if t.state = Tcp_info.Closed then t.final_unacked else compute_unacked t
+
+(* --- acknowledgement processing -------------------------------------------- *)
+
+(* Mark rtx entries covered by the peer's SACK blocks. *)
+let apply_sack t seg =
+  match seg.Segment.sack with
+  | [] -> ()
+  | blocks ->
+      let unwrap_block (lo, hi) =
+        let base = wire_of_snd t t.snd_una in
+        (t.snd_una + Seq32.diff lo base, t.snd_una + Seq32.diff hi base)
+      in
+      let ranges = List.map unwrap_block blocks in
+      List.iter
+        (fun r ->
+          if (not r.r_sacked) && r.r_len > 0 then
+            let r_end = r.r_off + r.r_len in
+            if List.exists (fun (lo, hi) -> lo <= r.r_off && r_end <= hi) ranges then
+              r.r_sacked <- true)
+        t.rtx_queue
+
+let sacked_bytes t =
+  List.fold_left (fun acc r -> if r.r_sacked then acc + r.r_len else acc) 0 t.rtx_queue
+
+(* SACK-based loss detection and retransmission (RFC 6675 in spirit): an
+   unsacked range with >= 3 MSS of sacked data above it is deemed lost;
+   during recovery each incoming ack may retransmit as many lost ranges as
+   the congestion window allows. *)
+let sack_retransmit t =
+  match
+    List.fold_left (fun acc r -> if r.r_sacked then max acc (r.r_off + r.r_len) else acc)
+      (-1) t.rtx_queue
+  with
+  | -1 -> ()
+  | highest_sacked ->
+      let lost r =
+        (not r.r_sacked) && r.r_len > 0
+        && r.r_off + r.r_len + (3 * t.config.mss) <= highest_sacked
+      in
+      if List.exists lost t.rtx_queue then begin
+        if not t.in_recovery then begin
+          t.in_recovery <- true;
+          t.recover <- t.snd_nxt;
+          t.recovery_epoch <- t.recovery_epoch + 1;
+          Cc.on_retransmit_loss t.cc ~in_flight:(bytes_in_flight t)
+        end;
+        let budget = ref (max 1 ((Cc.cwnd t.cc - (bytes_in_flight t - sacked_bytes t)) / t.config.mss)) in
+        List.iter
+          (fun r ->
+            if !budget > 0 && lost r && r.r_retx_epoch < t.recovery_epoch then begin
+              retransmit_entry t r;
+              decr budget
+            end)
+          t.rtx_queue
+      end
+
+let process_ack t seg =
+  if not seg.Segment.ack then ()
+  else begin
+    let ack_off = unwrap_ack t seg.Segment.ack_seq in
+    t.peer_rwnd <- seg.Segment.window;
+    apply_sack t seg;
+    if ack_off > t.snd_una && ack_off <= t.snd_nxt then begin
+      let acked_bytes = ack_off - t.snd_una in
+      t.snd_una <- ack_off;
+      t.dup_acks <- 0;
+      (* Drop fully-covered rtx entries. RTT sampling: only the oldest newly
+         covered range that was neither retransmitted (Karn) nor SACKed
+         earlier gives a valid sample — a long-SACKed range is only being
+         *cumulatively* covered now because an earlier hole filled, and
+         timing it would fold the hole's repair time into the RTT. *)
+      let sample = ref None in
+      let acked_chunks = ref [] in
+      let remaining =
+        List.fold_left
+          (fun keep r ->
+            if r.r_off + max r.r_len (if r.r_fin then 1 else 0) <= ack_off then begin
+              if (not r.r_rexmit) && (not r.r_sacked) && !sample = None then
+                sample := Some r.r_sent_at;
+              if r.r_len > 0 then acked_chunks := (r.r_dsn, r.r_len) :: !acked_chunks;
+              keep
+            end
+            else r :: keep)
+          [] t.rtx_queue
+      in
+      t.rtx_queue <- List.rev remaining;
+      List.iter (fun (dsn, len) -> t.cbs.on_chunk_acked t ~dsn ~len) (List.rev !acked_chunks);
+      (match !sample with
+      | Some sent_at -> Rtt.sample t.rtt (Time.diff (Engine.now t.engine) sent_at)
+      | None -> ());
+      t.rto_backoffs <- 0;
+      if t.in_recovery then begin
+        if ack_off >= t.recover then t.in_recovery <- false
+        else begin
+          (* NewReno partial ack; with SACK we retransmit the known holes,
+             and always retry the head hole if it has been quiet for an
+             RTT — a retransmission lost a second time must not wait for
+             the RTO *)
+          sack_retransmit t;
+          let head_stale r =
+            (* conservative: a full un-backed-off RTO of silence, so queue
+               growth cannot trick us into spurious duplicates *)
+            let quiet = Time.diff (Engine.now t.engine) r.r_sent_at in
+            Time.compare_span quiet (Rtt.rto t.rtt) >= 0
+          in
+          match List.find_opt (fun r -> not r.r_sacked) t.rtx_queue with
+          | Some r when head_stale r -> retransmit_entry t r
+          | Some _ | None -> ()
+        end
+      end
+      else sack_retransmit t;
+      if not t.in_recovery then
+        Cc.on_ack t.cc ~acked:acked_bytes ~srtt:(srtt_seconds t);
+      arm_rto t;
+      t.cbs.on_ack_progress t
+    end
+    else if
+      ack_off = t.snd_una && t.rtx_queue <> [] && Segment.payload_len seg = 0
+      && not seg.Segment.syn && not seg.Segment.fin
+    then begin
+      t.dup_acks <- t.dup_acks + 1;
+      sack_retransmit t;
+      if t.dup_acks = 3 && not t.in_recovery then begin
+        t.in_recovery <- true;
+        t.recover <- t.snd_nxt;
+        t.recovery_epoch <- t.recovery_epoch + 1;
+        Cc.on_retransmit_loss t.cc ~in_flight:(bytes_in_flight t);
+        retransmit_first t
+      end
+    end
+  end
+
+(* --- receive path ----------------------------------------------------------- *)
+
+let deliver_ready t =
+  let continue = ref true in
+  while !continue do
+    match Reasm.pop_ready t.reasm ~rcv_nxt:t.rcv_nxt with
+    | Some (dsn, len) ->
+        t.rcv_nxt <- t.rcv_nxt + len;
+        t.bytes_received <- t.bytes_received + len;
+        t.cbs.on_data t ~dsn ~len
+    | None -> continue := false
+  done
+
+let process_payload t seg =
+  match seg.Segment.payload with
+  | None -> false
+  | Some { Segment.dsn; len } ->
+      let off = unwrap_rcv t seg.Segment.seq in
+      (* trim what we already delivered *)
+      let skip = max 0 (t.rcv_nxt - off) in
+      if skip < len then Reasm.insert t.reasm ~seq:(off + skip) ~len:(len - skip) ~dsn:(dsn + skip);
+      deliver_ready t;
+      true
+
+let process_fin t seg =
+  if not seg.Segment.fin then false
+  else begin
+    let fin_off = unwrap_rcv t seg.Segment.seq + Segment.payload_len seg in
+    if fin_off = t.rcv_nxt then begin
+      t.rcv_nxt <- t.rcv_nxt + 1;
+      (match t.state with
+      | Tcp_info.Established ->
+          t.state <- Tcp_info.Close_wait;
+          t.cbs.on_fin t
+      | Tcp_info.Fin_wait_1 ->
+          (* our FIN not yet acked: simultaneous close *)
+          t.state <- Tcp_info.Closing;
+          t.cbs.on_fin t
+      | Tcp_info.Fin_wait_2 ->
+          t.state <- Tcp_info.Time_wait;
+          t.cbs.on_fin t;
+          let linger = Time.span_scale 2 (Rtt.min_rto t.rtt) in
+          ignore (Engine.after t.engine linger (fun () -> teardown t None))
+      | Tcp_info.Close_wait | Tcp_info.Closing | Tcp_info.Last_ack | Tcp_info.Time_wait
+      | Tcp_info.Closed | Tcp_info.Syn_sent | Tcp_info.Syn_received ->
+          ());
+      true
+    end
+    else true (* out-of-order or duplicate FIN still deserves an ACK *)
+  end
+
+(* Track whether our FIN is acked to move FIN_WAIT_1 -> FIN_WAIT_2 etc. *)
+let check_fin_acked t =
+  match t.fin_offset with
+  | Some off when t.snd_una > off -> (
+      match t.state with
+      | Tcp_info.Fin_wait_1 -> t.state <- Tcp_info.Fin_wait_2
+      | Tcp_info.Closing ->
+          t.state <- Tcp_info.Time_wait;
+          let linger = Time.span_scale 2 (Rtt.min_rto t.rtt) in
+          ignore (Engine.after t.engine linger (fun () -> teardown t None))
+      | Tcp_info.Last_ack -> teardown t None
+      | Tcp_info.Established | Tcp_info.Fin_wait_2 | Tcp_info.Close_wait
+      | Tcp_info.Time_wait | Tcp_info.Closed | Tcp_info.Syn_sent | Tcp_info.Syn_received ->
+          ())
+  | Some _ | None -> ()
+
+(* --- handshake -------------------------------------------------------------- *)
+
+let send_syn t =
+  emit t
+    (Segment.make ~flow:t.flow ~syn:true ~seq:t.iss ~window:(advertised_window t)
+       ~options:t.syn_options ())
+
+let rec arm_syn_timer t =
+  cancel_timer t.syn_timer;
+  let delay = Rtt.backoff t.rtt t.config.initial_rto t.syn_retries in
+  t.syn_timer <-
+    Some
+      (Engine.after t.engine delay (fun () ->
+           t.syn_timer <- None;
+           if t.state = Tcp_info.Syn_sent then begin
+             t.syn_retries <- t.syn_retries + 1;
+             if t.syn_retries > t.config.max_syn_retries then
+               kill t Tcp_error.Etimedout
+             else begin
+               send_syn t;
+               arm_syn_timer t
+             end
+           end))
+
+let send_synack t =
+  emit t
+    (Segment.make ~flow:t.flow ~syn:true ~ack:true ~seq:t.iss
+       ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t)
+       ~options:t.synack_options ())
+
+let become_established t =
+  t.state <- Tcp_info.Established;
+  cancel_timer t.syn_timer;
+  t.syn_timer <- None;
+  t.cbs.on_established t;
+  pump t
+
+(* --- main receive entry ------------------------------------------------------ *)
+
+let handle_segment t seg =
+  if t.state = Tcp_info.Closed then ()
+  else if seg.Segment.rst then begin
+    let err =
+      if t.state = Tcp_info.Syn_sent then Tcp_error.Econnrefused else Tcp_error.Econnreset
+    in
+    teardown t (Some err)
+  end
+  else begin
+    if seg.Segment.options <> [] then t.cbs.on_options t seg;
+    match t.state with
+    | Tcp_info.Syn_sent ->
+        if seg.Segment.syn && seg.Segment.ack then begin
+          t.irs <- seg.Segment.seq;
+          t.rcv_nxt <- 1;
+          let ack_off = unwrap_ack t seg.Segment.ack_seq in
+          if ack_off = 1 then begin
+            t.snd_una <- 1;
+            t.snd_nxt <- 1;
+            t.peer_rwnd <- seg.Segment.window;
+            send_ack_segment t ();
+            become_established t
+          end
+          else abort t
+        end
+    | Tcp_info.Syn_received ->
+        if seg.Segment.syn && not seg.Segment.ack then
+          (* retransmitted SYN: our SYN+ACK was lost *)
+          send_synack t
+        else begin
+          process_ack t seg;
+          if t.snd_una >= 1 && t.state = Tcp_info.Syn_received then begin
+            t.peer_rwnd <- seg.Segment.window;
+            become_established t;
+            (* the third ACK may carry data *)
+            let had_payload = process_payload t seg in
+            let fin_rcvd = process_fin t seg in
+            if had_payload || fin_rcvd then send_ack_segment t ()
+          end
+        end
+    | Tcp_info.Established | Tcp_info.Fin_wait_1 | Tcp_info.Fin_wait_2
+    | Tcp_info.Close_wait | Tcp_info.Closing | Tcp_info.Last_ack | Tcp_info.Time_wait ->
+        if seg.Segment.syn then
+          (* stray handshake retransmit: re-ack *)
+          send_ack_segment t ()
+        else begin
+          let rcv_nxt_before = t.rcv_nxt in
+          process_ack t seg;
+          check_fin_acked t;
+          if t.state <> Tcp_info.Closed then begin
+            let had_payload = process_payload t seg in
+            let fin_rcvd = process_fin t seg in
+            let out_of_order =
+              had_payload && t.rcv_nxt = rcv_nxt_before
+            in
+            if had_payload || fin_rcvd || out_of_order then send_ack_segment t ();
+            pump t
+          end
+        end
+    | Tcp_info.Closed -> ()
+  end
+
+(* --- info -------------------------------------------------------------------- *)
+
+let info t =
+  {
+    Tcp_info.state = t.state;
+    rto = current_rto t;
+    srtt = Rtt.srtt t.rtt;
+    snd_cwnd = Cc.cwnd t.cc;
+    ssthresh = Cc.ssthresh t.cc;
+    pacing_rate = pacing_rate t;
+    snd_una = t.snd_una;
+    snd_nxt = t.snd_nxt;
+    rcv_nxt = t.rcv_nxt;
+    bytes_acked = max 0 (t.snd_una - 1);
+    bytes_received = t.bytes_received;
+    retransmits = t.rto_backoffs;
+    total_retrans = t.total_retrans;
+    backup = t.backup;
+  }
+
+(* --- construction ------------------------------------------------------------- *)
+
+let make_tcb engine ~tx ~flow ~config ~backup ~syn_options ~synack_options cbs state =
+  let rng = Engine.split_rng engine in
+  {
+    engine;
+    config;
+    cbs;
+    tx;
+    flow;
+    rtt =
+      Rtt.create ~min_rto:config.min_rto ~max_rto:config.max_rto
+        ~initial_rto:config.initial_rto ();
+    cc =
+      Cc.create ~algo:config.cc_algo ~initial_window:config.initial_cwnd_segments
+        ~mss:config.mss ();
+    reasm = Reasm.create ();
+    iss = Seq32.of_int (Rng.bits30 rng);
+    irs = Seq32.zero;
+    state;
+    snd_una = 0;
+    snd_nxt = 0;
+    peer_rwnd = 1 lsl 20;
+    send_queue = Queue.create ();
+    queued_bytes = 0;
+    rtx_queue = [];
+    rto_timer = None;
+    rto_backoffs = 0;
+    total_retrans = 0;
+    dup_acks = 0;
+    in_recovery = false;
+    recover = 0;
+    recovery_epoch = 0;
+    rcv_nxt = 0;
+    bytes_received = 0;
+    syn_retries = 0;
+    syn_timer = None;
+    syn_options;
+    synack_options;
+    fin_pending = false;
+    fin_offset = None;
+    closed_notified = false;
+    backup;
+    pumping = false;
+    final_unacked = [];
+    last_transmit = Time.zero;
+  }
+
+let create_active engine ~tx ~flow ?(config = default_config) ?(backup = false)
+    ?(syn_options = []) cbs =
+  let t =
+    make_tcb engine ~tx ~flow ~config ~backup ~syn_options ~synack_options:[] cbs
+      Tcp_info.Syn_sent
+  in
+  send_syn t;
+  t.snd_nxt <- 1;
+  arm_syn_timer t;
+  t
+
+let create_passive engine ~tx ~syn ?(config = default_config) ?(synack_options = []) cbs =
+  let flow = Ip.reverse syn.Segment.flow in
+  let t =
+    make_tcb engine ~tx ~flow ~config ~backup:false ~syn_options:[] ~synack_options cbs
+      Tcp_info.Syn_received
+  in
+  t.irs <- syn.Segment.seq;
+  t.rcv_nxt <- 1;
+  t.peer_rwnd <- syn.Segment.window;
+  (* the SYN's options were already inspected by the accept handler *)
+  send_synack t;
+  t.snd_nxt <- 1;
+  t
+
+let cc t = t.cc
+let engine t = t.engine
+let send_ack_with_options t options = send_ack_segment t ~options ()

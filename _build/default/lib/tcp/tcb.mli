@@ -1,0 +1,133 @@
+(** A TCP control block: one subflow's full sender/receiver machinery.
+
+    Implements the three-way handshake (with SYN retries), cumulative
+    acknowledgements, immediate ACKing, RFC 6298 retransmission timeouts with
+    exponential backoff and a kill threshold (Linux's [tcp_retries2]),
+    fast retransmit on three duplicate ACKs with NewReno-style partial-ack
+    retransmission, flow control against the peer's advertised window,
+    pluggable congestion control ({!Cc}), and orderly (FIN) or abortive
+    (RST) teardown.
+
+    Data is pulled from an upper layer as [(dsn, len)] chunks ({!enqueue});
+    each transmitted segment maps its bytes to the stream offsets of the
+    chunk it came from, and the receive side delivers in-order
+    [(dsn, len)] ranges. Plain TCP passes connection byte offsets as [dsn];
+    Multipath TCP passes data sequence numbers, making a chunk exactly a DSS
+    mapping. *)
+
+open Smapp_sim
+open Smapp_netsim
+
+type t
+
+type config = {
+  mss : int;
+  rcv_window : int;
+  cc_algo : Cc.algo;
+  initial_cwnd_segments : int;
+  max_rto_backoffs : int;  (** consecutive RTO expirations before the subflow is killed *)
+  max_syn_retries : int;
+  min_rto : Time.span;
+  max_rto : Time.span;
+  initial_rto : Time.span;
+}
+
+val default_config : config
+(** mss 1400 B, rcv_window 1 MiB, Reno, IW10, 15 backoffs, 6 SYN retries,
+    RTO in [200 ms, 120 s] starting at 1 s. *)
+
+type callbacks = {
+  on_established : t -> unit;
+  on_data : t -> dsn:int -> len:int -> unit;
+      (** in-order (subflow order) stream ranges *)
+  on_fin : t -> unit;  (** peer closed its direction *)
+  on_can_send : t -> unit;
+      (** window space available and nothing queued: upper layer may
+          {!enqueue} more (re-entrant calls are safe) *)
+  on_rto_event : t -> Time.span -> int -> unit;
+      (** retransmission timer expired: current (backed-off) RTO and the
+          consecutive-expiration count — the paper's [timeout] event *)
+  on_close : t -> Tcp_error.t option -> unit;
+      (** connection fully closed; [Some err] when killed *)
+  on_ack_progress : t -> unit;  (** snd_una advanced *)
+  on_chunk_acked : t -> dsn:int -> len:int -> unit;
+      (** a whole queued chunk's bytes were cumulatively acknowledged *)
+  on_options : t -> Segment.t -> unit;
+      (** fired for every received segment carrying options *)
+}
+
+val null_callbacks : callbacks
+
+val create_active :
+  Engine.t ->
+  tx:(Segment.t -> unit) ->
+  flow:Ip.flow ->
+  ?config:config ->
+  ?backup:bool ->
+  ?syn_options:Segment.tcp_option list ->
+  callbacks ->
+  t
+(** Client side: sends the SYN immediately. *)
+
+val create_passive :
+  Engine.t ->
+  tx:(Segment.t -> unit) ->
+  syn:Segment.t ->
+  ?config:config ->
+  ?synack_options:Segment.tcp_option list ->
+  callbacks ->
+  t
+(** Server side: [syn] is the received SYN; replies SYN+ACK immediately.
+    The TCB's flow is the reverse of the SYN's. *)
+
+val handle_segment : t -> Segment.t -> unit
+val flow : t -> Ip.flow
+val state : t -> Tcp_info.state
+val established : t -> bool
+val info : t -> Tcp_info.t
+
+val enqueue : t -> dsn:int -> len:int -> unit
+(** Queue a chunk of [len] stream bytes starting at offset [dsn]. *)
+
+val send_queue_bytes : t -> int
+val bytes_in_flight : t -> int
+
+val window_space : t -> int
+(** min(cwnd, peer window) minus in-flight bytes. *)
+
+val available_window : t -> int
+(** {!window_space} minus bytes already queued but untransmitted: how much
+    newly [enqueue]d data would start flowing immediately. A meta layer
+    must use this, not {!window_space}, when rationing data to subflows. *)
+
+val unacked_chunks : t -> (int * int) list
+(** [(dsn, len)] ranges sent but not yet cumulatively acked, plus ranges
+    still queued — what a meta layer must reinject if this subflow dies.
+    After the TCB closes this returns the snapshot taken at teardown. *)
+
+val close : t -> unit
+(** Orderly close: FIN after the queue drains. *)
+
+val abort : t -> unit
+(** Send RST and close immediately. *)
+
+val kill : t -> Tcp_error.t -> unit
+(** Close without emitting anything (e.g. on ICMP unreachable). *)
+
+val set_backup : t -> bool -> unit
+val is_backup : t -> bool
+
+val srtt : t -> Time.span option
+val current_rto : t -> Time.span
+(** Including backoff. *)
+
+val pacing_rate : t -> float
+
+val cc : t -> Cc.t
+(** The congestion controller, so a meta layer can couple siblings
+    ({!Cc.set_sibling_probe}). *)
+
+val engine : t -> Smapp_sim.Engine.t
+
+val send_ack_with_options : t -> Segment.tcp_option list -> unit
+(** Emit a bare ACK carrying the given options (ADD_ADDR, MP_PRIO, ...). *)

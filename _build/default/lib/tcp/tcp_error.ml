@@ -1,0 +1,11 @@
+type t = Etimedout | Econnreset | Econnrefused | Enetunreach | Ehostunreach
+
+let to_string = function
+  | Etimedout -> "ETIMEDOUT"
+  | Econnreset -> "ECONNRESET"
+  | Econnrefused -> "ECONNREFUSED"
+  | Enetunreach -> "ENETUNREACH"
+  | Ehostunreach -> "EHOSTUNREACH"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal a b = a = b

@@ -1,0 +1,49 @@
+open Smapp_sim
+
+type state =
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+type t = {
+  state : state;
+  rto : Time.span;
+  srtt : Time.span option;
+  snd_cwnd : int;
+  ssthresh : int;
+  pacing_rate : float;
+  snd_una : int;
+  snd_nxt : int;
+  rcv_nxt : int;
+  bytes_acked : int;
+  bytes_received : int;
+  retransmits : int;
+  total_retrans : int;
+  backup : bool;
+}
+
+let state_to_string = function
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RECEIVED"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+  | Closed -> "CLOSED"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s rto=%a srtt=%s cwnd=%d snd_una=%d snd_nxt=%d pacing=%.0fB/s retrans=%d/%d"
+    (state_to_string t.state) Time.pp_span t.rto
+    (match t.srtt with None -> "-" | Some s -> Format.asprintf "%a" Time.pp_span s)
+    t.snd_cwnd t.snd_una t.snd_nxt t.pacing_rate t.retransmits t.total_retrans

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Connection Endpoint Engine Ip List Smapp_apps Smapp_experiments Smapp_mptcp Smapp_netsim Smapp_sim Time Topology

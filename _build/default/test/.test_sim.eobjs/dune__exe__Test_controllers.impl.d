@@ -1,0 +1,1 @@
+test/test_controllers.ml: Alcotest Connection Endpoint Engine Host Int Ip List Netem Option Smapp_apps Smapp_controllers Smapp_core Smapp_mptcp Smapp_netsim Smapp_sim Subflow Time Topology

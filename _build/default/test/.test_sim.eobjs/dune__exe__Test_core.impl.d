@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Connection Endpoint Engine Host Ip List Netem Smapp_core Smapp_mptcp Smapp_netsim Smapp_sim Smapp_tcp Time Topology

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Cc Connection Endpoint Engine Host Ip Link List Rng Segment Smapp_apps Smapp_mptcp Smapp_netsim Smapp_sim Smapp_tcp Stack Tcb Tcp_error Time Topology

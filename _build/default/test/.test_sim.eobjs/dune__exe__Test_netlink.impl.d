@@ -1,0 +1,1 @@
+test/test_netlink.ml: Alcotest Engine Int64 Ip List Printf QCheck QCheck_alcotest Result Smapp_core Smapp_netlink Smapp_netsim Smapp_sim Smapp_tcp String Time

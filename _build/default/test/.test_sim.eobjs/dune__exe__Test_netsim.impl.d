@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Engine Host Ip Link List Netem Packet Printf QCheck QCheck_alcotest Router Smapp_netsim Smapp_sim String Time Topology

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Heap Int Int64 List QCheck QCheck_alcotest Rng Smapp_sim Time

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Ascii_plot Cdf Gen List QCheck QCheck_alcotest Smapp_stats String Summary Table Timeseries

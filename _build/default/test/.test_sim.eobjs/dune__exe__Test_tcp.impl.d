@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Cc Engine Host Int Int64 Ip Link List QCheck QCheck_alcotest Reasm Rng Rtt Seq32 Smapp_netsim Smapp_sim Smapp_tcp Stack Tcb Tcp_error Time Topology

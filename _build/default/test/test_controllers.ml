@@ -1,0 +1,248 @@
+(* Tests for the four userspace subflow controllers, each driven through the
+   full stack: simulated network -> MPTCP -> netlink channel -> controller. *)
+
+open Smapp_sim
+open Smapp_netsim
+open Smapp_mptcp
+module Setup = Smapp_core.Setup
+module C = Smapp_controllers
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let make ?(seed = 77) ?losses () =
+  let engine = Engine.create ~seed () in
+  let topo = Topology.parallel_paths engine ?losses ~n:2 () in
+  let client_ep = Endpoint.of_host topo.Topology.client in
+  let server_ep = Endpoint.of_host topo.Topology.server in
+  let accepted = ref None in
+  Endpoint.listen server_ep ~port:80 (fun conn -> accepted := Some conn);
+  let setup = Setup.attach client_ep in
+  (engine, topo, client_ep, server_ep, accepted, setup)
+
+let connect (topo : Topology.parallel) client_ep =
+  let p0 = List.hd topo.Topology.paths in
+  Endpoint.connect client_ep ~src:p0.Topology.client_addr
+    ~dst:(Ip.endpoint p0.Topology.server_addr 80)
+    ()
+
+let addr (topo : Topology.parallel) i = (List.nth topo.Topology.paths i).Topology.client_addr
+let saddr (topo : Topology.parallel) i = (List.nth topo.Topology.paths i).Topology.server_addr
+
+let run engine ms = Engine.run ~until:(Time.add Time.zero (Time.span_ms ms)) engine
+
+(* --- ndiffports ---------------------------------------------------------------- *)
+
+let test_ndiffports_opens_n () =
+  let engine, topo, client_ep, _, _, setup = make () in
+  let _ctl = C.Ndiffports.start setup.Setup.pm ~n:4 in
+  let conn = connect topo client_ep in
+  run engine 1000;
+  checki "four subflows" 4 (List.length (Connection.subflows conn));
+  let ports =
+    List.map (fun sf -> (Subflow.flow sf).Ip.src.Ip.port) (Connection.subflows conn)
+  in
+  checki "all distinct ports" 4 (List.length (List.sort_uniq Int.compare ports))
+
+(* --- fullmesh ------------------------------------------------------------------- *)
+
+let fullmesh_config topo =
+  C.Fullmesh.default_config ~local_addresses:[ addr topo 0; addr topo 1 ] ()
+
+let test_fullmesh_builds_mesh () =
+  let engine, topo, client_ep, _, accepted, setup = make () in
+  let _ctl = C.Fullmesh.start setup.Setup.pm (fullmesh_config topo) in
+  let conn = connect topo client_ep in
+  (* server announces its second address at 100 ms *)
+  ignore
+    (Engine.after engine (Time.span_ms 100) (fun () ->
+         Connection.announce_addr (Option.get !accepted) (saddr topo 1) 80));
+  run engine 2000;
+  (* 2 locals x 2 remotes = 4 subflows *)
+  checki "mesh" 4 (List.length (Connection.subflows conn))
+
+let test_fullmesh_reconnects_after_rst () =
+  let engine, topo, client_ep, _, accepted, setup = make () in
+  let ctl = C.Fullmesh.start setup.Setup.pm (fullmesh_config topo) in
+  let conn = connect topo client_ep in
+  ignore
+    (Engine.after engine (Time.span_ms 100) (fun () ->
+         Connection.announce_addr (Option.get !accepted) (saddr topo 1) 80));
+  (* at 3 s the server resets a non-initial subflow (middlebox behaviour) *)
+  ignore
+    (Engine.after engine (Time.span_s 3) (fun () ->
+         match !accepted with
+         | Some sconn -> (
+             match
+               List.find_opt
+                 (fun sf -> not sf.Subflow.is_initial)
+                 (Connection.subflows sconn)
+             with
+             | Some sf -> Connection.remove_subflow sconn sf
+             | None -> Alcotest.fail "no subflow to reset")
+         | None -> Alcotest.fail "no server conn"));
+  (* reconnect_after_reset is 1 s: by t=6 s the mesh must be whole again *)
+  run engine 6000;
+  checki "mesh restored" 4 (List.length (Connection.subflows conn));
+  checkb "a reconnect was scheduled" true (C.Fullmesh.reconnects_scheduled ctl >= 1)
+
+let test_fullmesh_tracks_interfaces () =
+  let engine, topo, client_ep, _, _, setup = make () in
+  (* second NIC starts down: controller only knows address 0 *)
+  let nic1 = List.nth (Host.nics topo.Topology.client) 1 in
+  Host.set_nic_up nic1 false;
+  let ctl =
+    C.Fullmesh.start setup.Setup.pm
+      (C.Fullmesh.default_config ~local_addresses:[ addr topo 0 ] ())
+  in
+  let conn = connect topo client_ep in
+  run engine 1000;
+  checki "one subflow while nic down" 1 (List.length (Connection.subflows conn));
+  checki "one local addr known" 1 (List.length (C.Fullmesh.local_addresses ctl));
+  (* NIC comes up -> new_local_addr -> mesh grows towards the known remote *)
+  ignore (Engine.at engine (Time.add Time.zero (Time.span_ms 1500)) (fun () -> Host.set_nic_up nic1 true));
+  run engine 4000;
+  checki "two local addrs known" 2 (List.length (C.Fullmesh.local_addresses ctl));
+  checki "second subflow created" 2 (List.length (Connection.subflows conn))
+
+(* --- backup --------------------------------------------------------------------- *)
+
+let test_backup_fails_over_on_rto () =
+  let engine, topo, client_ep, _, accepted, setup = make () in
+  let ctl =
+    C.Backup.start setup.Setup.pm
+      {
+        C.Backup.rto_threshold = Time.span_s 1;
+        backup_sources = [ addr topo 1 ];
+        backup_destination = Some (Ip.endpoint (saddr topo 1) 80);
+      }
+  in
+  let conn = connect topo client_ep in
+  Connection.subscribe conn (function
+    | Connection.Established -> Connection.send conn 20_000_000
+    | _ -> ());
+  (* primary becomes terrible at t=1 s *)
+  Netem.loss_at engine (Time.add Time.zero (Time.span_s 1))
+    (List.hd topo.Topology.paths).Topology.cable 0.30;
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 20)) engine;
+  checki "one failover" 1 (C.Backup.failovers ctl);
+  (* the surviving subflow runs over path 1 *)
+  (match Connection.subflows conn with
+  | [ sf ] ->
+      checkb "on backup path" true (Ip.equal (Subflow.flow sf).Ip.src.Ip.addr (addr topo 1))
+  | l -> Alcotest.failf "expected 1 subflow, found %d" (List.length l));
+  (* and the transfer kept making progress after the switch *)
+  match !accepted with
+  | Some sconn -> checkb "bytes keep flowing" true (Connection.bytes_received sconn > 2_000_000)
+  | None -> Alcotest.fail "no server conn"
+
+let test_backup_ignores_short_rtos () =
+  let engine, topo, client_ep, _, _, setup = make () in
+  let ctl =
+    C.Backup.start setup.Setup.pm
+      {
+        C.Backup.rto_threshold = Time.span_s 30 (* absurdly high: never trips *);
+        backup_sources = [ addr topo 1 ];
+        backup_destination = None;
+      }
+  in
+  let conn = connect topo client_ep in
+  Connection.subscribe conn (function
+    | Connection.Established -> Connection.send conn 2_000_000
+    | _ -> ());
+  Netem.loss_at engine (Time.add Time.zero (Time.span_s 1))
+    (List.hd topo.Topology.paths).Topology.cable 0.30;
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 15)) engine;
+  checki "no failover below threshold" 0 (C.Backup.failovers ctl);
+  checki "still one subflow" 1 (List.length (Connection.subflows conn))
+
+(* --- stream --------------------------------------------------------------------- *)
+
+let stream_config topo =
+  C.Stream.default_config ~spare_source:(addr topo 1)
+    ~spare_destination:(Ip.endpoint (saddr topo 1) 80)
+    ()
+
+let test_stream_opens_spare_when_behind () =
+  let engine, topo, client_ep, _, _, setup = make ~losses:[ 0.30; 0.0 ] () in
+  let ctl = C.Stream.start setup.Setup.pm (stream_config topo) in
+  let conn = connect topo client_ep in
+  Connection.subscribe conn (function
+    | Connection.Established ->
+        ignore (Smapp_apps.Stream_app.sender conn ~blocks:10 ())
+    | _ -> ());
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 20)) engine;
+  checkb "progress checks ran" true (C.Stream.checks_performed ctl >= 5);
+  checki "spare subflow opened" 1 (C.Stream.second_subflows_opened ctl)
+
+let test_stream_stays_single_path_when_clean () =
+  let engine, topo, client_ep, _, _, setup = make () in
+  let ctl = C.Stream.start setup.Setup.pm (stream_config topo) in
+  let conn = connect topo client_ep in
+  Connection.subscribe conn (function
+    | Connection.Established -> ignore (Smapp_apps.Stream_app.sender conn ~blocks:10 ())
+    | _ -> ());
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 20)) engine;
+  checki "no spare needed" 0 (C.Stream.second_subflows_opened ctl);
+  checki "no subflow closed" 0 (C.Stream.subflows_closed ctl)
+
+let test_stream_closes_high_rto_subflow () =
+  let engine, topo, client_ep, _, accepted, setup = make () in
+  let ctl = C.Stream.start setup.Setup.pm (stream_config topo) in
+  let conn = connect topo client_ep in
+  Connection.subscribe conn (function
+    | Connection.Established -> ignore (Smapp_apps.Stream_app.sender conn ~blocks:30 ())
+    | _ -> ());
+  (* heavy loss from t=2 s: RTO on the initial subflow backs off beyond 1 s *)
+  Netem.loss_at engine (Time.add Time.zero (Time.span_s 2))
+    (List.hd topo.Topology.paths).Topology.cable 0.5;
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 40)) engine;
+  checkb "underperforming subflow closed" true (C.Stream.subflows_closed ctl >= 1);
+  checki "spare opened" 1 (C.Stream.second_subflows_opened ctl);
+  match !accepted with
+  | Some sconn ->
+      checkb "stream kept flowing" true (Connection.bytes_received sconn > 20 * 64 * 1024)
+  | None -> Alcotest.fail "no server conn"
+
+(* --- refresh -------------------------------------------------------------------- *)
+
+let test_refresh_replaces_slowest () =
+  let engine = Engine.create ~seed:123 () in
+  let topo = Topology.ecmp_fabric engine ~salt:123 ~n:4 () in
+  let client_ep = Endpoint.of_host topo.Topology.client in
+  let server_ep = Endpoint.of_host topo.Topology.server in
+  Endpoint.listen server_ep ~port:80 (fun conn -> Connection.set_receive conn (fun _ -> ()));
+  let setup = Setup.attach client_ep in
+  let ctl = C.Refresh.start setup.Setup.pm (C.Refresh.default_config ~subflows:5 ()) in
+  let client_addr = List.hd (Host.addresses topo.Topology.client) in
+  let server_addr = List.hd (Host.addresses topo.Topology.server) in
+  let conn = Endpoint.connect client_ep ~src:client_addr ~dst:(Ip.endpoint server_addr 80) () in
+  Smapp_apps.Bulk.sender conn ~bytes:30_000_000;
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 15)) engine;
+  checkb "polled at least 3 times" true (C.Refresh.polls ctl >= 3);
+  checkb "refreshed at least once" true (C.Refresh.refreshes ctl >= 1);
+  checki "keeps 5 subflows" 5 (List.length (Connection.subflows conn))
+
+let () =
+  Alcotest.run "controllers"
+    [
+      ("ndiffports", [ Alcotest.test_case "opens n" `Quick test_ndiffports_opens_n ]);
+      ( "fullmesh",
+        [
+          Alcotest.test_case "builds mesh" `Quick test_fullmesh_builds_mesh;
+          Alcotest.test_case "reconnects after rst" `Quick test_fullmesh_reconnects_after_rst;
+          Alcotest.test_case "tracks interfaces" `Quick test_fullmesh_tracks_interfaces;
+        ] );
+      ( "backup",
+        [
+          Alcotest.test_case "fails over on rto" `Quick test_backup_fails_over_on_rto;
+          Alcotest.test_case "respects threshold" `Quick test_backup_ignores_short_rtos;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "opens spare when behind" `Quick test_stream_opens_spare_when_behind;
+          Alcotest.test_case "single path when clean" `Quick test_stream_stays_single_path_when_clean;
+          Alcotest.test_case "closes high-rto subflow" `Quick test_stream_closes_high_rto_subflow;
+        ] );
+      ("refresh", [ Alcotest.test_case "replaces slowest" `Quick test_refresh_replaces_slowest ]);
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the network substrate: addresses, links, hosts, routers,
+   topologies. *)
+
+open Smapp_sim
+open Smapp_netsim
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* --- Ip ----------------------------------------------------------------------- *)
+
+let test_ip_roundtrip () =
+  let a = Ip.v4 10 0 3 1 in
+  checks "to_string" "10.0.3.1" (Ip.to_string a);
+  checkb "of_string" true (Ip.equal a (Ip.of_string "10.0.3.1"))
+
+let test_ip_bad_input () =
+  Alcotest.check_raises "byte range" (Invalid_argument "Ip.v4: a out of range") (fun () ->
+      ignore (Ip.v4 256 0 0 1));
+  Alcotest.check_raises "parse" (Invalid_argument "Ip.of_string: junk") (fun () ->
+      ignore (Ip.of_string "junk"))
+
+let mk_flow sp dp =
+  Ip.flow
+    ~src:(Ip.endpoint (Ip.v4 10 0 0 1) sp)
+    ~dst:(Ip.endpoint (Ip.v4 10 0 0 2) dp)
+
+let test_flow_hash_symmetric () =
+  let f = mk_flow 1234 80 in
+  checki "symmetric" (Ip.flow_hash ~salt:7 f) (Ip.flow_hash ~salt:7 (Ip.reverse f))
+
+let test_flow_hash_salt_sensitivity () =
+  let f = mk_flow 1234 80 in
+  checkb "salt changes hash" true (Ip.flow_hash ~salt:1 f <> Ip.flow_hash ~salt:2 f)
+
+let flow_hash_props =
+  [
+    QCheck.Test.make ~name:"flow_hash symmetric under reversal" ~count:300
+      QCheck.(quad (int_range 1 65535) (int_range 1 65535) (int_range 0 255) small_int)
+      (fun (sp, dp, b, salt) ->
+        let f =
+          Ip.flow
+            ~src:(Ip.endpoint (Ip.v4 10 0 b 1) sp)
+            ~dst:(Ip.endpoint (Ip.v4 10 9 b 2) dp)
+        in
+        Ip.flow_hash ~salt f = Ip.flow_hash ~salt (Ip.reverse f)
+        && Ip.flow_hash ~salt f >= 0);
+  ]
+
+(* --- Link ---------------------------------------------------------------------- *)
+
+let raw_packet ?(size = 1000) () =
+  Packet.make ~flow:(mk_flow 1111 80) ~size (Packet.Raw "x")
+
+let test_link_delay_and_rate () =
+  (* 1000 bytes at 8 Mbps = 1 ms tx + 10 ms prop = 11 ms *)
+  let e = Engine.create () in
+  let link = Link.create e ~rate_bps:8e6 ~delay:(Time.span_ms 10) () in
+  let arrival = ref None in
+  Link.set_dst link (fun _ -> arrival := Some (Engine.now e));
+  Link.send link (raw_packet ());
+  Engine.run e;
+  match !arrival with
+  | Some t -> checki "tx+prop delay" 11_000_000 (Time.to_ns t)
+  | None -> Alcotest.fail "packet lost"
+
+let test_link_serialization () =
+  (* two packets queue: second arrives one tx-time later *)
+  let e = Engine.create () in
+  let link = Link.create e ~rate_bps:8e6 ~delay:(Time.span_ms 10) () in
+  let arrivals = ref [] in
+  Link.set_dst link (fun _ -> arrivals := Time.to_ns (Engine.now e) :: !arrivals);
+  Link.send link (raw_packet ());
+  Link.send link (raw_packet ());
+  Engine.run e;
+  match List.rev !arrivals with
+  | [ a; b ] ->
+      checki "first" 11_000_000 a;
+      checki "second" 12_000_000 b
+  | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
+
+let test_link_queue_overflow () =
+  let e = Engine.create () in
+  let link = Link.create e ~rate_bps:8e6 ~delay:(Time.span_ms 1) ~queue_capacity:5 () in
+  let count = ref 0 in
+  Link.set_dst link (fun _ -> incr count);
+  for _ = 1 to 10 do
+    Link.send link (raw_packet ())
+  done;
+  Engine.run e;
+  checki "only queue capacity delivered" 5 !count;
+  checki "stats dropped" 5 (Link.stats link).Link.dropped
+
+let test_link_loss_rate () =
+  let e = Engine.create () in
+  let link = Link.create e ~rate_bps:1e9 ~delay:(Time.span_us 1) ~loss:0.3
+      ~queue_capacity:100000 () in
+  let count = ref 0 in
+  Link.set_dst link (fun _ -> incr count);
+  let n = 20_000 in
+  (* send in batches to avoid queueing artifacts *)
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.at e (Time.of_ns (i * 1000)) (fun () -> Link.send link (raw_packet ())))
+  done;
+  Engine.run e;
+  let rate = 1.0 -. (float_of_int !count /. float_of_int n) in
+  checkb "loss about 30%" true (rate > 0.28 && rate < 0.32)
+
+let test_link_down_drops () =
+  let e = Engine.create () in
+  let link = Link.create e ~rate_bps:1e6 ~delay:(Time.span_ms 1) () in
+  let count = ref 0 in
+  Link.set_dst link (fun _ -> incr count);
+  Link.set_up link false;
+  Link.send link (raw_packet ());
+  Engine.run e;
+  checki "nothing delivered" 0 !count
+
+(* --- Host ---------------------------------------------------------------------- *)
+
+let test_host_routes_by_source () =
+  let e = Engine.create () in
+  let p = Topology.parallel_paths e ~n:2 () in
+  let got = ref [] in
+  Host.set_receive p.Topology.server (fun pkt ->
+      got := Ip.to_string pkt.Packet.flow.Ip.dst.Ip.addr :: !got);
+  let send i =
+    let path = List.nth p.Topology.paths i in
+    Host.send p.Topology.client
+      (Packet.make
+         ~flow:
+           (Ip.flow
+              ~src:(Ip.endpoint path.Topology.client_addr 1000)
+              ~dst:(Ip.endpoint path.Topology.server_addr 80))
+         ~size:100 (Packet.Raw "hi"))
+  in
+  send 0;
+  send 1;
+  Engine.run e;
+  Alcotest.(check (list string)) "both paths used" [ "10.0.0.2"; "10.0.1.2" ]
+    (List.sort String.compare !got)
+
+let test_host_nic_down_blackholes () =
+  let e = Engine.create () in
+  let p = Topology.parallel_paths e ~n:1 () in
+  let count = ref 0 in
+  Host.set_receive p.Topology.server (fun _ -> incr count);
+  let nic = List.hd (Host.nics p.Topology.client) in
+  Host.set_nic_up nic false;
+  let path = List.hd p.Topology.paths in
+  Host.send p.Topology.client
+    (Packet.make
+       ~flow:
+         (Ip.flow
+            ~src:(Ip.endpoint path.Topology.client_addr 1000)
+            ~dst:(Ip.endpoint path.Topology.server_addr 80))
+       ~size:100 (Packet.Raw "hi"));
+  Engine.run e;
+  checki "dropped" 0 !count
+
+let test_host_addr_change_events () =
+  let e = Engine.create () in
+  let host = Host.create e "h" in
+  let nic = Host.add_nic host ~name:"eth0" ~addr:(Ip.v4 192 168 0 1) in
+  let events = ref [] in
+  Host.on_addr_change host (fun n dir ->
+      events := (Host.nic_name n, dir) :: !events);
+  Host.set_nic_up nic false;
+  Host.set_nic_up nic false (* no duplicate event *);
+  Host.set_nic_up nic true;
+  Alcotest.(check int) "two events" 2 (List.length !events);
+  match List.rev !events with
+  | [ (n1, `Down); (n2, `Up) ] ->
+      checks "down first" "eth0" n1;
+      checks "then up" "eth0" n2
+  | _ -> Alcotest.fail "unexpected event sequence"
+
+let test_host_duplicate_addr_rejected () =
+  let e = Engine.create () in
+  let host = Host.create e "h" in
+  let _ = Host.add_nic host ~name:"eth0" ~addr:(Ip.v4 192 168 0 1) in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Host.add_nic: duplicate address 192.168.0.1") (fun () ->
+      ignore (Host.add_nic host ~name:"eth1" ~addr:(Ip.v4 192 168 0 1)))
+
+(* --- Router / ECMP --------------------------------------------------------------- *)
+
+let test_ecmp_deterministic_per_flow () =
+  let e = Engine.create () in
+  let f = Topology.ecmp_fabric e ~n:4 () in
+  let flow = mk_flow 1234 80 in
+  let i1 = Router.ecmp_index f.Topology.r1 flow 4 in
+  let i2 = Router.ecmp_index f.Topology.r1 flow 4 in
+  checki "stable" i1 i2;
+  checki "reverse same path" i1 (Router.ecmp_index f.Topology.r1 (Ip.reverse flow) 4)
+
+let test_ecmp_spreads_flows () =
+  let e = Engine.create () in
+  let f = Topology.ecmp_fabric e ~n:4 () in
+  let used = Array.make 4 0 in
+  for port = 1000 to 1199 do
+    let flow = mk_flow port 80 in
+    let i = Router.ecmp_index f.Topology.r1 flow 4 in
+    used.(i) <- used.(i) + 1
+  done;
+  Array.iteri
+    (fun i n -> checkb (Printf.sprintf "path %d used" i) true (n > 20))
+    used
+
+let test_ecmp_forwarding_end_to_end () =
+  let e = Engine.create () in
+  let f = Topology.ecmp_fabric e ~n:4 () in
+  let got = ref 0 in
+  Host.set_receive f.Topology.server (fun _ -> incr got);
+  let client_addr = List.hd (Host.addresses f.Topology.client) in
+  let server_addr = List.hd (Host.addresses f.Topology.server) in
+  for port = 2000 to 2009 do
+    Host.send f.Topology.client
+      (Packet.make
+         ~flow:(Ip.flow ~src:(Ip.endpoint client_addr port) ~dst:(Ip.endpoint server_addr 80))
+         ~size:500 (Packet.Raw "payload"))
+  done;
+  Engine.run e;
+  checki "all forwarded" 10 !got
+
+let test_router_icmp_unreachable () =
+  let e = Engine.create () in
+  let f = Topology.ecmp_fabric e ~n:2 () in
+  (* cut both core paths: router should return ICMP unreachable *)
+  List.iter (fun c -> Topology.set_duplex_up c false) f.Topology.core;
+  let icmp = ref None in
+  Host.set_receive f.Topology.client (fun pkt ->
+      match pkt.Packet.payload with
+      | Packet.Icmp_unreachable orig -> icmp := Some orig
+      | _ -> ());
+  let client_addr = List.hd (Host.addresses f.Topology.client) in
+  let server_addr = List.hd (Host.addresses f.Topology.server) in
+  let flow =
+    Ip.flow ~src:(Ip.endpoint client_addr 5555) ~dst:(Ip.endpoint server_addr 80)
+  in
+  Host.send f.Topology.client (Packet.make ~flow ~size:500 (Packet.Raw "payload"));
+  Engine.run e;
+  match !icmp with
+  | Some orig -> checkb "original flow" true (Ip.equal_flow orig flow)
+  | None -> Alcotest.fail "no ICMP received"
+
+(* --- Netem ---------------------------------------------------------------------- *)
+
+let test_netem_loss_at () =
+  let e = Engine.create () in
+  let p = Topology.parallel_paths e ~n:1 () in
+  let path = List.hd p.Topology.paths in
+  Netem.loss_at e (Time.of_ns 1_000_000) path.Topology.cable 0.5;
+  Alcotest.(check (float 0.001)) "before" 0.0 (Link.loss path.Topology.cable.Topology.fwd);
+  Engine.run e;
+  Alcotest.(check (float 0.001)) "after" 0.5 (Link.loss path.Topology.cable.Topology.fwd)
+
+let test_netem_flap () =
+  let e = Engine.create () in
+  let host = Host.create e "h" in
+  let nic = Host.add_nic host ~name:"eth0" ~addr:(Ip.v4 192 168 0 1) in
+  Netem.flap_nic e nic
+    ~down_at:(Time.of_ns 1_000_000)
+    ~up_at:(Time.of_ns 2_000_000);
+  Engine.run ~until:(Time.of_ns 1_500_000) e;
+  checkb "down" false (Host.nic_up nic);
+  Engine.run e;
+  checkb "up again" true (Host.nic_up nic)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "ip",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ip_roundtrip;
+          Alcotest.test_case "bad input" `Quick test_ip_bad_input;
+          Alcotest.test_case "flow hash symmetric" `Quick test_flow_hash_symmetric;
+          Alcotest.test_case "flow hash salt" `Quick test_flow_hash_salt_sensitivity;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest flow_hash_props );
+      ( "link",
+        [
+          Alcotest.test_case "delay and rate" `Quick test_link_delay_and_rate;
+          Alcotest.test_case "serialization" `Quick test_link_serialization;
+          Alcotest.test_case "queue overflow" `Quick test_link_queue_overflow;
+          Alcotest.test_case "loss rate" `Quick test_link_loss_rate;
+          Alcotest.test_case "down drops" `Quick test_link_down_drops;
+        ] );
+      ( "host",
+        [
+          Alcotest.test_case "routes by source" `Quick test_host_routes_by_source;
+          Alcotest.test_case "nic down blackholes" `Quick test_host_nic_down_blackholes;
+          Alcotest.test_case "addr change events" `Quick test_host_addr_change_events;
+          Alcotest.test_case "duplicate addr" `Quick test_host_duplicate_addr_rejected;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "ecmp deterministic" `Quick test_ecmp_deterministic_per_flow;
+          Alcotest.test_case "ecmp spreads" `Quick test_ecmp_spreads_flows;
+          Alcotest.test_case "ecmp end-to-end" `Quick test_ecmp_forwarding_end_to_end;
+          Alcotest.test_case "icmp unreachable" `Quick test_router_icmp_unreachable;
+        ] );
+      ( "netem",
+        [
+          Alcotest.test_case "loss at" `Quick test_netem_loss_at;
+          Alcotest.test_case "nic flap" `Quick test_netem_flap;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Tests for the discrete-event engine, heap, time and RNG. *)
+
+open Smapp_sim
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* --- Time -------------------------------------------------------------------- *)
+
+let test_time_units () =
+  checki "ms" 5_000_000 (Time.span_to_ns (Time.span_ms 5));
+  checki "us" 5_000 (Time.span_to_ns (Time.span_us 5));
+  checki "s" 5_000_000_000 (Time.span_to_ns (Time.span_s 5));
+  checki "of_float" 1_500_000_000 (Time.span_to_ns (Time.span_of_float_s 1.5))
+
+let test_time_arith () =
+  let t = Time.add Time.zero (Time.span_ms 100) in
+  checki "add" 100_000_000 (Time.to_ns t);
+  checki "diff" 100_000_000 (Time.span_to_ns (Time.diff t Time.zero));
+  checkb "compare" true Time.(t > Time.zero)
+
+(* --- Heap -------------------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.add h) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some x ->
+        out := x :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 9; 5; 4; 3; 1; 1; 0 ] !out
+
+let heap_props =
+  [
+    QCheck.Test.make ~name:"heap pops sorted" ~count:200
+      QCheck.(list int)
+      (fun xs ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.add h) xs;
+        let rec drain acc =
+          match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+        in
+        drain [] = List.sort Int.compare xs);
+    QCheck.Test.make ~name:"heap length" ~count:200
+      QCheck.(list int)
+      (fun xs ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.add h) xs;
+        Heap.length h = List.length xs);
+  ]
+
+(* --- Rng --------------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.of_int 1234 and b = Rng.of_int 1234 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.of_int 99 in
+  let child = Rng.split parent in
+  let c1 = Rng.int64 child and p1 = Rng.int64 parent in
+  checkb "differ" true (not (Int64.equal c1 p1))
+
+let test_rng_bounds () =
+  let rng = Rng.of_int 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    checkb "in bounds" true (x >= 0 && x < 17)
+  done
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.of_int 6 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  checkb "about 30%" true (rate > 0.29 && rate < 0.31)
+
+let test_rng_float_range () =
+  let rng = Rng.of_int 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    checkb "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+(* --- Engine ------------------------------------------------------------------ *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.after e (Time.span_ms 30) (note "c"));
+  ignore (Engine.after e (Time.span_ms 10) (note "a"));
+  ignore (Engine.after e (Time.span_ms 20) (note "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.after e (Time.span_ms 10) (note "first"));
+  ignore (Engine.after e (Time.span_ms 10) (note "second"));
+  Engine.run e;
+  Alcotest.(check (list string)) "fifo ties" [ "first"; "second" ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.after e (Time.span_ms 10) (fun () -> fired := true) in
+  Alcotest.(check bool) "active" true (Engine.timer_active timer);
+  Engine.cancel timer;
+  Alcotest.(check bool) "inactive" false (Engine.timer_active timer);
+  Engine.run e;
+  Alcotest.(check bool) "never fired" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  ignore (Engine.after e (Time.span_ms 10) (fun () -> incr count));
+  ignore (Engine.after e (Time.span_ms 50) (fun () -> incr count));
+  Engine.run ~until:(Time.add Time.zero (Time.span_ms 20)) e;
+  checki "only first fired" 1 !count;
+  checki "clock at limit" 20_000_000 (Time.to_ns (Engine.now e));
+  Engine.run e;
+  checki "rest fired on resume" 2 !count
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let _timer =
+    Engine.every e (Time.span_ms 10) (fun () ->
+        incr count;
+        if !count >= 5 then `Stop else `Continue)
+  in
+  Engine.run e;
+  checki "five ticks" 5 !count;
+  checki "stopped at 50ms" 50_000_000 (Time.to_ns (Engine.now e))
+
+let test_engine_every_cancel () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let timer = Engine.every e (Time.span_ms 10) (fun () -> incr count; `Continue) in
+  ignore
+    (Engine.after e (Time.span_ms 35) (fun () -> Engine.cancel timer));
+  Engine.run e;
+  checki "three ticks then cancelled" 3 !count
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.after e (Time.span_ms 10) (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.after e (Time.span_ms 5) (fun () -> log := "inner" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  checki "clock" 15_000_000 (Time.to_ns (Engine.now e))
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  ignore
+    (Engine.after e (Time.span_ms 10) (fun () ->
+         Alcotest.check_raises "past scheduling rejected"
+           (Invalid_argument "Engine.at: 0.000000s is before now (0.010000s)") (fun () ->
+             ignore (Engine.at e Time.zero (fun () -> ())))));
+  Engine.run e
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+        ] );
+      ( "heap",
+        [ Alcotest.test_case "ordering" `Quick test_heap_ordering ]
+        @ List.map QCheck_alcotest.to_alcotest heap_props );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "bernoulli rate" `Quick test_rng_bernoulli_rate;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "every" `Quick test_engine_every;
+          Alcotest.test_case "every cancel" `Quick test_engine_every_cancel;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "past raises" `Quick test_engine_past_raises;
+        ] );
+    ]

@@ -1,0 +1,523 @@
+(* End-to-end and unit tests for the TCP substrate. *)
+
+open Smapp_sim
+open Smapp_netsim
+open Smapp_tcp
+
+let check = Alcotest.check
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* --- Seq32 ----------------------------------------------------------------- *)
+
+let test_seq32_wrap () =
+  let near_max = Seq32.of_int 0xFFFF_FFFF in
+  let wrapped = Seq32.add near_max 10 in
+  checki "wraps" 9 (Seq32.to_int wrapped);
+  checki "diff across wrap" 10 (Seq32.diff wrapped near_max);
+  checkb "lt across wrap" true (Seq32.lt near_max wrapped)
+
+let seq32_props =
+  let gen = QCheck.Gen.(map (fun n -> n land 0xFFFF_FFFF) (int_bound max_int)) in
+  let arb = QCheck.make ~print:string_of_int gen in
+  [
+    QCheck.Test.make ~name:"seq32 add/diff roundtrip" ~count:500
+      (QCheck.pair arb (QCheck.int_range (-1_000_000) 1_000_000))
+      (fun (a, d) ->
+        let s = Seq32.of_int a in
+        Seq32.diff (Seq32.add s d) s = d);
+    QCheck.Test.make ~name:"seq32 ordering antisymmetric" ~count:500
+      (QCheck.pair arb (QCheck.int_range 1 1_000_000))
+      (fun (a, d) ->
+        let s = Seq32.of_int a in
+        let s' = Seq32.add s d in
+        Seq32.lt s s' && Seq32.gt s' s && not (Seq32.lt s' s));
+  ]
+
+(* --- Rtt / RFC 6298 --------------------------------------------------------- *)
+
+let test_rtt_first_sample () =
+  let rtt = Rtt.create () in
+  Alcotest.(check bool) "no srtt yet" true (Rtt.srtt rtt = None);
+  check Alcotest.int64 "initial rto is 1s" 1_000_000_000L
+    (Int64.of_int (Time.span_to_ns (Rtt.rto rtt)));
+  Rtt.sample rtt (Time.span_ms 100);
+  (match Rtt.srtt rtt with
+  | Some s -> checki "srtt = first sample" 100_000_000 (Time.span_to_ns s)
+  | None -> Alcotest.fail "srtt unset");
+  (* rto = srtt + 4*rttvar = 100 + 4*50 = 300ms *)
+  checki "rto after first sample" 300_000_000 (Time.span_to_ns (Rtt.rto rtt))
+
+let test_rtt_min_clamp () =
+  let rtt = Rtt.create () in
+  Rtt.sample rtt (Time.span_us 100);
+  (* tiny RTT: rto clamps to min_rto 200ms *)
+  checki "min clamp" 200_000_000 (Time.span_to_ns (Rtt.rto rtt))
+
+let test_rtt_backoff_cap () =
+  let rtt = Rtt.create () in
+  Rtt.sample rtt (Time.span_ms 100);
+  let base = Rtt.rto rtt in
+  let b1 = Rtt.backoff rtt base 1 in
+  checki "one doubling" (2 * Time.span_to_ns base) (Time.span_to_ns b1);
+  let b20 = Rtt.backoff rtt base 20 in
+  checki "cap at 120s" (Time.span_to_ns (Time.span_s 120)) (Time.span_to_ns b20)
+
+let test_rtt_ewma () =
+  let rtt = Rtt.create () in
+  Rtt.sample rtt (Time.span_ms 100);
+  Rtt.sample rtt (Time.span_ms 200);
+  (* srtt = 7/8*100 + 1/8*200 = 112.5ms *)
+  (match Rtt.srtt rtt with
+  | Some s -> checki "ewma srtt" 112_500_000 (Time.span_to_ns s)
+  | None -> Alcotest.fail "srtt unset")
+
+(* --- Cc ---------------------------------------------------------------------- *)
+
+let test_cc_slow_start () =
+  let cc = Cc.create ~mss:1000 () in
+  checki "iw10" 10_000 (Cc.cwnd cc);
+  checkb "in slow start" true (Cc.in_slow_start cc);
+  Cc.on_ack cc ~acked:1000 ~srtt:0.1;
+  checki "cwnd grows by acked" 11_000 (Cc.cwnd cc)
+
+let test_cc_rto_collapse () =
+  let cc = Cc.create ~mss:1000 () in
+  Cc.on_rto cc;
+  checki "cwnd back to 1 mss" 1000 (Cc.cwnd cc);
+  checki "ssthresh halved" 5000 (Cc.ssthresh cc)
+
+let test_cc_fast_retransmit () =
+  let cc = Cc.create ~mss:1000 () in
+  Cc.on_retransmit_loss cc ~in_flight:10_000;
+  checki "cwnd halved" 5000 (Cc.cwnd cc);
+  checkb "left slow start" false (Cc.in_slow_start cc)
+
+let test_cc_congestion_avoidance () =
+  let cc = Cc.create ~mss:1000 () in
+  Cc.on_retransmit_loss cc ~in_flight:10_000;
+  let w0 = Cc.cwnd cc in
+  (* a full window of acks grows cwnd by about one mss *)
+  let rec ack_window remaining =
+    if remaining > 0 then begin
+      Cc.on_ack cc ~acked:1000 ~srtt:0.1;
+      ack_window (remaining - 1000)
+    end
+  in
+  ack_window w0;
+  let grown = Cc.cwnd cc - w0 in
+  checkb "CA growth about one mss" true (grown >= 900 && grown <= 1100)
+
+let test_cc_lia_single_subflow_is_reno () =
+  let lia = Cc.create ~algo:Cc.Lia ~mss:1000 () in
+  let reno = Cc.create ~algo:Cc.Reno ~mss:1000 () in
+  Cc.on_retransmit_loss lia ~in_flight:10_000;
+  Cc.on_retransmit_loss reno ~in_flight:10_000;
+  Cc.set_sibling_probe lia (fun () -> [ { Cc.s_cwnd = Cc.cwnd lia; s_srtt = 0.1 } ]);
+  Cc.on_ack lia ~acked:1000 ~srtt:0.1;
+  Cc.on_ack reno ~acked:1000 ~srtt:0.1;
+  checki "same growth" (Cc.cwnd reno) (Cc.cwnd lia)
+
+let test_cc_lia_couples_down () =
+  (* with two equal siblings LIA grows slower than Reno *)
+  let lia = Cc.create ~algo:Cc.Lia ~mss:1000 () in
+  let reno = Cc.create ~algo:Cc.Reno ~mss:1000 () in
+  Cc.on_retransmit_loss lia ~in_flight:10_000;
+  Cc.on_retransmit_loss reno ~in_flight:10_000;
+  Cc.set_sibling_probe lia (fun () ->
+      [
+        { Cc.s_cwnd = Cc.cwnd lia; s_srtt = 0.1 };
+        { Cc.s_cwnd = Cc.cwnd lia; s_srtt = 0.1 };
+      ]);
+  let lia0 = Cc.cwnd lia and reno0 = Cc.cwnd reno in
+  for _ = 1 to 10 do
+    Cc.on_ack lia ~acked:1000 ~srtt:0.1;
+    Cc.on_ack reno ~acked:1000 ~srtt:0.1
+  done;
+  checkb "lia grew" true (Cc.cwnd lia > lia0);
+  checkb "lia slower than reno" true (Cc.cwnd lia - lia0 < Cc.cwnd reno - reno0)
+
+(* --- Reasm ------------------------------------------------------------------- *)
+
+let test_reasm_in_order () =
+  let r = Reasm.create () in
+  Reasm.insert r ~seq:1 ~len:10 ~dsn:100;
+  (match Reasm.pop_ready r ~rcv_nxt:1 with
+  | Some (dsn, len) ->
+      checki "dsn" 100 dsn;
+      checki "len" 10 len
+  | None -> Alcotest.fail "expected ready data");
+  checkb "drained" true (Reasm.pop_ready r ~rcv_nxt:11 = None)
+
+let test_reasm_out_of_order () =
+  let r = Reasm.create () in
+  Reasm.insert r ~seq:11 ~len:10 ~dsn:110;
+  checkb "hole blocks" true (Reasm.pop_ready r ~rcv_nxt:1 = None);
+  Reasm.insert r ~seq:1 ~len:10 ~dsn:100;
+  (* contiguous in both spaces: the ranges coalesce and pop as one *)
+  (match Reasm.pop_ready r ~rcv_nxt:1 with
+  | Some (dsn, len) ->
+      checki "merged dsn" 100 dsn;
+      checki "merged len" 20 len
+  | None -> Alcotest.fail "hole should be filled");
+  checkb "drained" true (Reasm.pop_ready r ~rcv_nxt:21 = None)
+
+let test_reasm_no_merge_across_streams () =
+  (* adjacent in sequence space but not in stream space: kept apart *)
+  let r = Reasm.create () in
+  Reasm.insert r ~seq:1 ~len:10 ~dsn:100;
+  Reasm.insert r ~seq:11 ~len:10 ~dsn:500;
+  (match Reasm.pop_ready r ~rcv_nxt:1 with
+  | Some (dsn, len) ->
+      checki "first dsn" 100 dsn;
+      checki "first len" 10 len
+  | None -> Alcotest.fail "first range missing");
+  match Reasm.pop_ready r ~rcv_nxt:11 with
+  | Some (dsn, len) ->
+      checki "second dsn" 500 dsn;
+      checki "second len" 10 len
+  | None -> Alcotest.fail "second range missing"
+
+let test_reasm_duplicate () =
+  let r = Reasm.create () in
+  Reasm.insert r ~seq:1 ~len:10 ~dsn:100;
+  Reasm.insert r ~seq:1 ~len:10 ~dsn:100;
+  checki "no double buffering" 10 (Reasm.buffered_bytes r)
+
+let test_reasm_overlap_trim () =
+  let r = Reasm.create () in
+  Reasm.insert r ~seq:5 ~len:10 ~dsn:104;
+  Reasm.insert r ~seq:1 ~len:10 ~dsn:100;
+  (* [1,15) total coverage = 14 bytes *)
+  checki "coverage" 14 (Reasm.buffered_bytes r)
+
+let reasm_props =
+  (* deliver a shuffled sequence of segments: all bytes come out in order *)
+  let test (seed, nseg) =
+    let rng = Rng.of_int seed in
+    let seg_len = 100 in
+    let segs = Array.init nseg (fun i -> (1 + (i * seg_len), seg_len, 1000 + (i * seg_len))) in
+    (* Fisher-Yates shuffle *)
+    for i = nseg - 1 downto 1 do
+      let j = Rng.int rng (i + 1) in
+      let tmp = segs.(i) in
+      segs.(i) <- segs.(j);
+      segs.(j) <- tmp
+    done;
+    let r = Reasm.create () in
+    let rcv_nxt = ref 1 in
+    let received = ref [] in
+    Array.iter
+      (fun (seq, len, dsn) ->
+        Reasm.insert r ~seq ~len ~dsn;
+        let continue = ref true in
+        while !continue do
+          match Reasm.pop_ready r ~rcv_nxt:!rcv_nxt with
+          | Some (d, l) ->
+              received := (d, l) :: !received;
+              rcv_nxt := !rcv_nxt + l
+          | None -> continue := false
+        done)
+      segs;
+    let total = List.fold_left (fun acc (_, l) -> acc + l) 0 !received in
+    let in_order =
+      let rec ok expected = function
+        | [] -> true
+        | (d, l) :: rest -> d = expected && ok (expected + l) rest
+      in
+      ok 1000 (List.rev !received)
+    in
+    total = nseg * seg_len && in_order && Reasm.buffered_bytes r = 0
+  in
+  [
+    QCheck.Test.make ~name:"reasm delivers shuffled segments in order" ~count:100
+      QCheck.(pair (int_range 0 10_000) (int_range 1 40))
+      test;
+  ]
+
+(* --- end-to-end TCP over a direct link ---------------------------------------- *)
+
+type transfer_result = {
+  received : int;
+  client_closed : Tcp_error.t option option;
+  server_fin : bool;
+  duration : float;
+}
+
+(* Client sends [total] bytes then closes; server counts delivered bytes.
+   Returns after the simulation drains. *)
+let run_transfer ?(config = Tcb.default_config) ?(rate = 10e6) ?(delay = Time.span_ms 10)
+    ?(loss = 0.0) ?(seed = 7) ~total () =
+  let engine = Engine.create ~seed () in
+  let d =
+    let open Topology in
+    direct_link engine ~rate_bps:rate ~delay ()
+  in
+  Link.set_loss d.Topology.cable.Topology.fwd loss;
+  Link.set_loss d.Topology.cable.Topology.back loss;
+  let cstack = Stack.attach d.Topology.client in
+  let sstack = Stack.attach d.Topology.server in
+  let received = ref 0 in
+  let finished_at = ref nan in
+  let server_fin = ref false in
+  let server_cbs =
+    {
+      Tcb.null_callbacks with
+      Tcb.on_data =
+        (fun tcb ~dsn:_ ~len ->
+          received := !received + len;
+          if !received >= total then
+            finished_at := Time.to_float_s (Engine.now (Tcb.engine tcb)));
+      on_fin =
+        (fun tcb ->
+          server_fin := true;
+          Tcb.close tcb);
+    }
+  in
+  Stack.listen sstack ~port:80 (fun _syn ->
+      Some
+        {
+          Stack.acc_config = Some config;
+          acc_synack_options = [];
+          acc_callbacks = server_cbs;
+          acc_on_created = ignore;
+        });
+  let sent = ref 0 in
+  let client_closed = ref None in
+  let client_cbs =
+    {
+      Tcb.null_callbacks with
+      Tcb.on_established =
+        (fun tcb ->
+          let n = min total 65536 in
+          sent := n;
+          if n > 0 then Tcb.enqueue tcb ~dsn:0 ~len:n
+          else Tcb.close tcb);
+      on_can_send =
+        (fun tcb ->
+          if !sent < total then begin
+            let n = min (total - !sent) 65536 in
+            Tcb.enqueue tcb ~dsn:!sent ~len:n;
+            sent := !sent + n
+          end
+          else Tcb.close tcb);
+      on_close = (fun _ err -> client_closed := Some err);
+    }
+  in
+  let server_addr = List.hd (Host.addresses d.Topology.server) in
+  let client_addr = List.hd (Host.addresses d.Topology.client) in
+  let _tcb =
+    Stack.connect cstack ~src:client_addr ~dst:(Ip.endpoint server_addr 80) ~config
+      client_cbs
+  in
+  Engine.run ~until:(Time.of_ns (Time.span_to_ns (Time.span_s 600))) engine;
+  {
+    received = !received;
+    client_closed = !client_closed;
+    server_fin = !server_fin;
+    duration = !finished_at;
+  }
+
+let test_transfer_lossless () =
+  let r = run_transfer ~total:1_000_000 () in
+  checki "all bytes delivered" 1_000_000 r.received;
+  checkb "server saw fin" true r.server_fin;
+  (match r.client_closed with
+  | Some None -> ()
+  | Some (Some err) -> Alcotest.failf "client closed with %s" (Tcp_error.to_string err)
+  | None -> Alcotest.fail "client never closed")
+
+let test_transfer_zero_handshake_only () =
+  let r = run_transfer ~total:0 () in
+  checki "nothing delivered" 0 r.received;
+  checkb "clean close" true (r.client_closed = Some None)
+
+let test_transfer_lossy () =
+  (* 5% loss both ways: TCP must still deliver everything, exactly once *)
+  let r = run_transfer ~total:300_000 ~loss:0.05 ~seed:11 () in
+  checki "all bytes delivered despite loss" 300_000 r.received
+
+let test_transfer_heavy_loss () =
+  let r = run_transfer ~total:50_000 ~loss:0.2 ~seed:3 () in
+  checki "delivered at 20% loss" 50_000 r.received
+
+let test_transfer_throughput_sane () =
+  (* 10 Mbps link, 1 MB transfer: at least ~0.8s, at most a few seconds *)
+  let r = run_transfer ~total:1_000_000 ~rate:10e6 () in
+  checkb "duration sane" true (r.duration > 0.5 && r.duration < 10.0)
+
+let test_connect_refused () =
+  (* no listener: client SYN answered by RST -> ECONNREFUSED *)
+  let engine = Engine.create () in
+  let d = Topology.direct_link engine () in
+  let cstack = Stack.attach d.Topology.client in
+  let _sstack = Stack.attach d.Topology.server in
+  let result = ref None in
+  let cbs =
+    { Tcb.null_callbacks with Tcb.on_close = (fun _ err -> result := Some err) }
+  in
+  let server_addr = List.hd (Host.addresses d.Topology.server) in
+  let client_addr = List.hd (Host.addresses d.Topology.client) in
+  let _ = Stack.connect cstack ~src:client_addr ~dst:(Ip.endpoint server_addr 81) cbs in
+  Engine.run engine;
+  match !result with
+  | Some (Some Tcp_error.Econnrefused) -> ()
+  | other ->
+      Alcotest.failf "expected ECONNREFUSED, got %s"
+        (match other with
+        | None -> "no close"
+        | Some None -> "clean close"
+        | Some (Some e) -> Tcp_error.to_string e)
+
+let test_blackhole_kills_after_backoffs () =
+  (* cut the link mid-transfer: RTO backoffs then ETIMEDOUT *)
+  let engine = Engine.create () in
+  let d = Topology.direct_link engine ~rate_bps:10e6 ~delay:(Time.span_ms 5) () in
+  let cstack = Stack.attach d.Topology.client in
+  let sstack = Stack.attach d.Topology.server in
+  Stack.listen sstack ~port:80 (fun _ ->
+      Some
+        {
+          Stack.acc_config = None;
+          acc_synack_options = [];
+          acc_callbacks = Tcb.null_callbacks;
+          acc_on_created = ignore;
+        });
+  let timeouts = ref 0 in
+  let death = ref None in
+  let config = { Tcb.default_config with Tcb.max_rto_backoffs = 5 } in
+  let cbs =
+    {
+      Tcb.null_callbacks with
+      Tcb.on_established = (fun tcb -> Tcb.enqueue tcb ~dsn:0 ~len:500_000);
+      on_rto_event = (fun _ _ _ -> incr timeouts);
+      on_close = (fun _ err -> death := Some err);
+    }
+  in
+  let server_addr = List.hd (Host.addresses d.Topology.server) in
+  let client_addr = List.hd (Host.addresses d.Topology.client) in
+  let _ =
+    Stack.connect cstack ~src:client_addr ~dst:(Ip.endpoint server_addr 80) ~config cbs
+  in
+  ignore
+    (Engine.after engine (Time.span_ms 100) (fun () ->
+         Topology.set_duplex_up d.Topology.cable false));
+  Engine.run engine;
+  checkb "several rto events" true (!timeouts >= 5);
+  (match !death with
+  | Some (Some Tcp_error.Etimedout) -> ()
+  | _ -> Alcotest.fail "expected ETIMEDOUT kill")
+
+let test_rto_backoff_doubles () =
+  (* observe the rto values reported by successive timeout events *)
+  let engine = Engine.create () in
+  let d = Topology.direct_link engine ~rate_bps:10e6 ~delay:(Time.span_ms 5) () in
+  let cstack = Stack.attach d.Topology.client in
+  let sstack = Stack.attach d.Topology.server in
+  Stack.listen sstack ~port:80 (fun _ ->
+      Some
+        {
+          Stack.acc_config = None;
+          acc_synack_options = [];
+          acc_callbacks = Tcb.null_callbacks;
+          acc_on_created = ignore;
+        });
+  let rtos = ref [] in
+  let config = { Tcb.default_config with Tcb.max_rto_backoffs = 6 } in
+  let cbs =
+    {
+      Tcb.null_callbacks with
+      Tcb.on_established = (fun tcb -> Tcb.enqueue tcb ~dsn:0 ~len:100_000);
+      on_rto_event = (fun _ rto _ -> rtos := Time.span_to_float_s rto :: !rtos);
+    }
+  in
+  let server_addr = List.hd (Host.addresses d.Topology.server) in
+  let client_addr = List.hd (Host.addresses d.Topology.client) in
+  let _ =
+    Stack.connect cstack ~src:client_addr ~dst:(Ip.endpoint server_addr 80) ~config cbs
+  in
+  ignore
+    (Engine.after engine (Time.span_ms 50) (fun () ->
+         Topology.set_duplex_up d.Topology.cable false));
+  Engine.run engine;
+  let rtos = List.rev !rtos in
+  checkb "at least 4 rto events" true (List.length rtos >= 4);
+  (* each reported rto roughly doubles the previous one *)
+  let rec doubling = function
+    | a :: b :: rest -> b >= (a *. 1.9) && doubling (b :: rest)
+    | _ -> true
+  in
+  checkb "rtos double" true (doubling rtos)
+
+let test_ephemeral_ports_distinct () =
+  let engine = Engine.create () in
+  let d = Topology.direct_link engine () in
+  let cstack = Stack.attach d.Topology.client in
+  let sstack = Stack.attach d.Topology.server in
+  Stack.listen sstack ~port:80 (fun _ ->
+      Some
+        {
+          Stack.acc_config = None;
+          acc_synack_options = [];
+          acc_callbacks = Tcb.null_callbacks;
+          acc_on_created = ignore;
+        });
+  let server_addr = List.hd (Host.addresses d.Topology.server) in
+  let client_addr = List.hd (Host.addresses d.Topology.client) in
+  let ports =
+    List.init 20 (fun _ ->
+        let tcb =
+          Stack.connect cstack ~src:client_addr ~dst:(Ip.endpoint server_addr 80)
+            Tcb.null_callbacks
+        in
+        (Tcb.flow tcb).Ip.src.Ip.port)
+  in
+  let distinct = List.sort_uniq Int.compare ports in
+  checki "20 distinct ephemeral ports" 20 (List.length distinct)
+
+let () =
+  Alcotest.run "tcp"
+    [
+      ( "seq32",
+        [
+          Alcotest.test_case "wraparound" `Quick test_seq32_wrap;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest seq32_props );
+      ( "rtt",
+        [
+          Alcotest.test_case "first sample" `Quick test_rtt_first_sample;
+          Alcotest.test_case "min clamp" `Quick test_rtt_min_clamp;
+          Alcotest.test_case "backoff cap" `Quick test_rtt_backoff_cap;
+          Alcotest.test_case "ewma" `Quick test_rtt_ewma;
+        ] );
+      ( "cc",
+        [
+          Alcotest.test_case "slow start" `Quick test_cc_slow_start;
+          Alcotest.test_case "rto collapse" `Quick test_cc_rto_collapse;
+          Alcotest.test_case "fast retransmit" `Quick test_cc_fast_retransmit;
+          Alcotest.test_case "congestion avoidance" `Quick test_cc_congestion_avoidance;
+          Alcotest.test_case "lia single = reno" `Quick test_cc_lia_single_subflow_is_reno;
+          Alcotest.test_case "lia couples down" `Quick test_cc_lia_couples_down;
+        ] );
+      ( "reasm",
+        [
+          Alcotest.test_case "in order" `Quick test_reasm_in_order;
+          Alcotest.test_case "out of order" `Quick test_reasm_out_of_order;
+          Alcotest.test_case "no merge across streams" `Quick test_reasm_no_merge_across_streams;
+          Alcotest.test_case "duplicate" `Quick test_reasm_duplicate;
+          Alcotest.test_case "overlap trim" `Quick test_reasm_overlap_trim;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest reasm_props );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "lossless transfer" `Quick test_transfer_lossless;
+          Alcotest.test_case "handshake only" `Quick test_transfer_zero_handshake_only;
+          Alcotest.test_case "5% loss" `Quick test_transfer_lossy;
+          Alcotest.test_case "20% loss" `Quick test_transfer_heavy_loss;
+          Alcotest.test_case "throughput sane" `Quick test_transfer_throughput_sane;
+          Alcotest.test_case "connection refused" `Quick test_connect_refused;
+          Alcotest.test_case "blackhole -> ETIMEDOUT" `Quick test_blackhole_kills_after_backoffs;
+          Alcotest.test_case "rto backoff doubles" `Quick test_rto_backoff_doubles;
+          Alcotest.test_case "ephemeral ports distinct" `Quick test_ephemeral_ports_distinct;
+        ] );
+    ]
