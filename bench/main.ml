@@ -214,6 +214,35 @@ let fullmesh () =
     r.E.Fullmesh_recovery.subflows_created_by_controller r.E.Fullmesh_recovery.reconnects
     r.E.Fullmesh_recovery.messages_sent r.E.Fullmesh_recovery.final_subflows
 
+(* ------------------------------------------------------------------ chaos *)
+
+let chaos () =
+  banner "Robustness — control-plane fault injection (chaos harness)";
+  Printf.printf
+    "the Netlink channel drops/duplicates messages and the daemon crashes;\n\
+     the controller's view must reconverge to true kernel state, and under\n\
+     total daemon loss the in-kernel watchdog must take over.\n\n";
+  let drops = if quick then [ 0.05 ] else [ 0.0; 0.02; 0.05; 0.10 ] in
+  let seeds = E.Harness.seeds (scale ~q:1 ~d:3 ~f:5) in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-8s drop=%4.0f%% seed=%-3d converged=%-8s dup_subs=%d retries=%d resyncs=%d \
+         gaps=%d ch_drops=%d\n"
+        r.E.Chaos.controller (r.E.Chaos.drop *. 100.) r.E.Chaos.seed
+        (match r.E.Chaos.converged_after_s with
+        | Some s -> Printf.sprintf "%.3fs" s
+        | None -> "NEVER")
+        r.E.Chaos.duplicate_subflows r.E.Chaos.retries r.E.Chaos.resyncs
+        r.E.Chaos.gaps_detected r.E.Chaos.dropped)
+    (E.Chaos.run_grid ~seeds ~drops ());
+  let w = E.Chaos.run_watchdog () in
+  Printf.printf
+    "  watchdog: fallback=%b (x%d) kernel_subflows=%d bytes %d -> %d (%s)\n"
+    w.E.Chaos.w_fallback_active w.E.Chaos.w_fallbacks w.E.Chaos.w_kernel_subflows
+    w.E.Chaos.w_bytes_at_loss w.E.Chaos.w_bytes_final
+    (if w.E.Chaos.w_bytes_final > w.E.Chaos.w_bytes_at_loss then "alive" else "STALLED")
+
 (* -------------------------------------------- scheduler ablation (2b) *)
 
 let scheduler_ablation () =
@@ -364,5 +393,6 @@ let () =
   fig2c ();
   fig3 ();
   fullmesh ();
+  chaos ();
   microbench ();
   Printf.printf "\nDone.\n"

@@ -203,9 +203,52 @@ let fullmesh_cmd =
   Cmd.v (Cmd.info "fullmesh" ~doc:"Fullmesh controller failure recovery (4.1)")
     Term.(const run_fullmesh $ seed)
 
+(* --- chaos ------------------------------------------------------------------- *)
+
+let pp_convergence r =
+  Printf.printf
+    "%-8s drop=%4.0f%% seed=%-3d  converged=%-8s dup_subs=%d  kernel/view subs=%d/%d  \
+     retries=%d resyncs=%d gaps=%d  ch drops=%d dups=%d enobufs=%d  key replays=%d\n"
+    r.E.Chaos.controller (r.E.Chaos.drop *. 100.0) r.E.Chaos.seed
+    (match r.E.Chaos.converged_after_s with
+    | Some s -> Printf.sprintf "%.3fs" s
+    | None -> "NEVER")
+    r.E.Chaos.duplicate_subflows r.E.Chaos.kernel_subflows r.E.Chaos.view_subflows
+    r.E.Chaos.retries r.E.Chaos.resyncs r.E.Chaos.gaps_detected r.E.Chaos.dropped
+    r.E.Chaos.duplicated r.E.Chaos.overflowed r.E.Chaos.duplicate_commands
+
+let run_chaos seed drop grid =
+  Printf.printf
+    "Chaos: fullmesh controller over a lossy Netlink channel + daemon restart\n";
+  if grid then List.iter pp_convergence (E.Chaos.run_grid ())
+  else pp_convergence (E.Chaos.run_convergence ~seed ~drop ());
+  Printf.printf "\nWatchdog: daemon lost for good at t=5s\n";
+  let w = E.Chaos.run_watchdog ~seed () in
+  Printf.printf
+    "fallback_active=%b fallbacks=%d handbacks=%d kernel_subflows=%d\n"
+    w.E.Chaos.w_fallback_active w.E.Chaos.w_fallbacks w.E.Chaos.w_handbacks
+    w.E.Chaos.w_kernel_subflows;
+  Printf.printf "bytes acked at loss / at end: %d / %d (%s)\n"
+    w.E.Chaos.w_bytes_at_loss w.E.Chaos.w_bytes_final
+    (if w.E.Chaos.w_bytes_final > w.E.Chaos.w_bytes_at_loss then
+       "still transferring"
+     else "STALLED")
+
+let chaos_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let drop =
+    Arg.(value & opt float 0.05 & info [ "drop" ] ~doc:"Netlink message drop ratio.")
+  in
+  let grid =
+    Arg.(value & flag & info [ "grid" ] ~doc:"Sweep the (drop x seed) grid.")
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc:"Control-plane fault injection: convergence and watchdog")
+    Term.(const run_chaos $ seed $ drop $ grid)
+
 let main_cmd =
   let doc = "SMAPP experiments: smart Multipath TCP path management" in
   Cmd.group (Cmd.info "smapp" ~doc)
-    [ fig2a_cmd; fig2b_cmd; fig2c_cmd; fig3_cmd; backoff_cmd; fullmesh_cmd ]
+    [ fig2a_cmd; fig2b_cmd; fig2c_cmd; fig3_cmd; backoff_cmd; fullmesh_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -88,6 +88,78 @@ let handle t = function
       | None -> ())
   | Pm_msg.New_local_addr _ | Pm_msg.Del_local_addr _ -> ()
 
+(* After an event gap or daemon restart the view may have drifted from the
+   kernel in either direction; a [Dump] snapshot is authoritative. Each
+   difference is surfaced through the same callbacks the lost events would
+   have fired, so controllers need no resync-specific code. *)
+let reconcile t snapshots =
+  List.iter
+    (fun snap ->
+      let conn =
+        match find t snap.Pm_msg.cs_token with
+        | Some c -> c
+        | None ->
+            let c =
+              {
+                cv_token = snap.Pm_msg.cs_token;
+                cv_initial_flow = snap.Pm_msg.cs_initial_flow;
+                cv_established = false;
+                cv_subs = [];
+                cv_remote_addrs = [];
+              }
+            in
+            t.conn_list <- t.conn_list @ [ c ];
+            c
+      in
+      if snap.Pm_msg.cs_established && not conn.cv_established then begin
+        conn.cv_established <- true;
+        List.iter (fun f -> f conn) t.established_cbs
+      end;
+      List.iter
+        (fun ss ->
+          if find_sub conn ss.Pm_msg.ss_sub_id = None then begin
+            let sub =
+              {
+                sv_id = ss.Pm_msg.ss_sub_id;
+                sv_flow = ss.Pm_msg.ss_flow;
+                sv_backup = ss.Pm_msg.ss_backup;
+              }
+            in
+            conn.cv_subs <- conn.cv_subs @ [ sub ];
+            List.iter (fun f -> f conn sub) t.sub_estab_cbs
+          end)
+        snap.Pm_msg.cs_subs;
+      let stale =
+        List.filter
+          (fun s ->
+            not
+              (List.exists
+                 (fun ss -> ss.Pm_msg.ss_sub_id = s.sv_id)
+                 snap.Pm_msg.cs_subs))
+          conn.cv_subs
+      in
+      List.iter
+        (fun sub ->
+          conn.cv_subs <- List.filter (fun s -> s.sv_id <> sub.sv_id) conn.cv_subs;
+          (* the close reason was in the lost event; Etimedout is the
+             conservative guess that makes controllers re-establish *)
+          List.iter
+            (fun f -> f conn sub (Some Smapp_tcp.Tcp_error.Etimedout))
+            t.sub_closed_cbs)
+        stale)
+    snapshots;
+  let gone =
+    List.filter
+      (fun c ->
+        not (List.exists (fun s -> s.Pm_msg.cs_token = c.cv_token) snapshots))
+      t.conn_list
+  in
+  List.iter
+    (fun conn ->
+      t.conn_list <- List.filter (fun c -> c.cv_token <> conn.cv_token) t.conn_list;
+      List.iter (fun f -> f conn) t.closed_cbs)
+    gone
+
 let base_mask =
   Pm_msg.Mask.created lor Pm_msg.Mask.estab lor Pm_msg.Mask.closed
   lor Pm_msg.Mask.sub_estab lor Pm_msg.Mask.sub_closed lor Pm_msg.Mask.add_addr
@@ -107,4 +179,5 @@ let create pm ?(extra_mask = 0) ?on_event () =
   Pm_lib.on_event pm ~mask:(base_mask lor extra_mask) (fun ev ->
       handle t ev;
       match on_event with Some f -> f t ev | None -> ());
+  Pm_lib.on_resync pm (reconcile t);
   t

@@ -42,3 +42,10 @@ val on_sub_established : t -> (conn -> sub -> unit) -> unit
 
 val on_sub_closed : t -> (conn -> sub -> Smapp_tcp.Tcp_error.t option -> unit) -> unit
 (** The closed subflow is already removed from the view when this fires. *)
+
+val reconcile : t -> Pm_msg.conn_snapshot list -> unit
+(** Bring the view in line with an authoritative kernel snapshot
+    ({!Pm_lib.on_resync} wires this up automatically in {!create}).
+    Every difference fires the normal callbacks: missed connections and
+    subflows as established, vanished ones as closed — stale subflows with
+    error [Some Etimedout] so recovery logic re-establishes them. *)

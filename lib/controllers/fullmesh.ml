@@ -6,8 +6,10 @@ open Smapp_netsim
 type config = {
   local_addresses : Ip.t list;
   reconnect_after_reset : Time.span;
+  reconnect_after_refused : Time.span;
   reconnect_after_unreachable : Time.span;
   reconnect_after_timeout : Time.span;
+  reconnect_max_delay : Time.span;
   max_reconnect_attempts : int;
 }
 
@@ -15,10 +17,36 @@ let default_config ?(local_addresses = []) () =
   {
     local_addresses;
     reconnect_after_reset = Time.span_s 1;
+    reconnect_after_refused = Time.span_s 2;
     reconnect_after_unreachable = Time.span_s 5;
     reconnect_after_timeout = Time.span_s 3;
+    reconnect_max_delay = Time.span_s 60;
     max_reconnect_attempts = 10;
   }
+
+(* Pure so the errno split is unit-testable: the per-errno base delay grows
+   exponentially with the attempt number, capped at [reconnect_max_delay]. *)
+let reconnect_delay config ?(attempt = 0) error =
+  match error with
+  | None -> Time.span_zero (* orderly close: do not resurrect *)
+  | Some e ->
+      let base =
+        match e with
+        | Smapp_tcp.Tcp_error.Econnreset -> config.reconnect_after_reset
+        | Smapp_tcp.Tcp_error.Econnrefused -> config.reconnect_after_refused
+        | Smapp_tcp.Tcp_error.Enetunreach | Smapp_tcp.Tcp_error.Ehostunreach ->
+            config.reconnect_after_unreachable
+        | Smapp_tcp.Tcp_error.Etimedout -> config.reconnect_after_timeout
+      in
+      Smapp_core.Retry.delay_for
+        {
+          Smapp_core.Retry.base;
+          factor = 2.0;
+          max_delay = config.reconnect_max_delay;
+          max_attempts = config.max_reconnect_attempts;
+          jitter = 0.0;
+        }
+        ~attempt
 
 type t = {
   view : Conn_view.t;
@@ -30,6 +58,7 @@ type t = {
   requested : (int * int * int * int, int) Hashtbl.t; (* -> reconnect attempts *)
 }
 
+let view t = t.view
 let subflows_created t = t.created
 let reconnects_scheduled t = t.reconnects
 let local_addresses t = t.locals
@@ -57,20 +86,12 @@ let mesh t conn =
       t.locals
 
 let schedule_reconnect t (conn : Conn_view.conn) (sub : Conn_view.sub) error =
-  let delay =
-    match error with
-    | Some Smapp_tcp.Tcp_error.Econnreset | Some Smapp_tcp.Tcp_error.Econnrefused ->
-        t.config.reconnect_after_reset
-    | Some Smapp_tcp.Tcp_error.Enetunreach | Some Smapp_tcp.Tcp_error.Ehostunreach ->
-        t.config.reconnect_after_unreachable
-    | Some Smapp_tcp.Tcp_error.Etimedout -> t.config.reconnect_after_timeout
-    | None -> Time.span_zero (* orderly close: do not resurrect *)
-  in
   if error <> None then begin
     let flow = sub.Conn_view.sv_flow in
     let src = flow.Ip.src.Ip.addr and dst = flow.Ip.dst in
     let k = key conn.Conn_view.cv_token src dst in
     let attempts = match Hashtbl.find_opt t.requested k with Some n -> n | None -> 0 in
+    let delay = reconnect_delay t.config ~attempt:attempts error in
     if attempts < t.config.max_reconnect_attempts then begin
       Hashtbl.replace t.requested k (attempts + 1);
       t.reconnects <- t.reconnects + 1;

@@ -21,17 +21,31 @@ type config = {
   local_addresses : Ip.t list;
       (** interfaces known at startup (a real controller enumerates them via
           rtnetlink); updated by address events afterwards *)
-  reconnect_after_reset : Time.span;  (** default 1 s *)
-  reconnect_after_unreachable : Time.span;  (** default 5 s *)
-  reconnect_after_timeout : Time.span;  (** default 3 s *)
+  reconnect_after_reset : Time.span;  (** ECONNRESET base, default 1 s *)
+  reconnect_after_refused : Time.span;
+      (** ECONNREFUSED base, default 2 s: nothing is listening, so hammering
+          sooner than after a mid-connection RST buys nothing *)
+  reconnect_after_unreachable : Time.span;  (** ICMP unreachable base, default 5 s *)
+  reconnect_after_timeout : Time.span;  (** ETIMEDOUT base, default 3 s *)
+  reconnect_max_delay : Time.span;  (** backoff cap, default 60 s *)
   max_reconnect_attempts : int;  (** per subflow, default 10 *)
 }
 
 val default_config : ?local_addresses:Ip.t list -> unit -> config
 
+val reconnect_delay : config -> ?attempt:int -> Smapp_tcp.Tcp_error.t option -> Time.span
+(** The re-establishment delay for the [attempt]-th retry (0-based) after a
+    subflow died with the given errno: per-errno base doubled per attempt,
+    capped at [reconnect_max_delay]. [None] (orderly close) is zero — no
+    reconnection is scheduled at all. *)
+
 type t
 
 val start : Pm_lib.t -> config -> t
+
+val view : t -> Conn_view.t
+(** The controller's {!Conn_view} mirror (e.g. to audit it against true
+    kernel state in fault-injection harnesses). *)
 
 val subflows_created : t -> int
 val reconnects_scheduled : t -> int

@@ -6,6 +6,22 @@ module Wire = Smapp_netlink.Wire
 
 let kernel_work_delay = Time.span_us 3
 
+type watchdog_config = {
+  wd_interval : Time.span;
+  wd_missed_threshold : int;
+  wd_fullmesh_fallback : bool;
+}
+
+let default_watchdog =
+  {
+    wd_interval = Time.span_ms 100;
+    wd_missed_threshold = 3;
+    wd_fullmesh_fallback = true;
+  }
+
+(* bounded replay cache for command idempotency keys *)
+let key_cache_capacity = 512
+
 type t = {
   endpoint : Endpoint.t;
   channel : Channel.t;
@@ -14,12 +30,25 @@ type t = {
   mutable next_seq : int;
   mutable events_sent : int;
   mutable commands_executed : int;
+  mutable duplicate_commands : int;
+  key_cache : (int, Pm_msg.reply) Hashtbl.t;
+  key_order : int Queue.t;
+  mutable watchdog : watchdog_config option;
+  mutable last_rx : Time.t;
+  mutable missed : int;
+  mutable fallback_active : bool;
+  mutable fallbacks : int;
+  mutable handbacks : int;
 }
 
 let endpoint t = t.endpoint
 let mask t = t.mask
 let events_sent t = t.events_sent
 let commands_executed t = t.commands_executed
+let duplicate_commands t = t.duplicate_commands
+let fallback_active t = t.fallback_active
+let fallbacks t = t.fallbacks
+let handbacks t = t.handbacks
 
 let send_event t ev =
   if t.mask land Pm_msg.mask_of_event ev <> 0 then begin
@@ -27,6 +56,43 @@ let send_event t ev =
     t.events_sent <- t.events_sent + 1;
     Channel.kernel_send t.channel (Wire.encode (Pm_msg.event_to_msg ~seq:t.next_seq ev))
   end
+
+let activate_fallback t =
+  if not t.fallback_active then begin
+    t.fallback_active <- true;
+    t.fallbacks <- t.fallbacks + 1;
+    (* while the daemon is dead the kernel meshes for itself, exactly like
+       the in-kernel fullmesh path manager *)
+    match t.watchdog with
+    | Some wd when wd.wd_fullmesh_fallback ->
+        List.iter Path_manager.mesh_sweep (Endpoint.connections t.endpoint)
+    | _ -> ()
+  end
+
+let hand_back t =
+  if t.fallback_active then begin
+    t.fallback_active <- false;
+    t.handbacks <- t.handbacks + 1;
+    t.missed <- 0
+  end
+
+let enable_watchdog t config =
+  t.watchdog <- Some config;
+  t.last_rx <- Engine.now t.engine;
+  t.missed <- 0;
+  ignore
+    (Engine.every t.engine config.wd_interval (fun () ->
+         if not t.fallback_active then begin
+           if
+             Time.compare_span
+               (Time.diff (Engine.now t.engine) t.last_rx)
+               config.wd_interval
+             >= 0
+           then t.missed <- t.missed + 1
+           else t.missed <- 0;
+           if t.missed >= config.wd_missed_threshold then activate_fallback t
+         end;
+         `Continue))
 
 (* translate one connection's event stream *)
 let watch_connection t conn =
@@ -39,7 +105,9 @@ let watch_connection t conn =
     (Pm_msg.Created
        { token; flow = Connection.initial_flow conn; sub_id = initial_sub_id });
   Connection.subscribe conn (function
-    | Connection.Established -> send_event t (Pm_msg.Estab { token })
+    | Connection.Established ->
+        if t.fallback_active then Path_manager.mesh_sweep conn;
+        send_event t (Pm_msg.Estab { token })
     | Connection.Closed -> send_event t (Pm_msg.Closed { token })
     | Connection.Subflow_established sf ->
         send_event t
@@ -76,6 +144,25 @@ let sub_info_of sf =
     si_retransmits = info.Smapp_tcp.Tcp_info.retransmits;
     si_total_retrans = info.Smapp_tcp.Tcp_info.total_retrans;
     si_backup = info.Smapp_tcp.Tcp_info.backup;
+  }
+
+let snapshot_of conn =
+  {
+    Pm_msg.cs_token = Connection.local_token conn;
+    cs_initial_flow = Connection.initial_flow conn;
+    cs_established = Connection.established conn;
+    cs_subs =
+      List.filter_map
+        (fun sf ->
+          if Subflow.established sf then
+            Some
+              {
+                Pm_msg.ss_sub_id = sf.Subflow.id;
+                ss_flow = Subflow.flow sf;
+                ss_backup = Subflow.is_backup sf;
+              }
+          else None)
+        (Connection.subflows conn);
   }
 
 let execute t cmd =
@@ -160,8 +247,20 @@ let execute t cmd =
               ci_subflow_count = List.length (Connection.subflows conn);
               ci_send_buffer = Connection.send_buffer_bytes conn;
             })
+  | Pm_msg.Dump -> Pm_msg.R_dump (List.map snapshot_of (Endpoint.connections t.endpoint))
+  | Pm_msg.Keepalive -> Pm_msg.Ack
+
+let cache_reply t key reply =
+  if not (Hashtbl.mem t.key_cache key) then begin
+    Hashtbl.replace t.key_cache key reply;
+    Queue.push key t.key_order;
+    if Queue.length t.key_order > key_cache_capacity then
+      Hashtbl.remove t.key_cache (Queue.pop t.key_order)
+  end
 
 let on_command_bytes t bytes =
+  t.last_rx <- Engine.now t.engine;
+  if t.fallback_active then hand_back t;
   match Wire.decode_batch bytes with
   | Error _ -> () (* a real kernel would NACK; malformed input is dropped *)
   | Ok msgs ->
@@ -171,11 +270,22 @@ let on_command_bytes t bytes =
           ignore
             (Engine.after t.engine kernel_work_delay (fun () ->
                  let reply =
-                   match Pm_msg.command_of_msg m with
-                   | Error e -> Pm_msg.Error e
-                   | Ok cmd ->
-                       t.commands_executed <- t.commands_executed + 1;
-                       execute t cmd
+                   (* a retransmitted or duplicated command replays its
+                      cached reply instead of executing twice *)
+                   match Option.map (Hashtbl.find_opt t.key_cache) (Pm_msg.command_key m) with
+                   | Some (Some cached) ->
+                       t.duplicate_commands <- t.duplicate_commands + 1;
+                       cached
+                   | _ -> (
+                       match Pm_msg.command_of_msg m with
+                       | Error e -> Pm_msg.Error e
+                       | Ok cmd ->
+                           t.commands_executed <- t.commands_executed + 1;
+                           let reply = execute t cmd in
+                           (match Pm_msg.command_key m with
+                           | Some key -> cache_reply t key reply
+                           | None -> ());
+                           reply)
                  in
                  Channel.kernel_send t.channel
                    (Wire.encode (Pm_msg.reply_to_msg ~seq reply)))))
@@ -192,6 +302,15 @@ let attach endpoint channel =
       next_seq = 0;
       events_sent = 0;
       commands_executed = 0;
+      duplicate_commands = 0;
+      key_cache = Hashtbl.create 64;
+      key_order = Queue.create ();
+      watchdog = None;
+      last_rx = Time.zero;
+      missed = 0;
+      fallback_active = false;
+      fallbacks = 0;
+      handbacks = 0;
     }
   in
   Channel.on_kernel_receive channel (on_command_bytes t);

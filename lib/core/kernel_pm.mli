@@ -22,6 +22,41 @@ val mask : t -> int
 val events_sent : t -> int
 val commands_executed : t -> int
 
+val duplicate_commands : t -> int
+(** Commands whose idempotency key was already seen: the cached reply was
+    replayed instead of executing twice (lost-ack retransmissions and
+    channel duplication both land here). *)
+
+(** {1 Watchdog}
+
+    The kernel-side liveness monitor for the userspace controller. Any
+    received command (including the unreliable [Keepalive] beacon) counts
+    as life; after [wd_missed_threshold] consecutive silent intervals the
+    path manager assumes the daemon is dead and degrades gracefully to an
+    in-kernel fullmesh (or does nothing if [wd_fullmesh_fallback] is
+    false, i.e. the "default" kernel path manager). The first command
+    received afterwards hands control straight back to userspace. *)
+
+type watchdog_config = {
+  wd_interval : Smapp_sim.Time.span;  (** liveness check period *)
+  wd_missed_threshold : int;  (** silent intervals before fallback *)
+  wd_fullmesh_fallback : bool;
+      (** mesh local x remote addresses while in fallback (vs. leaving
+          connections on their initial subflow only) *)
+}
+
+val default_watchdog : watchdog_config
+(** 100 ms interval, 3 missed intervals, fullmesh fallback. *)
+
+val enable_watchdog : t -> watchdog_config -> unit
+
+val fallback_active : t -> bool
+val fallbacks : t -> int
+(** Times the watchdog declared the daemon dead. *)
+
+val handbacks : t -> int
+(** Times control was returned to a revived daemon. *)
+
 val kernel_work_delay : Smapp_sim.Time.span
 (** In-kernel processing charged between receiving a command and acting on
     it (same order as {!Path_manager.creation_delay}). *)

@@ -2,27 +2,80 @@ open Smapp_sim
 module Channel = Smapp_netlink.Channel
 module Wire = Smapp_netlink.Wire
 
+type config = {
+  retry : Retry.policy;
+  resync_on_gap : bool;
+}
+
+let default_config = { retry = Retry.command_default; resync_on_gap = true }
+
+type pending = {
+  p_seq : int;
+  p_on_reply : (Pm_msg.reply -> unit) option;
+  mutable p_run : Retry.run option;
+}
+
 type t = {
   engine : Engine.t;
   channel : Channel.t;
+  config : config;
+  rng : Rng.t;
   mutable listeners : (int * (Pm_msg.event -> unit)) list; (* mask, callback *)
   mutable subscribed_mask : int;
   mutable next_seq : int;
-  mutable pending : (int * (Pm_msg.reply -> unit)) list;
+  mutable pending : (int * pending) list;
   mutable events_received : int;
+  mutable last_event_seq : int option;
+  mutable resync_cbs : (Pm_msg.conn_snapshot list -> unit) list;
+  mutable resync_inflight : bool;
+  mutable keepalive_timer : Engine.timer option;
+  mutable retries : int;
+  mutable command_failures : int;
+  mutable gaps_detected : int;
+  mutable resyncs : int;
+  mutable duplicate_events_dropped : int;
+  mutable restarts : int;
 }
 
 let engine t = t.engine
 let pending_requests t = List.length t.pending
 let events_received t = t.events_received
+let retries t = t.retries
+let command_failures t = t.command_failures
+let gaps_detected t = t.gaps_detected
+let resyncs t = t.resyncs
+let duplicate_events_dropped t = t.duplicate_events_dropped
+let restarts t = t.restarts
 
-let send_command t cmd on_reply =
+let transmit t bytes = Channel.user_send t.channel bytes
+
+(* Every command is tracked until its reply (or duplicate-filtered replay of
+   its reply) comes back; lost commands and lost replies are retransmitted
+   with capped exponential backoff under the same idempotency key, so the
+   kernel executes each logical command at most once. *)
+let send_command ?(reliable = true) t cmd on_reply =
   t.next_seq <- t.next_seq + 1;
   let seq = t.next_seq in
-  (match on_reply with
-  | Some f -> t.pending <- (seq, f) :: t.pending
-  | None -> ());
-  Channel.user_send t.channel (Wire.encode (Pm_msg.command_to_msg ~seq cmd))
+  let key = Rng.bits30 t.rng in
+  let bytes = Wire.encode (Pm_msg.command_to_msg ~key ~seq cmd) in
+  if not reliable then transmit t bytes
+  else begin
+    let p = { p_seq = seq; p_on_reply = on_reply; p_run = None } in
+    t.pending <- (seq, p) :: t.pending;
+    p.p_run <-
+      Some
+        (Retry.start t.engine ~rng:t.rng t.config.retry
+           ~body:(fun ~attempt ->
+             if attempt > 0 then t.retries <- t.retries + 1;
+             transmit t bytes)
+           ~exhausted:(fun () ->
+             t.command_failures <- t.command_failures + 1;
+             t.pending <- List.remove_assoc seq t.pending;
+             match p.p_on_reply with
+             | Some f -> f (Pm_msg.Error "command timed out")
+             | None -> ())
+           ())
+  end
 
 let resubscribe t =
   let mask = List.fold_left (fun acc (m, _) -> acc lor m) 0 t.listeners in
@@ -36,11 +89,46 @@ let dispatch_event t ev =
   let mask = Pm_msg.mask_of_event ev in
   List.iter (fun (m, f) -> if m land mask <> 0 then f ev) t.listeners
 
+let on_resync t f = t.resync_cbs <- t.resync_cbs @ [ f ]
+
+let request_resync t =
+  if not t.resync_inflight then begin
+    t.resync_inflight <- true;
+    t.resyncs <- t.resyncs + 1;
+    send_command t Pm_msg.Dump
+      (Some
+         (function
+         | Pm_msg.R_dump snapshots ->
+             t.resync_inflight <- false;
+             List.iter (fun f -> f snapshots) t.resync_cbs
+         | Pm_msg.Ack | Pm_msg.Error _ | Pm_msg.R_sub_info _ | Pm_msg.R_conn_info _ ->
+             (* resync failed; the next gap or restart re-triggers it *)
+             t.resync_inflight <- false))
+  end
+
+(* Events carry the kernel's strictly increasing sequence number: a repeat
+   is a duplicated message, a jump is a lost one. Duplicates are filtered;
+   gaps trigger a full state resync because an unknown number of
+   lifecycle transitions just went missing. *)
+let handle_event t seq ev =
+  match t.last_event_seq with
+  | Some last when seq <= last ->
+      t.duplicate_events_dropped <- t.duplicate_events_dropped + 1
+  | Some last when seq > last + 1 ->
+      t.gaps_detected <- t.gaps_detected + 1;
+      t.last_event_seq <- Some seq;
+      dispatch_event t ev;
+      if t.config.resync_on_gap then request_resync t
+  | _ ->
+      t.last_event_seq <- Some seq;
+      dispatch_event t ev
+
 let dispatch_reply t seq reply =
   match List.assoc_opt seq t.pending with
-  | Some f ->
+  | Some p ->
       t.pending <- List.remove_assoc seq t.pending;
-      f reply
+      (match p.p_run with Some run -> Retry.stop run | None -> ());
+      (match p.p_on_reply with Some f -> f reply | None -> ())
   | None -> ()
 
 let on_bytes t bytes =
@@ -50,38 +138,91 @@ let on_bytes t bytes =
       List.iter
         (fun m ->
           match Pm_msg.event_of_msg m with
-          | Ok ev -> dispatch_event t ev
+          | Ok ev -> handle_event t m.Wire.header.Wire.seq ev
           | Error _ -> (
               match Pm_msg.reply_of_msg m with
               | Ok reply -> dispatch_reply t m.Wire.header.Wire.seq reply
               | Error _ -> ()))
         msgs
 
-let create engine channel =
+(* Daemon restart: in-flight requests died with the old process, the event
+   sequence baseline is gone, and the kernel may have moved on — re-arm the
+   subscription and pull a full snapshot. *)
+let restart t =
+  t.restarts <- t.restarts + 1;
+  let stale = t.pending in
+  t.pending <- [];
+  List.iter
+    (fun (_, p) ->
+      (match p.p_run with Some run -> Retry.stop run | None -> ());
+      match p.p_on_reply with
+      | Some f -> f (Pm_msg.Error "daemon restarted")
+      | None -> ())
+    stale;
+  t.last_event_seq <- None;
+  t.resync_inflight <- false;
+  if t.subscribed_mask <> 0 then
+    send_command t (Pm_msg.Subscribe { mask = t.subscribed_mask }) None;
+  if t.resync_cbs <> [] then request_resync t
+
+let enable_keepalive t ~interval =
+  (match t.keepalive_timer with Some timer -> Engine.cancel timer | None -> ());
+  t.keepalive_timer <-
+    Some
+      (Engine.every t.engine ~start:Time.span_zero interval (fun () ->
+           (* fire-and-forget: silence is exactly what the watchdog must see
+              when the daemon is gone *)
+           send_command ~reliable:false t Pm_msg.Keepalive None;
+           `Continue))
+
+let create ?(config = default_config) engine channel =
   let t =
     {
       engine;
       channel;
+      config;
+      rng = Engine.split_rng engine;
       listeners = [];
       subscribed_mask = 0;
       next_seq = 0;
       pending = [];
       events_received = 0;
+      last_event_seq = None;
+      resync_cbs = [];
+      resync_inflight = false;
+      keepalive_timer = None;
+      retries = 0;
+      command_failures = 0;
+      gaps_detected = 0;
+      resyncs = 0;
+      duplicate_events_dropped = 0;
+      restarts = 0;
     }
   in
   Channel.on_user_receive channel (on_bytes t);
+  Channel.on_user_restart channel (fun () -> restart t);
   t
 
 let on_event t ~mask f =
   t.listeners <- t.listeners @ [ (mask, f) ];
   resubscribe t
 
+let dump t on_result =
+  send_command t Pm_msg.Dump
+    (Some
+       (function
+       | Pm_msg.R_dump snapshots -> on_result (Ok snapshots)
+       | Pm_msg.Error e -> on_result (Error e)
+       | Pm_msg.Ack | Pm_msg.R_sub_info _ | Pm_msg.R_conn_info _ ->
+           on_result (Error "unexpected reply")))
+
 let ack_handler on_result =
   Option.map
     (fun f -> function
       | Pm_msg.Ack -> f (Ok ())
       | Pm_msg.Error e -> f (Error e)
-      | Pm_msg.R_sub_info _ | Pm_msg.R_conn_info _ -> f (Error "unexpected reply"))
+      | Pm_msg.R_sub_info _ | Pm_msg.R_conn_info _ | Pm_msg.R_dump _ ->
+          f (Error "unexpected reply"))
     on_result
 
 let create_subflow t ~token ~src ?src_port ~dst ?(backup = false) ?on_result () =
@@ -102,7 +243,8 @@ let get_sub_info t ~token ~sub_id on_result =
        (function
        | Pm_msg.R_sub_info i -> on_result (Ok i)
        | Pm_msg.Error e -> on_result (Error e)
-       | Pm_msg.Ack | Pm_msg.R_conn_info _ -> on_result (Error "unexpected reply")))
+       | Pm_msg.Ack | Pm_msg.R_conn_info _ | Pm_msg.R_dump _ ->
+           on_result (Error "unexpected reply")))
 
 let get_conn_info t ~token on_result =
   send_command t
@@ -111,4 +253,5 @@ let get_conn_info t ~token on_result =
        (function
        | Pm_msg.R_conn_info i -> on_result (Ok i)
        | Pm_msg.Error e -> on_result (Error e)
-       | Pm_msg.Ack | Pm_msg.R_sub_info _ -> on_result (Error "unexpected reply")))
+       | Pm_msg.Ack | Pm_msg.R_sub_info _ | Pm_msg.R_dump _ ->
+           on_result (Error "unexpected reply")))

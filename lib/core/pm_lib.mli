@@ -7,6 +7,15 @@
     channel, encodes commands, decodes events and replies, correlates
     request/response by sequence number, and dispatches callbacks.
 
+    The channel is lossy ({!Smapp_netlink.Channel.fault_profile}), so the
+    library also implements the recovery protocol that makes controllers
+    survivable: commands are retransmitted with capped exponential backoff
+    ({!Retry}) under per-command idempotency keys (a retried
+    [create_subflow] whose ack was lost does not double-create); event
+    sequence numbers detect lost events and duplicate deliveries; a
+    detected gap or a daemon restart pulls a full kernel snapshot
+    ([Dump]) that {!on_resync} subscribers reconcile against.
+
     Subflow controllers ({!Smapp_controllers}) are written exclusively
     against this interface plus timers; they never touch kernel objects. *)
 
@@ -15,7 +24,14 @@ open Smapp_netsim
 
 type t
 
-val create : Engine.t -> Smapp_netlink.Channel.t -> t
+type config = {
+  retry : Retry.policy;  (** command retransmission schedule *)
+  resync_on_gap : bool;  (** issue a [Dump] when an event gap is detected (default true) *)
+}
+
+val default_config : config
+
+val create : ?config:config -> Engine.t -> Smapp_netlink.Channel.t -> t
 
 val engine : t -> Engine.t
 (** The userspace process's event loop, for controller timers. *)
@@ -27,6 +43,11 @@ val on_event : t -> mask:int -> (Pm_msg.event -> unit) -> unit
     updates the kernel-side subscription to the union of all registrations.
     "The subflow controller receives only notifications for events it
     registered to." *)
+
+val on_resync : t -> (Pm_msg.conn_snapshot list -> unit) -> unit
+(** Called with the full kernel state whenever a resynchronisation
+    completes (after an event gap or a daemon restart). {!Conn_view}
+    registers here to reconcile its mirror. *)
 
 (** {1 Commands} *)
 
@@ -62,5 +83,32 @@ val get_sub_info :
 val get_conn_info :
   t -> token:int -> ((Pm_msg.conn_info, string) result -> unit) -> unit
 
+val dump : t -> ((Pm_msg.conn_snapshot list, string) result -> unit) -> unit
+(** Explicit full-state snapshot request (also issued internally on gap or
+    restart). Does not fire the {!on_resync} callbacks. *)
+
+val enable_keepalive : t -> interval:Time.span -> unit
+(** Send a [Keepalive] beacon every [interval] (unreliable by design: its
+    absence is the kernel watchdog's death signal). *)
+
+(** {1 Reliability counters} *)
+
 val pending_requests : t -> int
 val events_received : t -> int
+
+val retries : t -> int
+(** Command retransmissions (beyond each first send). *)
+
+val command_failures : t -> int
+(** Commands abandoned after exhausting the retry policy. *)
+
+val gaps_detected : t -> int
+(** Event sequence-number gaps (lost events) observed. *)
+
+val resyncs : t -> int
+(** [Dump]-based resynchronisations triggered by gaps or restarts. *)
+
+val duplicate_events_dropped : t -> int
+
+val restarts : t -> int
+(** Daemon crash/restart cycles survived. *)

@@ -54,6 +54,8 @@ type command =
   | Set_backup of { token : int; sub_id : int; backup : bool }
   | Get_sub_info of { token : int; sub_id : int }
   | Get_conn_info of { token : int }
+  | Dump
+  | Keepalive
 
 type sub_info = {
   si_sub_id : int;
@@ -78,7 +80,21 @@ type conn_info = {
   ci_send_buffer : int;
 }
 
-type reply = Ack | Error of string | R_sub_info of sub_info | R_conn_info of conn_info
+type sub_snapshot = { ss_sub_id : int; ss_flow : Ip.flow; ss_backup : bool }
+
+type conn_snapshot = {
+  cs_token : int;
+  cs_initial_flow : Ip.flow;
+  cs_established : bool;
+  cs_subs : sub_snapshot list;
+}
+
+type reply =
+  | Ack
+  | Error of string
+  | R_sub_info of sub_info
+  | R_conn_info of conn_info
+  | R_dump of conn_snapshot list
 
 (* message types *)
 let t_created = 1
@@ -97,10 +113,15 @@ and t_remove_subflow = 22
 and t_set_backup = 23
 and t_get_sub_info = 24
 and t_get_conn_info = 25
+and t_dump = 26
+and t_keepalive = 27
 and t_ack = 30
 and t_error = 31
 and t_r_sub_info = 32
 and t_r_conn_info = 33
+and t_r_dump = 34
+and t_conn_snap = 40
+and t_sub_snap = 41
 
 (* attribute ids *)
 let a_token = 1
@@ -132,6 +153,10 @@ and a_snd_nxt = 26
 and a_retrans = 27
 and a_total_retrans = 28
 and a_send_buffer = 29
+and a_cmd_key = 30
+and a_estab = 31
+and a_conn_snap = 32
+and a_sub_snap = 33
 
 let errno_code = function
   | Tcp_error.Etimedout -> 110
@@ -297,7 +322,15 @@ let event_of_msg m =
   end
   else Error (Printf.sprintf "unknown event type %d" ty)
 
-let command_to_msg ~seq = function
+let command_to_msg ?key ~seq cmd =
+  let with_key m =
+    match key with
+    | None -> m
+    | Some k -> { m with Wire.attrs = u32 a_cmd_key k :: m.Wire.attrs }
+  in
+  with_key
+  @@
+  match cmd with
   | Subscribe { mask } -> msg ~seq t_subscribe [ u32 a_mask mask ]
   | Create_subflow { token; src; src_port; dst; backup } ->
       msg ~seq t_create_subflow
@@ -316,6 +349,10 @@ let command_to_msg ~seq = function
   | Get_sub_info { token; sub_id } ->
       msg ~seq t_get_sub_info [ u32 a_token token; u32 a_sub_id sub_id ]
   | Get_conn_info { token } -> msg ~seq t_get_conn_info [ u32 a_token token ]
+  | Dump -> msg ~seq t_dump []
+  | Keepalive -> msg ~seq t_keepalive []
+
+let command_key m = Result.to_option (Wire.get_u32 m a_cmd_key)
 
 let command_of_msg m =
   let ty = m.Wire.header.Wire.msg_type in
@@ -360,7 +397,52 @@ let command_of_msg m =
     let* token = Wire.get_u32 m a_token in
     Ok (Get_conn_info { token })
   end
+  else if ty = t_dump then Ok Dump
+  else if ty = t_keepalive then Ok Keepalive
   else Error (Printf.sprintf "unknown command type %d" ty)
+
+(* snapshots nest as encoded sub-messages carried in string attributes, the
+   netlink idiom for nested attribute sets *)
+let sub_snapshot_to_str s =
+  Wire.encode
+    (msg ~seq:0 t_sub_snap
+       (u32 a_sub_id s.ss_sub_id :: u8b a_backup s.ss_backup :: flow_attrs s.ss_flow))
+
+let sub_snapshot_of_str str =
+  let* m = Wire.decode str in
+  if m.Wire.header.Wire.msg_type <> t_sub_snap then Error "not a sub snapshot"
+  else begin
+    let* sub_id = Wire.get_u32 m a_sub_id in
+    let* backup = Wire.get_u8 m a_backup in
+    let* flow = get_flow m in
+    Ok { ss_sub_id = sub_id; ss_flow = flow; ss_backup = backup <> 0 }
+  end
+
+let conn_snapshot_to_str c =
+  Wire.encode
+    (msg ~seq:0 t_conn_snap
+       (u32 a_token c.cs_token
+       :: u8b a_estab c.cs_established
+       :: (flow_attrs c.cs_initial_flow
+          @ List.map (fun s -> str a_sub_snap (sub_snapshot_to_str s)) c.cs_subs)))
+
+let conn_snapshot_of_str s =
+  let* m = Wire.decode s in
+  if m.Wire.header.Wire.msg_type <> t_conn_snap then Error "not a conn snapshot"
+  else begin
+    let* token = Wire.get_u32 m a_token in
+    let* estab = Wire.get_u8 m a_estab in
+    let* flow = get_flow m in
+    let rec subs = function
+      | [] -> Ok []
+      | s :: rest ->
+          let* sub = sub_snapshot_of_str s in
+          let* rest = subs rest in
+          Ok (sub :: rest)
+    in
+    let* cs_subs = subs (Wire.get_strs m a_sub_snap) in
+    Ok { cs_token = token; cs_initial_flow = flow; cs_established = estab <> 0; cs_subs }
+  end
 
 let reply_to_msg ~seq = function
   | Ack -> msg ~seq t_ack []
@@ -390,6 +472,8 @@ let reply_to_msg ~seq = function
           u32 a_sub_count c.ci_subflow_count;
           u64 a_send_buffer c.ci_send_buffer;
         ]
+  | R_dump conns ->
+      msg ~seq t_r_dump (List.map (fun c -> str a_conn_snap (conn_snapshot_to_str c)) conns)
 
 let reply_of_msg m =
   let ty = m.Wire.header.Wire.msg_type in
@@ -446,6 +530,17 @@ let reply_of_msg m =
            ci_send_buffer = Int64.to_int buffer;
          })
   end
+  else if ty = t_r_dump then begin
+    let rec conns = function
+      | [] -> Ok []
+      | s :: rest ->
+          let* c = conn_snapshot_of_str s in
+          let* rest = conns rest in
+          Ok (c :: rest)
+    in
+    let* cs = conns (Wire.get_strs m a_conn_snap) in
+    Ok (R_dump cs)
+  end
   else Error (Printf.sprintf "unknown reply type %d" ty)
 
 let pp_event ppf = function
@@ -485,3 +580,5 @@ let pp_command ppf = function
   | Get_sub_info { token; sub_id } ->
       Format.fprintf ppf "get_sub_info(token=%x,sub=%d)" token sub_id
   | Get_conn_info { token } -> Format.fprintf ppf "get_conn_info(token=%x)" token
+  | Dump -> Format.fprintf ppf "dump"
+  | Keepalive -> Format.fprintf ppf "keepalive"

@@ -59,6 +59,12 @@ type command =
   | Set_backup of { token : int; sub_id : int; backup : bool }
   | Get_sub_info of { token : int; sub_id : int }
   | Get_conn_info of { token : int }
+  | Dump
+      (** full kernel state snapshot ([R_dump]): the resynchronisation
+          primitive a controller issues after an event-sequence gap or a
+          daemon restart *)
+  | Keepalive
+      (** liveness beacon for the kernel watchdog; replied with [Ack] *)
 
 (** {1 Replies (kernel -> userspace, matched by sequence number)} *)
 
@@ -85,18 +91,33 @@ type conn_info = {
   ci_send_buffer : int;
 }
 
+type sub_snapshot = { ss_sub_id : int; ss_flow : Ip.flow; ss_backup : bool }
+
+type conn_snapshot = {
+  cs_token : int;
+  cs_initial_flow : Ip.flow;
+  cs_established : bool;
+  cs_subs : sub_snapshot list;  (** established subflows only *)
+}
+
 type reply =
   | Ack
   | Error of string
   | R_sub_info of sub_info
   | R_conn_info of conn_info
+  | R_dump of conn_snapshot list
 
 (** {1 Wire codecs} *)
 
 val event_to_msg : seq:int -> event -> Smapp_netlink.Wire.msg
 val event_of_msg : Smapp_netlink.Wire.msg -> (event, string) result
-val command_to_msg : seq:int -> command -> Smapp_netlink.Wire.msg
+val command_to_msg : ?key:int -> seq:int -> command -> Smapp_netlink.Wire.msg
+(** [key] is the idempotency key: retransmissions of one logical command
+    reuse the key so the kernel can deduplicate re-execution. *)
+
 val command_of_msg : Smapp_netlink.Wire.msg -> (command, string) result
+
+val command_key : Smapp_netlink.Wire.msg -> int option
 val reply_to_msg : seq:int -> reply -> Smapp_netlink.Wire.msg
 val reply_of_msg : Smapp_netlink.Wire.msg -> (reply, string) result
 

@@ -12,4 +12,12 @@ type t = {
   channel : Smapp_netlink.Channel.t;
 }
 
-val attach : ?latency:Time.span -> Endpoint.t -> t
+val attach :
+  ?latency:Time.span ->
+  ?profile:Smapp_netlink.Channel.fault_profile ->
+  ?pm_config:Pm_lib.config ->
+  Endpoint.t ->
+  t
+(** [profile] configures channel fault injection (default
+    {!Smapp_netlink.Channel.reliable}); [pm_config] tunes the library's
+    retry/resync behaviour (default {!Pm_lib.default_config}). *)

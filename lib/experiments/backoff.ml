@@ -8,7 +8,22 @@ type result = {
   max_rto_seen : float;
   bytes_before_failover : int;
   bytes_after_failover : int;
+  predicted_kill_s : float;
 }
+
+(* Closed-form prediction of the kill time from the same capped-exponential
+   schedule TCP's retransmission timer follows (Linux: TCP_RTO_MAX = 120 s,
+   [max_backoffs] doublings), expressed as a {!Smapp_core.Retry.policy}. *)
+let predicted_kill_s ~first_rto_s ~max_backoffs =
+  Time.span_to_float_s
+    (Smapp_core.Retry.total_delay
+       {
+         Smapp_core.Retry.base = Time.span_of_float_s first_rto_s;
+         factor = 2.0;
+         max_delay = Time.span_s 120;
+         max_attempts = max_backoffs;
+         jitter = 0.0;
+       })
 
 let run ?(seed = 42) ?(loss = 0.30) ?(max_backoffs = 15) ?(horizon = 1500.0) () =
   (* raise the kill threshold to Linux's 15 doublings *)
@@ -27,6 +42,7 @@ let run ?(seed = 42) ?(loss = 0.30) ?(max_backoffs = 15) ?(horizon = 1500.0) () 
   let died_at = ref None in
   let rtos = ref 0 in
   let max_rto = ref 0.0 in
+  let first_rto = ref None in
   let bytes_at_death = ref 0 in
   Connection.subscribe conn (function
     | Connection.Established ->
@@ -40,7 +56,10 @@ let run ?(seed = 42) ?(loss = 0.30) ?(max_backoffs = 15) ?(horizon = 1500.0) () 
     | Connection.Subflow_rto (sf, rto, _) ->
         if sf.Subflow.is_initial then begin
           incr rtos;
-          max_rto := Float.max !max_rto (Time.span_to_float_s rto)
+          let rto_s = Time.span_to_float_s rto in
+          (* the event reports the already-doubled value: halve it back *)
+          if !first_rto = None then first_rto := Some (rto_s /. 2.);
+          max_rto := Float.max !max_rto rto_s
         end
     | Connection.Subflow_closed (sf, _) ->
         if sf.Subflow.is_initial && !died_at = None then begin
@@ -58,4 +77,8 @@ let run ?(seed = 42) ?(loss = 0.30) ?(max_backoffs = 15) ?(horizon = 1500.0) () 
     max_rto_seen = !max_rto;
     bytes_before_failover = !bytes_at_death;
     bytes_after_failover = !received - !bytes_at_death;
+    predicted_kill_s =
+      (match !first_rto with
+      | Some r -> predicted_kill_s ~first_rto_s:r ~max_backoffs
+      | None -> 0.0);
   }

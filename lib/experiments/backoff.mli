@@ -13,6 +13,10 @@ type result = {
   max_rto_seen : float;
   bytes_before_failover : int;
   bytes_after_failover : int;
+  predicted_kill_s : float;
+      (** closed-form kill time from the capped-exponential RTO schedule
+          ({!Smapp_core.Retry.total_delay} over the first measured RTO);
+          compare against [subflow_died_at] - 1 s of loss onset *)
 }
 
 val run : ?seed:int -> ?loss:float -> ?max_backoffs:int -> ?horizon:float -> unit -> result

@@ -1,0 +1,195 @@
+open Smapp_sim
+open Smapp_netsim
+open Smapp_mptcp
+module Setup = Smapp_core.Setup
+module Pm_lib = Smapp_core.Pm_lib
+module Kernel_pm = Smapp_core.Kernel_pm
+module Channel = Smapp_netlink.Channel
+module Fullmesh = Smapp_controllers.Fullmesh
+module Backup = Smapp_controllers.Backup
+module Conn_view = Smapp_controllers.Conn_view
+
+type controller = [ `Fullmesh | `Backup ]
+
+let controller_name = function `Fullmesh -> "fullmesh" | `Backup -> "backup"
+
+type convergence_result = {
+  controller : string;
+  drop : float;
+  seed : int;
+  converged_after_s : float option;
+  duplicate_subflows : int;
+  kernel_subflows : int;
+  view_subflows : int;
+  retries : int;
+  resyncs : int;
+  gaps_detected : int;
+  restarts : int;
+  dropped : int;
+  duplicated : int;
+  overflowed : int;
+  duplicate_commands : int;
+}
+
+(* ids of the kernel connection's established subflows *)
+let kernel_sub_ids conn =
+  List.filter_map
+    (fun sf -> if Subflow.established sf then Some sf.Subflow.id else None)
+    (Connection.subflows conn)
+  |> List.sort compare
+
+let view_sub_ids view token =
+  match Conn_view.find view token with
+  | None -> []
+  | Some c -> List.sort compare (List.map (fun s -> s.Conn_view.sv_id) c.Conn_view.cv_subs)
+
+(* duplicate mesh entries: subflows sharing a four-tuple *)
+let duplicate_four_tuples conn =
+  let tuples =
+    List.map
+      (fun sf ->
+        let f = Subflow.flow sf in
+        (Ip.to_int f.Ip.src.Ip.addr, f.Ip.src.Ip.port, Ip.to_int f.Ip.dst.Ip.addr, f.Ip.dst.Ip.port))
+      (Connection.subflows conn)
+  in
+  List.length tuples - List.length (List.sort_uniq compare tuples)
+
+let run_convergence ?(controller = `Fullmesh) ?(seed = 42) ?(drop = 0.05)
+    ?(restart_at = 5.0) ?(down_for = 0.5) ?(duration = 12.0) () =
+  let ctrl = controller in
+  let pair = Harness.make_pair ~seed () in
+  let engine = pair.Harness.engine in
+  let profile = { Channel.reliable with Channel.drop; buffer = 64 } in
+  let setup = Setup.attach ~profile pair.Harness.client_ep in
+  let view =
+    match ctrl with
+    | `Fullmesh ->
+        Fullmesh.view
+          (Fullmesh.start setup.Setup.pm
+             (Fullmesh.default_config
+                ~local_addresses:
+                  [ Harness.client_addr pair 0; Harness.client_addr pair 1 ]
+                ()))
+    | `Backup ->
+        (* the backup controller keeps no public view: audit through an
+           independent Conn_view on the same library *)
+        let v = Conn_view.create setup.Setup.pm () in
+        ignore
+          (Backup.start setup.Setup.pm
+             (Backup.default_config ~backup_sources:[ Harness.client_addr pair 1 ] ()));
+        v
+  in
+  Endpoint.listen pair.Harness.server_ep ~port:80 Smapp_apps.Keepalive.echo_peer;
+  let conn =
+    Endpoint.connect pair.Harness.client_ep
+      ~src:(Harness.client_addr pair 0)
+      ~dst:(Harness.server_endpoint pair 0 80)
+      ()
+  in
+  ignore
+    (Smapp_apps.Keepalive.start conn ~message_bytes:1000 ~interval:(Time.span_ms 250)
+       ~duration:(Time.span_of_float_s (duration +. 1.0))
+       ());
+  let at seconds f =
+    ignore (Engine.at engine (Time.add Time.zero (Time.span_of_float_s seconds)) f)
+  in
+  at restart_at (fun () -> Channel.set_user_up setup.Setup.channel false);
+  at (restart_at +. down_for) (fun () -> Channel.set_user_up setup.Setup.channel true);
+  (* sample view-vs-kernel agreement; convergence = the instant after the
+     restart from which the two stay equal to the end of the run *)
+  let converged_at = ref None in
+  ignore
+    (Engine.every engine (Time.span_ms 10) (fun () ->
+         let now_s = Time.to_float_s (Engine.now engine) in
+         if now_s >= restart_at +. down_for then begin
+           let equal =
+             kernel_sub_ids conn = view_sub_ids view (Connection.local_token conn)
+           in
+           match (equal, !converged_at) with
+           | true, None -> converged_at := Some now_s
+           | false, Some _ -> converged_at := None
+           | _ -> ()
+         end;
+         `Continue));
+  Harness.run_seconds engine duration;
+  let stats = Channel.stats setup.Setup.channel in
+  {
+    controller = controller_name ctrl;
+    drop;
+    seed;
+    converged_after_s =
+      Option.map (fun t -> t -. (restart_at +. down_for)) !converged_at;
+    duplicate_subflows = duplicate_four_tuples conn;
+    kernel_subflows = List.length (kernel_sub_ids conn);
+    view_subflows = List.length (view_sub_ids view (Connection.local_token conn));
+    retries = Pm_lib.retries setup.Setup.pm;
+    resyncs = Pm_lib.resyncs setup.Setup.pm;
+    gaps_detected = Pm_lib.gaps_detected setup.Setup.pm;
+    restarts = Pm_lib.restarts setup.Setup.pm;
+    dropped = stats.Channel.s_dropped;
+    duplicated = stats.Channel.s_duplicated;
+    overflowed = stats.Channel.s_overflowed;
+    duplicate_commands = Kernel_pm.duplicate_commands setup.Setup.kernel_pm;
+  }
+
+let run_grid ?(controllers = [ `Fullmesh; `Backup ]) ?(seeds = Harness.seeds 5)
+    ?(drops = [ 0.0; 0.01; 0.05; 0.10 ]) () =
+  List.concat_map
+    (fun controller ->
+      List.concat_map
+        (fun drop ->
+          List.map (fun seed -> run_convergence ~controller ~seed ~drop ()) seeds)
+        drops)
+    controllers
+
+type watchdog_result = {
+  w_fallback_active : bool;
+  w_fallbacks : int;
+  w_handbacks : int;
+  w_kernel_subflows : int;
+  w_bytes_at_loss : int;
+  w_bytes_final : int;
+}
+
+let run_watchdog ?(seed = 42) ?(loss_at = 5.0) ?(duration = 15.0) () =
+  let pair = Harness.make_pair ~seed () in
+  let engine = pair.Harness.engine in
+  let setup = Setup.attach pair.Harness.client_ep in
+  ignore
+    (Fullmesh.start setup.Setup.pm
+       (Fullmesh.default_config ~local_addresses:[ Harness.client_addr pair 0 ] ()));
+  Pm_lib.enable_keepalive setup.Setup.pm ~interval:(Time.span_ms 50);
+  Kernel_pm.enable_watchdog setup.Setup.kernel_pm
+    {
+      Kernel_pm.wd_interval = Time.span_ms 100;
+      wd_missed_threshold = 3;
+      wd_fullmesh_fallback = true;
+    };
+  Endpoint.listen pair.Harness.server_ep ~port:80 Smapp_apps.Keepalive.echo_peer;
+  let conn =
+    Endpoint.connect pair.Harness.client_ep
+      ~src:(Harness.client_addr pair 0)
+      ~dst:(Harness.server_endpoint pair 0 80)
+      ()
+  in
+  ignore
+    (Smapp_apps.Keepalive.start conn ~message_bytes:2000 ~interval:(Time.span_ms 100)
+       ~duration:(Time.span_of_float_s (duration +. 1.0))
+       ());
+  let bytes_at_loss = ref 0 in
+  ignore
+    (Engine.at engine
+       (Time.add Time.zero (Time.span_of_float_s loss_at))
+       (fun () ->
+         (* the daemon dies for good: only the in-kernel watchdog is left *)
+         Channel.set_user_up setup.Setup.channel false;
+         bytes_at_loss := Connection.bytes_acked conn));
+  Harness.run_seconds engine duration;
+  {
+    w_fallback_active = Kernel_pm.fallback_active setup.Setup.kernel_pm;
+    w_fallbacks = Kernel_pm.fallbacks setup.Setup.kernel_pm;
+    w_handbacks = Kernel_pm.handbacks setup.Setup.kernel_pm;
+    w_kernel_subflows = List.length (kernel_sub_ids conn);
+    w_bytes_at_loss = !bytes_at_loss;
+    w_bytes_final = Connection.bytes_acked conn;
+  }

@@ -1,0 +1,73 @@
+(** Chaos harness for the fault-tolerant control plane: runs the fullmesh
+    controller over a lossy Netlink channel and audits the controller's
+    {!Smapp_controllers.Conn_view} against true kernel subflow state.
+
+    Two scenarios:
+
+    - {!run_convergence}: probabilistic message drop plus one scripted
+      daemon crash/restart. Measures how long after the restart the view
+      converges to (and stays at) the kernel's established-subflow set,
+      and that recovery never double-created a subflow.
+    - {!run_watchdog}: the daemon dies for good; the in-kernel watchdog
+      must fall back to kernel-side meshing and the connection must keep
+      moving data. *)
+
+type controller = [ `Fullmesh | `Backup ]
+
+type convergence_result = {
+  controller : string;
+  drop : float;
+  seed : int;
+  converged_after_s : float option;
+      (** seconds after the daemon restart from which view = kernel holds
+          to the end of the run; [None] = never converged *)
+  duplicate_subflows : int;  (** kernel subflows sharing a four-tuple (want 0) *)
+  kernel_subflows : int;
+  view_subflows : int;
+  retries : int;  (** command retransmissions ({!Smapp_core.Pm_lib.retries}) *)
+  resyncs : int;
+  gaps_detected : int;
+  restarts : int;
+  dropped : int;  (** channel messages lost (faults + crash windows) *)
+  duplicated : int;
+  overflowed : int;  (** ENOBUFS drops *)
+  duplicate_commands : int;  (** kernel-side idempotency-cache replays *)
+}
+
+val run_convergence :
+  ?controller:controller ->
+  ?seed:int ->
+  ?drop:float ->
+  ?restart_at:float ->
+  ?down_for:float ->
+  ?duration:float ->
+  unit ->
+  convergence_result
+(** Defaults: fullmesh controller, 5% drop, daemon down from t = 5 s for
+    0.5 s, run 12 s. With [`Backup] the audited view is an independent
+    {!Smapp_controllers.Conn_view} on the same library (the backup
+    controller keeps no public view). *)
+
+val run_grid :
+  ?controllers:controller list ->
+  ?seeds:int list ->
+  ?drops:float list ->
+  unit ->
+  convergence_result list
+(** {!run_convergence} over a (controller x drop rate x seed) grid;
+    defaults both controllers x 4 drop rates [[0; 0.01; 0.05; 0.10]] x 5
+    seeds. *)
+
+type watchdog_result = {
+  w_fallback_active : bool;
+  w_fallbacks : int;
+  w_handbacks : int;
+  w_kernel_subflows : int;
+  w_bytes_at_loss : int;  (** bytes acked when the daemon died *)
+  w_bytes_final : int;  (** must keep growing under kernel-side fallback *)
+}
+
+val run_watchdog :
+  ?seed:int -> ?loss_at:float -> ?duration:float -> unit -> watchdog_result
+(** Defaults: daemon lost at t = 5 s, run 15 s, 100 ms watchdog interval
+    with threshold 3 and fullmesh fallback. *)

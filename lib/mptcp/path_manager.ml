@@ -18,6 +18,32 @@ type t = { name : string; attach : Connection.t -> unit }
 
 let name t = t.name
 
+(* One immediate fullmesh pass: cover any (local x remote) pair that has no
+   subflow yet, synchronously (no creation_delay — the caller is already
+   kernel-side work). Shared by the fullmesh blueprint for connections that
+   are established at attach time and by the Netlink PM's watchdog fallback. *)
+let mesh_sweep conn =
+  if Connection.role conn = Connection.Client && Connection.established conn then begin
+    let remotes =
+      (Connection.initial_flow conn).Ip.dst
+      :: List.map snd (Connection.remote_addresses conn)
+    in
+    List.iter
+      (fun src ->
+        List.iter
+          (fun dst ->
+            let covered =
+              List.exists
+                (fun sf ->
+                  let f = Subflow.flow sf in
+                  Ip.equal f.Ip.src.Ip.addr src && Ip.equal_endpoint f.Ip.dst dst)
+                (Connection.subflows conn)
+            in
+            if not covered then ignore (Connection.add_subflow conn ~src ~dst ()))
+          remotes)
+      (Host.addresses (Connection.host conn))
+  end
+
 let fullmesh ?(subflows_per_pair = 1) () =
   let attach conn =
     if Connection.role conn = Connection.Client then begin
@@ -64,7 +90,10 @@ let fullmesh ?(subflows_per_pair = 1) () =
             ());
       Host.on_addr_change host (fun _nic dir ->
           if dir = `Up && Connection.established conn && not (Connection.closed conn)
-          then mesh ())
+          then mesh ());
+      (* attached after establishment (e.g. auto_install on a live
+         endpoint): sweep now instead of waiting for the next event *)
+      if Connection.established conn then mesh_sweep conn
     end
   in
   { name = "fullmesh"; attach }

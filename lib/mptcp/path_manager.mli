@@ -28,6 +28,14 @@ val ndiffports : n:int -> t
 val default : t
 (** No extra subflows (Linux's default path manager). *)
 
+val mesh_sweep : Connection.t -> unit
+(** One immediate, synchronous fullmesh pass: create a subflow for every
+    (local address x known remote address) pair not already covered by an
+    existing subflow. No-op unless the connection is an established
+    client. This is the meshing primitive behind {!fullmesh} for
+    already-established connections and behind the Netlink path manager's
+    watchdog fallback ({!Smapp_core.Kernel_pm.enable_watchdog}). *)
+
 val install : t -> Connection.t -> unit
 (** Attach to one connection. No-op on server-role connections. *)
 

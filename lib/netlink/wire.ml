@@ -152,6 +152,11 @@ let get_str msg ty =
   | Some _ -> Error (Printf.sprintf "attr %d: wrong kind" ty)
   | None -> Error (Printf.sprintf "attr %d: missing" ty)
 
+let get_strs msg ty =
+  List.filter_map
+    (fun a -> match a.value with Str s when a.attr_type = ty -> Some s | _ -> None)
+    msg.attrs
+
 let pp_value ppf = function
   | U8 v -> Format.fprintf ppf "u8:%d" v
   | U32 v -> Format.fprintf ppf "u32:%d" v

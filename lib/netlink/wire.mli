@@ -43,4 +43,8 @@ val get_u64 : msg -> int -> (int64, string) result
 val get_u8 : msg -> int -> (int, string) result
 val get_str : msg -> int -> (string, string) result
 
+val get_strs : msg -> int -> string list
+(** Every [Str] attribute of the given type, in order — netlink allows
+    repeated attributes, used here for nested snapshot lists. *)
+
 val pp : Format.formatter -> msg -> unit
