@@ -15,6 +15,42 @@ let full = Array.exists (( = ) "--full") Sys.argv
 
 let scale ~q ~d ~f = if quick then q else if full then f else d
 
+(* --- machine-readable output (BENCH.json) ------------------------------- *)
+
+let bench_sections : (string * float * (string * float) list) list ref = ref []
+let current_metrics : (string * float) list ref = ref []
+
+(* record a key metric of the currently running section *)
+let metric name v = current_metrics := (name, v) :: !current_metrics
+
+let section name f =
+  current_metrics := [];
+  let t0 = Unix.gettimeofday () in
+  f ();
+  bench_sections :=
+    (name, Unix.gettimeofday () -. t0, List.rev !current_metrics) :: !bench_sections
+
+let write_bench_json path =
+  let open Stats.Json in
+  to_file path
+    (Obj
+       [
+         ( "scale",
+           String (if quick then "quick" else if full then "full" else "default") );
+         ( "sections",
+           List
+             (List.rev_map
+                (fun (name, wall, ms) ->
+                  Obj
+                    [
+                      ("name", String name);
+                      ("wall_s", Float wall);
+                      ("metrics", Obj (List.map (fun (k, v) -> (k, Float v)) ms));
+                    ])
+                !bench_sections) );
+       ]);
+  Printf.printf "\nwrote %s\n" path
+
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -41,7 +77,9 @@ let fig2a () =
      continues on the backup path (their trace switches at ~2s).\n\n";
   let r = E.Fig2a.run () in
   (match r.E.Fig2a.failover_at with
-  | Some t -> Printf.printf "measured: controller switched to the backup subflow at %.3f s\n" t
+  | Some t ->
+      metric "failover_s" t;
+      Printf.printf "measured: controller switched to the backup subflow at %.3f s\n" t
   | None -> Printf.printf "measured: NO failover (unexpected)\n");
   let last_master =
     match List.rev r.E.Fig2a.master.E.Fig2a.points with (t, _) :: _ -> t | [] -> 0.0
@@ -142,6 +180,12 @@ let fig2c () =
   let show variant =
     let r = E.Fig2c.run ~seeds ~file_bytes ~variant () in
     let name = E.Fig2c.variant_name variant in
+    (match r.E.Fig2c.completion_times with
+    | [] -> ()
+    | samples ->
+        metric
+          (name ^ "_median_s")
+          (Stats.Cdf.quantile (Stats.Cdf.of_samples samples) 0.5));
     cdf_row name r.E.Fig2c.completion_times;
     Printf.printf "%-24s  paths used per run: %s\n" ""
       (String.concat "," (List.map string_of_int r.E.Fig2c.paths_used_final));
@@ -178,6 +222,7 @@ let fig3 () =
   cdf_row "userspace stress x1.5" (ms stressed.E.Fig3.delays);
   let mean l = List.fold_left ( +. ) 0. l /. float_of_int (max 1 (List.length l)) in
   let base = mean kernel.E.Fig3.delays in
+  metric "userspace_extra_us" ((mean user.E.Fig3.delays -. base) *. 1e6);
   Printf.printf
     "\nmeasured: userspace adds %.1f us on average (paper ~23 us); under CPU\n\
      stress the extra delay is %.1f us (paper: stays below 37 us).\n"
@@ -289,6 +334,47 @@ let scheduler_ablation () =
   run_sched "lowest-rtt" (fun () -> Smapp_mptcp.Scheduler.lowest_rtt);
   run_sched "round-robin" (fun () -> Smapp_mptcp.Scheduler.round_robin ())
 
+(* ------------------------------------------------------------- workload *)
+
+let workload () =
+  banner "Scale-out workload — thousands of connections, per-connection controllers";
+  let open Smapp_workload in
+  let conns = scale ~q:500 ~d:2000 ~f:4000 in
+  Printf.printf
+    "%d MPTCP connections arrive open-loop at %d/s across 8 clients x 4\n\
+     servers x 2 paths; every connection gets its own fullmesh controller\n\
+     instance through the factory. The events-per-second figure is the\n\
+     engine's scheduler throughput over the whole run.\n\n"
+    conns conns;
+  let config =
+    {
+      Workload.default_config with
+      Workload.conns;
+      arrival_rate = float_of_int conns;
+      flow_dist = Workload.Fixed 200_000;
+    }
+  in
+  let r = Workload.run config in
+  Printf.printf
+    "completed %d/%d; peak concurrency %d; %d controller subflows; %d MB moved\n"
+    r.Workload.completed r.Workload.launched r.Workload.peak_concurrent
+    r.Workload.subflows_created
+    (r.Workload.bytes_total / 1_000_000);
+  Printf.printf "engine: %d events in %.2f s wall -> %.0f events/s\n"
+    r.Workload.engine_events r.Workload.wall_s r.Workload.events_per_sec;
+  cdf_row "flow completion (s)" r.Workload.fcts;
+  metric "conns" (float_of_int conns);
+  metric "completed" (float_of_int r.Workload.completed);
+  metric "peak_concurrent" (float_of_int r.Workload.peak_concurrent);
+  metric "engine_events" (float_of_int r.Workload.engine_events);
+  metric "events_per_sec" r.Workload.events_per_sec;
+  (match r.Workload.fcts with
+  | [] -> ()
+  | samples ->
+      let cdf = Stats.Cdf.of_samples samples in
+      metric "fct_p50_s" (Stats.Cdf.quantile cdf 0.5);
+      metric "fct_p90_s" (Stats.Cdf.quantile cdf 0.9))
+
 (* ------------------------------------------------------- microbenchmarks *)
 
 let microbench () =
@@ -386,13 +472,15 @@ let microbench () =
 let () =
   Printf.printf "SMAPP benchmark harness (%s scale)\n"
     (if quick then "quick" else if full then "full/paper" else "default");
-  fig2a ();
-  backoff ();
-  fig2b ();
-  scheduler_ablation ();
-  fig2c ();
-  fig3 ();
-  fullmesh ();
-  chaos ();
-  microbench ();
+  section "fig2a" fig2a;
+  section "backoff" backoff;
+  section "fig2b" fig2b;
+  section "scheduler_ablation" scheduler_ablation;
+  section "fig2c" fig2c;
+  section "fig3" fig3;
+  section "fullmesh" fullmesh;
+  section "chaos" chaos;
+  section "workload" workload;
+  section "microbench" microbench;
+  write_bench_json "BENCH.json";
   Printf.printf "\nDone.\n"

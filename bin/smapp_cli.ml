@@ -246,9 +246,120 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc:"Control-plane fault injection: convergence and watchdog")
     Term.(const run_chaos $ seed $ drop $ grid)
 
+(* --- workload ----------------------------------------------------------------- *)
+
+let parse_flow_dist s =
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "fixed"; n ] -> Ok (Smapp_workload.Workload.Fixed (int_of_string n))
+  | [ "exp"; mean ] ->
+      Ok (Smapp_workload.Workload.Exponential { mean = int_of_string mean })
+  | [ "pareto"; xmin; alpha; cap ] ->
+      Ok
+        (Smapp_workload.Workload.Pareto
+           {
+             xmin = int_of_string xmin;
+             alpha = float_of_string alpha;
+             cap = int_of_string cap;
+           })
+  | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad flow distribution %S (want fixed:BYTES, exp:MEAN or \
+               pareto:XMIN:ALPHA:CAP)"
+              s))
+
+let flow_dist_conv =
+  Arg.conv
+    ( (fun s -> try parse_flow_dist s with Failure _ -> Error (`Msg ("bad number in " ^ s))),
+      fun ppf d ->
+        let open Smapp_workload.Workload in
+        match d with
+        | Fixed n -> Format.fprintf ppf "fixed:%d" n
+        | Exponential { mean } -> Format.fprintf ppf "exp:%d" mean
+        | Pareto { xmin; alpha; cap } -> Format.fprintf ppf "pareto:%d:%g:%d" xmin alpha cap )
+
+let controller_conv =
+  Arg.enum [ ("none", `None); ("fullmesh", `Fullmesh); ("backup", `Backup) ]
+
+let run_workload conns arrival_rate flow_dist controller clients servers paths seed =
+  let open Smapp_workload in
+  let config =
+    {
+      Workload.default_config with
+      Workload.conns;
+      arrival_rate;
+      flow_dist;
+      controller;
+      clients;
+      servers;
+      paths;
+      seed;
+    }
+  in
+  Printf.printf
+    "workload: %d conns at %g/s, %d clients x %d servers x %d paths, seed %d\n"
+    conns arrival_rate clients servers paths seed;
+  let r = Workload.run config in
+  Printf.printf "completed %d/%d (peak %d concurrent), %d bytes total\n"
+    r.Workload.completed r.Workload.launched r.Workload.peak_concurrent
+    r.Workload.bytes_total;
+  Printf.printf "controller: %d subflows created, %d failovers\n"
+    r.Workload.subflows_created r.Workload.failovers;
+  Printf.printf "simulated %.2f s in %.2f s wall; %d events -> %.0f events/s\n"
+    r.Workload.sim_duration_s r.Workload.wall_s r.Workload.engine_events
+    r.Workload.events_per_sec;
+  (match r.Workload.fcts with
+  | [] -> ()
+  | samples ->
+      print_cdf_table "flow completion times (s)"
+        [ ("fct", Stats.Cdf.of_samples samples) ]);
+  if r.Workload.completed < r.Workload.launched then exit 1
+
+let workload_cmd =
+  let conns =
+    Arg.(value & opt int 1000 & info [ "conns" ] ~doc:"Connections to launch.")
+  in
+  let arrival_rate =
+    Arg.(
+      value & opt float 500.0
+      & info [ "arrival-rate" ] ~doc:"Mean Poisson arrivals per second.")
+  in
+  let flow_dist =
+    Arg.(
+      value
+      & opt flow_dist_conv Smapp_workload.Workload.default_config.Smapp_workload.Workload.flow_dist
+      & info [ "flow-dist" ]
+          ~doc:"Flow size distribution: fixed:BYTES, exp:MEAN or pareto:XMIN:ALPHA:CAP.")
+  in
+  let controller =
+    Arg.(
+      value & opt controller_conv `Fullmesh
+      & info [ "controller" ] ~doc:"Per-connection controller: none, fullmesh or backup.")
+  in
+  let clients = Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Client hosts.") in
+  let servers = Arg.(value & opt int 4 & info [ "servers" ] ~doc:"Server hosts.") in
+  let paths = Arg.(value & opt int 2 & info [ "paths" ] ~doc:"Disjoint paths.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Scale-out traffic: many connections under per-connection controllers")
+    Term.(
+      const run_workload $ conns $ arrival_rate $ flow_dist $ controller $ clients
+      $ servers $ paths $ seed)
+
 let main_cmd =
   let doc = "SMAPP experiments: smart Multipath TCP path management" in
   Cmd.group (Cmd.info "smapp" ~doc)
-    [ fig2a_cmd; fig2b_cmd; fig2c_cmd; fig3_cmd; backoff_cmd; fullmesh_cmd; chaos_cmd ]
+    [
+      fig2a_cmd;
+      fig2b_cmd;
+      fig2c_cmd;
+      fig3_cmd;
+      backoff_cmd;
+      fullmesh_cmd;
+      chaos_cmd;
+      workload_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -62,6 +62,47 @@ let handle_timeout t token sub_id rto =
                 Pm_lib.remove_subflow pm ~token ~sub_id ()))
   end
 
+(* === per-connection instantiation ============================================ *)
+
+type backup_state = {
+  bs_config : config;
+  mutable bs_failovers : int;
+}
+
+let backup_state config = { bs_config = config; bs_failovers = 0 }
+let backup_failovers s = s.bs_failovers
+
+(* Break-before-make failover scoped to one connection: the unconsumed
+   backup-source list lives in the instance closure. *)
+let per_conn state factory (_conn0 : Conn_view.conn) =
+  let config = state.bs_config in
+  let pm = Factory.pm factory in
+  let remaining = ref config.backup_sources in
+  let on_timeout (conn : Conn_view.conn) ~sub_id ~rto ~count:_ =
+    if Time.compare_span rto config.rto_threshold > 0 then
+      match Conn_view.find_sub conn sub_id with
+      | None -> ()
+      | Some sub -> (
+          let in_use src =
+            List.exists
+              (fun s -> Ip.equal s.Conn_view.sv_flow.Ip.src.Ip.addr src)
+              conn.Conn_view.cv_subs
+          in
+          match List.filter (fun src -> not (in_use src)) !remaining with
+          | [] -> () (* nowhere to go: let TCP keep trying *)
+          | src :: _ ->
+              remaining := List.filter (fun a -> not (Ip.equal a src)) !remaining;
+              state.bs_failovers <- state.bs_failovers + 1;
+              let dst =
+                Option.value config.backup_destination
+                  ~default:sub.Conn_view.sv_flow.Ip.dst
+              in
+              let token = conn.Conn_view.cv_token in
+              Pm_lib.create_subflow pm ~token ~src ~dst ();
+              Pm_lib.remove_subflow pm ~token ~sub_id ())
+  in
+  { Factory.null_events with Factory.on_timeout }
+
 let start pm config =
   let t_ref = ref None in
   let on_event _ = function

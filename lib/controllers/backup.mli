@@ -32,3 +32,16 @@ val start : Pm_lib.t -> config -> t
 
 val failovers : t -> int
 (** Number of primary-to-backup switches performed. *)
+
+(** {2 Per-connection instantiation} *)
+
+type backup_state
+(** Config plus the failover counter shared by a factory's instances. *)
+
+val backup_state : config -> backup_state
+
+val per_conn : backup_state -> Factory.t -> Conn_view.conn -> Factory.events
+(** Use as [Factory.start pm (Backup.per_conn (Backup.backup_state config))].
+    Each connection gets its own unconsumed backup-source list. *)
+
+val backup_failovers : backup_state -> int

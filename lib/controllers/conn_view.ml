@@ -14,7 +14,8 @@ type conn = {
 
 type t = {
   pm : Pm_lib.t;
-  mutable conn_list : conn list;
+  conn_tbl : conn Smapp_sim.Otable.t; (* token -> conn, registration order *)
+  mutable created_cbs : (conn -> unit) list;
   mutable established_cbs : (conn -> unit) list;
   mutable closed_cbs : (conn -> unit) list;
   mutable sub_estab_cbs : (conn -> sub -> unit) list;
@@ -22,10 +23,12 @@ type t = {
 }
 
 let pm t = t.pm
-let conns t = t.conn_list
-let find t token = List.find_opt (fun c -> c.cv_token = token) t.conn_list
+let conns t = Smapp_sim.Otable.to_list t.conn_tbl
+let conn_count t = Smapp_sim.Otable.length t.conn_tbl
+let find t token = Smapp_sim.Otable.find t.conn_tbl token
 let find_sub conn sub_id = List.find_opt (fun s -> s.sv_id = sub_id) conn.cv_subs
 
+let on_conn_created t f = t.created_cbs <- t.created_cbs @ [ f ]
 let on_conn_established t f = t.established_cbs <- t.established_cbs @ [ f ]
 let on_conn_closed t f = t.closed_cbs <- t.closed_cbs @ [ f ]
 let on_sub_established t f = t.sub_estab_cbs <- t.sub_estab_cbs @ [ f ]
@@ -33,18 +36,19 @@ let on_sub_closed t f = t.sub_closed_cbs <- t.sub_closed_cbs @ [ f ]
 
 let handle t = function
   | Pm_msg.Created { token; flow; sub_id = _ } ->
-      if find t token = None then
-        t.conn_list <-
-          t.conn_list
-          @ [
-              {
-                cv_token = token;
-                cv_initial_flow = flow;
-                cv_established = false;
-                cv_subs = [];
-                cv_remote_addrs = [];
-              };
-            ]
+      if find t token = None then begin
+        let conn =
+          {
+            cv_token = token;
+            cv_initial_flow = flow;
+            cv_established = false;
+            cv_subs = [];
+            cv_remote_addrs = [];
+          }
+        in
+        Smapp_sim.Otable.add t.conn_tbl token conn;
+        List.iter (fun f -> f conn) t.created_cbs
+      end
   | Pm_msg.Estab { token } -> (
       match find t token with
       | Some conn ->
@@ -54,7 +58,7 @@ let handle t = function
   | Pm_msg.Closed { token } -> (
       match find t token with
       | Some conn ->
-          t.conn_list <- List.filter (fun c -> c.cv_token <> token) t.conn_list;
+          Smapp_sim.Otable.remove t.conn_tbl token;
           List.iter (fun f -> f conn) t.closed_cbs
       | None -> ())
   | Pm_msg.Sub_estab { token; sub_id; flow; backup } -> (
@@ -108,7 +112,8 @@ let reconcile t snapshots =
                 cv_remote_addrs = [];
               }
             in
-            t.conn_list <- t.conn_list @ [ c ];
+            Smapp_sim.Otable.add t.conn_tbl snap.Pm_msg.cs_token c;
+            List.iter (fun f -> f c) t.created_cbs;
             c
       in
       if snap.Pm_msg.cs_established && not conn.cv_established then begin
@@ -152,11 +157,11 @@ let reconcile t snapshots =
     List.filter
       (fun c ->
         not (List.exists (fun s -> s.Pm_msg.cs_token = c.cv_token) snapshots))
-      t.conn_list
+      (conns t)
   in
   List.iter
     (fun conn ->
-      t.conn_list <- List.filter (fun c -> c.cv_token <> conn.cv_token) t.conn_list;
+      Smapp_sim.Otable.remove t.conn_tbl conn.cv_token;
       List.iter (fun f -> f conn) t.closed_cbs)
     gone
 
@@ -169,7 +174,8 @@ let create pm ?(extra_mask = 0) ?on_event () =
   let t =
     {
       pm;
-      conn_list = [];
+      conn_tbl = Smapp_sim.Otable.create ();
+      created_cbs = [];
       established_cbs = [];
       closed_cbs = [];
       sub_estab_cbs = [];

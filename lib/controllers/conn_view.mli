@@ -32,9 +32,21 @@ val create :
     maintains the view; [on_event] runs after the view is updated. *)
 
 val pm : t -> Pm_lib.t
+
 val conns : t -> conn list
+(** Tracked connections in creation order. *)
+
+val conn_count : t -> int
+
 val find : t -> int -> conn option
+(** O(1) lookup by token. *)
+
 val find_sub : conn -> int -> sub option
+
+val on_conn_created : t -> (conn -> unit) -> unit
+(** Fires when a connection first enters the view — on [Created] events and
+    for connections discovered during a resync — before it is established.
+    This is the hook per-connection controller factories instantiate from. *)
 
 val on_conn_established : t -> (conn -> unit) -> unit
 val on_conn_closed : t -> (conn -> unit) -> unit

@@ -116,6 +116,82 @@ let schedule_reconnect t (conn : Conn_view.conn) (sub : Conn_view.sub) error =
     end
   end
 
+(* === per-connection instantiation ============================================ *)
+
+type mesh_state = {
+  ms_config : config;
+  mutable ms_created : int;
+  mutable ms_reconnects : int;
+}
+
+let mesh_state config = { ms_config = config; ms_created = 0; ms_reconnects = 0 }
+let mesh_subflows_created s = s.ms_created
+let mesh_reconnects s = s.ms_reconnects
+
+(* The same mesh-and-reconnect policy as [start], scoped to one connection:
+   state lives in the instance closure, so a factory can run thousands of
+   these off one shared view. *)
+let per_conn state factory (conn0 : Conn_view.conn) =
+  let config = state.ms_config in
+  let pm = Factory.pm factory in
+  let token = conn0.Conn_view.cv_token in
+  let requested : (int * int * int, int) Hashtbl.t = Hashtbl.create 8 in
+  let key src (dst : Ip.endpoint) =
+    (Ip.to_int src, Ip.to_int dst.Ip.addr, dst.Ip.port)
+  in
+  let spawn src dst =
+    let k = key src dst in
+    if not (Hashtbl.mem requested k) then begin
+      Hashtbl.replace requested k 0;
+      state.ms_created <- state.ms_created + 1;
+      Pm_lib.create_subflow pm ~token ~src ~dst ()
+    end
+  in
+  let mesh conn =
+    if conn.Conn_view.cv_established then
+      List.iter
+        (fun src -> List.iter (spawn src) (remote_endpoints conn))
+        config.local_addresses
+  in
+  let on_established conn =
+    let flow = conn.Conn_view.cv_initial_flow in
+    Hashtbl.replace requested (key flow.Ip.src.Ip.addr flow.Ip.dst) 0;
+    mesh conn
+  in
+  let on_sub_closed _conn (sub : Conn_view.sub) error =
+    if error <> None then begin
+      let flow = sub.Conn_view.sv_flow in
+      let src = flow.Ip.src.Ip.addr and dst = flow.Ip.dst in
+      let k = key src dst in
+      let attempts =
+        match Hashtbl.find_opt requested k with Some n -> n | None -> 0
+      in
+      if attempts < config.max_reconnect_attempts then begin
+        Hashtbl.replace requested k (attempts + 1);
+        state.ms_reconnects <- state.ms_reconnects + 1;
+        let delay = reconnect_delay config ~attempt:attempts error in
+        ignore
+          (Engine.after (Pm_lib.engine pm) delay (fun () ->
+               match Conn_view.find (Factory.view factory) token with
+               | Some conn ->
+                   let already =
+                     List.exists
+                       (fun s ->
+                         Ip.equal s.Conn_view.sv_flow.Ip.src.Ip.addr src
+                         && Ip.equal_endpoint s.Conn_view.sv_flow.Ip.dst dst)
+                       conn.Conn_view.cv_subs
+                   in
+                   if (not already) && List.exists (Ip.equal src) config.local_addresses
+                   then begin
+                     state.ms_created <- state.ms_created + 1;
+                     Pm_lib.create_subflow pm ~token ~src ~dst ()
+                   end
+               | None -> ()))
+      end
+    end
+  in
+  { Factory.null_events with Factory.on_established; on_sub_closed }
+
 let start pm config =
   let t_ref = ref None in
   let on_event _view ev =

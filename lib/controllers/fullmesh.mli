@@ -50,3 +50,22 @@ val view : t -> Conn_view.t
 val subflows_created : t -> int
 val reconnects_scheduled : t -> int
 val local_addresses : t -> Ip.t list
+
+(** {2 Per-connection instantiation}
+
+    The same policy as {!start}, packaged for {!Factory.start}: each
+    connection gets its own instance (own request marks and retry counters)
+    while all instances share one view and subscription. *)
+
+type mesh_state
+(** Config plus counters shared by every instance a factory creates. *)
+
+val mesh_state : config -> mesh_state
+
+val per_conn : mesh_state -> Factory.t -> Conn_view.conn -> Factory.events
+(** Use as [Factory.start pm (Fullmesh.per_conn (Fullmesh.mesh_state config))].
+    Unlike {!start}, local addresses are fixed at [config.local_addresses]
+    (no [new_local_addr] tracking). *)
+
+val mesh_subflows_created : mesh_state -> int
+val mesh_reconnects : mesh_state -> int

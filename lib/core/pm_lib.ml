@@ -20,10 +20,13 @@ type t = {
   channel : Channel.t;
   config : config;
   rng : Rng.t;
-  mutable listeners : (int * (Pm_msg.event -> unit)) list; (* mask, callback *)
+  listeners : (int, (Pm_msg.event -> unit) list ref) Hashtbl.t;
+      (* mask bit index -> callbacks in registration order; dispatching an
+         event reads one bucket instead of scanning every registration *)
+  mutable registered_mask : int; (* union of all registered masks *)
   mutable subscribed_mask : int;
   mutable next_seq : int;
-  mutable pending : (int * pending) list;
+  pending : (int, pending) Hashtbl.t; (* seq -> in-flight command *)
   mutable events_received : int;
   mutable last_event_seq : int option;
   mutable resync_cbs : (Pm_msg.conn_snapshot list -> unit) list;
@@ -38,7 +41,7 @@ type t = {
 }
 
 let engine t = t.engine
-let pending_requests t = List.length t.pending
+let pending_requests t = Hashtbl.length t.pending
 let events_received t = t.events_received
 let retries t = t.retries
 let command_failures t = t.command_failures
@@ -61,7 +64,7 @@ let send_command ?(reliable = true) t cmd on_reply =
   if not reliable then transmit t bytes
   else begin
     let p = { p_seq = seq; p_on_reply = on_reply; p_run = None } in
-    t.pending <- (seq, p) :: t.pending;
+    Hashtbl.replace t.pending seq p;
     p.p_run <-
       Some
         (Retry.start t.engine ~rng:t.rng t.config.retry
@@ -70,7 +73,7 @@ let send_command ?(reliable = true) t cmd on_reply =
              transmit t bytes)
            ~exhausted:(fun () ->
              t.command_failures <- t.command_failures + 1;
-             t.pending <- List.remove_assoc seq t.pending;
+             Hashtbl.remove t.pending seq;
              match p.p_on_reply with
              | Some f -> f (Pm_msg.Error "command timed out")
              | None -> ())
@@ -78,16 +81,25 @@ let send_command ?(reliable = true) t cmd on_reply =
   end
 
 let resubscribe t =
-  let mask = List.fold_left (fun acc (m, _) -> acc lor m) 0 t.listeners in
-  if mask <> t.subscribed_mask then begin
-    t.subscribed_mask <- mask;
-    send_command t (Pm_msg.Subscribe { mask }) None
+  if t.registered_mask <> t.subscribed_mask then begin
+    t.subscribed_mask <- t.registered_mask;
+    send_command t (Pm_msg.Subscribe { mask = t.registered_mask }) None
+  end
+
+let rec iter_mask_bits f mask bit =
+  if mask <> 0 then begin
+    if mask land 1 = 1 then f bit;
+    iter_mask_bits f (mask lsr 1) (bit + 1)
   end
 
 let dispatch_event t ev =
   t.events_received <- t.events_received + 1;
-  let mask = Pm_msg.mask_of_event ev in
-  List.iter (fun (m, f) -> if m land mask <> 0 then f ev) t.listeners
+  iter_mask_bits
+    (fun bit ->
+      match Hashtbl.find_opt t.listeners bit with
+      | Some fs -> List.iter (fun f -> f ev) !fs
+      | None -> ())
+    (Pm_msg.mask_of_event ev) 0
 
 let on_resync t f = t.resync_cbs <- t.resync_cbs @ [ f ]
 
@@ -124,9 +136,9 @@ let handle_event t seq ev =
       dispatch_event t ev
 
 let dispatch_reply t seq reply =
-  match List.assoc_opt seq t.pending with
+  match Hashtbl.find_opt t.pending seq with
   | Some p ->
-      t.pending <- List.remove_assoc seq t.pending;
+      Hashtbl.remove t.pending seq;
       (match p.p_run with Some run -> Retry.stop run | None -> ());
       (match p.p_on_reply with Some f -> f reply | None -> ())
   | None -> ()
@@ -150,10 +162,11 @@ let on_bytes t bytes =
    subscription and pull a full snapshot. *)
 let restart t =
   t.restarts <- t.restarts + 1;
-  let stale = t.pending in
-  t.pending <- [];
+  let stale = Hashtbl.fold (fun _ p acc -> p :: acc) t.pending [] in
+  let stale = List.sort (fun a b -> Int.compare a.p_seq b.p_seq) stale in
+  Hashtbl.reset t.pending;
   List.iter
-    (fun (_, p) ->
+    (fun p ->
       (match p.p_run with Some run -> Retry.stop run | None -> ());
       match p.p_on_reply with
       | Some f -> f (Pm_msg.Error "daemon restarted")
@@ -182,10 +195,11 @@ let create ?(config = default_config) engine channel =
       channel;
       config;
       rng = Engine.split_rng engine;
-      listeners = [];
+      listeners = Hashtbl.create 16;
+      registered_mask = 0;
       subscribed_mask = 0;
       next_seq = 0;
-      pending = [];
+      pending = Hashtbl.create 64;
       events_received = 0;
       last_event_seq = None;
       resync_cbs = [];
@@ -204,7 +218,13 @@ let create ?(config = default_config) engine channel =
   t
 
 let on_event t ~mask f =
-  t.listeners <- t.listeners @ [ (mask, f) ];
+  iter_mask_bits
+    (fun bit ->
+      match Hashtbl.find_opt t.listeners bit with
+      | Some fs -> fs := !fs @ [ f ]
+      | None -> Hashtbl.replace t.listeners bit (ref [ f ]))
+    mask 0;
+  t.registered_mask <- t.registered_mask lor mask;
   resubscribe t
 
 let dump t on_result =

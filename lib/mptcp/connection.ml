@@ -404,6 +404,8 @@ let register_subflow t tcb ~addr_id ~initial =
 
 let add_subflow t ~src ?src_port ?dst ?(backup = false) () =
   if t.is_closed then Error "connection closed"
+    (* once the FINs are out a new subflow would never be closed in turn *)
+  else if t.fin_sent then Error "connection closing"
   else begin
     match t.remote_key with
     | None -> Error "connection not established"
@@ -562,7 +564,7 @@ let create_server deps ~scheduler ~syn ~client_key =
 
 let attach_join t ~syn ~join =
   let token, client_nonce, remote_addr_id, backup = join in
-  if t.is_closed || token <> Crypto.token t.local_key then None
+  if t.is_closed || t.fin_sent || token <> Crypto.token t.local_key then None
   else if not (t.join_policy t syn) then None
   else begin
     match t.remote_key with

@@ -7,7 +7,7 @@ type t = {
   rng : Rng.t;
   tcb_config : Tcb.config;
   scheduler_factory : unit -> Scheduler.t;
-  mutable metas : (int * Connection.t) list; (* local token -> connection *)
+  metas : Connection.t Otable.t; (* local token -> connection *)
   mutable watchers : (Connection.t -> unit) list;
 }
 
@@ -15,8 +15,9 @@ let stack t = t.stack
 let host t = Stack.host t.stack
 let engine t = t.engine
 let tcb_config t = t.tcb_config
-let connections t = List.map snd t.metas
-let find_by_token t token = List.assoc_opt token t.metas
+let connections t = Otable.to_list t.metas
+let connection_count t = Otable.length t.metas
+let find_by_token t token = Otable.find t.metas token
 let subscribe_new_connections t f = t.watchers <- t.watchers @ [ f ]
 
 let create ?(cc = Cc.Lia) ?tcb_config ?(scheduler = fun () -> Scheduler.lowest_rtt) stack =
@@ -27,7 +28,7 @@ let create ?(cc = Cc.Lia) ?tcb_config ?(scheduler = fun () -> Scheduler.lowest_r
     rng = Engine.split_rng (Stack.engine stack);
     tcb_config = { base with Tcb.cc_algo = cc };
     scheduler_factory = scheduler;
-    metas = [];
+    metas = Otable.create ();
     watchers = [];
   }
 
@@ -41,11 +42,14 @@ let deps t =
     dep_tcb_config = t.tcb_config;
     dep_on_meta_closed =
       (fun conn ->
-        t.metas <- List.filter (fun (_, c) -> Connection.id c <> Connection.id conn) t.metas);
+        let token = Connection.local_token conn in
+        match Otable.find t.metas token with
+        | Some c when Connection.id c = Connection.id conn -> Otable.remove t.metas token
+        | Some _ | None -> ());
   }
 
 let register t conn =
-  t.metas <- (Connection.local_token conn, conn) :: t.metas;
+  Otable.add t.metas (Connection.local_token conn) conn;
   List.iter (fun f -> f conn) t.watchers
 
 let connect t ~src ~dst ?src_port () =

@@ -39,7 +39,10 @@ val listen : t -> port:int -> (Connection.t -> unit) -> unit
     and never surface here. *)
 
 val connections : t -> Connection.t list
-(** Live (not yet closed) connections, any role. *)
+(** Live (not yet closed) connections, any role, in registration order. *)
+
+val connection_count : t -> int
+(** Live connection count without materialising the list. *)
 
 val find_by_token : t -> int -> Connection.t option
 

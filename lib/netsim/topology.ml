@@ -99,6 +99,62 @@ let ecmp_fabric engine ?(salt = 0) ?(core_rate_bps = 8_000_000.0)
   Router.add_route r2 server_addr [ access_server.back ];
   { client; server; r1; r2; core; access_client; access_server }
 
+type fabric = {
+  mm_clients : Host.t array;
+  mm_servers : Host.t array;
+  mm_routers : Router.t array;
+  mm_client_addrs : Ip.t array array;
+  mm_server_addrs : Ip.t array array;
+}
+
+(* N clients x M servers, [paths] disjoint fabrics. Each fabric is one
+   router every host hangs off through its own access cable, so a host's
+   per-path capacity is its access rate, independent of population size.
+   Every router knows all of a host's addresses: a subflow from a client's
+   path-q address to a server's path-p address travels fabric q out and
+   fabric p back — asymmetric, like policy routing on a multihomed host,
+   but never blackholed. *)
+let many_to_many engine ?(rates_bps = [ 10_000_000.0 ])
+    ?(delays = [ Time.span_ms 10 ]) ?(losses = [ 0.0 ]) ?(queue_capacity = 128)
+    ~clients ~servers ~paths () =
+  if clients < 1 || servers < 1 || paths < 1 then
+    invalid_arg "Topology.many_to_many: clients, servers, paths must be >= 1";
+  if clients > 65_536 || servers > 65_536 then
+    invalid_arg "Topology.many_to_many: at most 65536 hosts per side";
+  if paths > 245 then invalid_arg "Topology.many_to_many: at most 245 paths";
+  let routers =
+    Array.init paths (fun p -> Router.create engine ~salt:p (Printf.sprintf "fab%d" p))
+  in
+  let wire host side idx =
+    let addrs =
+      Array.init paths (fun p -> Ip.v4 (10 + p) side (idx / 256) (idx mod 256))
+    in
+    Array.iteri
+      (fun p addr ->
+        let nic = Host.add_nic host ~name:(Printf.sprintf "eth%d" p) ~addr in
+        let cable =
+          duplex engine
+            ~name:(Printf.sprintf "%s.p%d" (Host.name host) p)
+            ~rate_bps:(pick rates_bps p) ~delay:(pick delays p) ~loss:(pick losses p)
+            ~queue_capacity ()
+        in
+        Host.attach nic cable.fwd;
+        Link.set_dst cable.fwd (Router.deliver routers.(p));
+        Link.set_dst cable.back (Host.deliver host);
+        Array.iter (fun a -> Router.add_route routers.(p) a [ cable.back ]) addrs)
+      addrs;
+    addrs
+  in
+  let mm_clients =
+    Array.init clients (fun i -> Host.create engine (Printf.sprintf "c%d" i))
+  in
+  let mm_servers =
+    Array.init servers (fun j -> Host.create engine (Printf.sprintf "s%d" j))
+  in
+  let mm_client_addrs = Array.mapi (fun i h -> wire h 1 i) mm_clients in
+  let mm_server_addrs = Array.mapi (fun j h -> wire h 2 j) mm_servers in
+  { mm_clients; mm_servers; mm_routers = routers; mm_client_addrs; mm_server_addrs }
+
 type direct = { client : Host.t; server : Host.t; cable : duplex }
 
 let direct_link engine ?(rate_bps = 1e9) ?(delay = Time.span_us 50) () =

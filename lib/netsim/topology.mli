@@ -74,6 +74,34 @@ val ecmp_fabric :
     when [n] exceeds the list) and 25-packet (≈ BDP) drop-tail queues, like
     a Mininet link with a bounded queue. *)
 
+type fabric = {
+  mm_clients : Host.t array;
+  mm_servers : Host.t array;
+  mm_routers : Router.t array;  (** one per path *)
+  mm_client_addrs : Ip.t array array;  (** [(i).(p)]: client [i] on path [p] *)
+  mm_server_addrs : Ip.t array array;  (** [(j).(p)]: server [j] on path [p] *)
+}
+(** A many-connection workload fabric: [clients] multihomed clients and
+    [servers] multihomed servers joined by [paths] disjoint routed fabrics.
+    Path [p] uses subnet [(10+p).side.x.y] (side 1 = clients, 2 = servers);
+    every host reaches every other over every path through its own access
+    cable, so per-host capacity does not shrink as the population grows. *)
+
+val many_to_many :
+  Engine.t ->
+  ?rates_bps:float list ->
+  ?delays:Time.span list ->
+  ?losses:float list ->
+  ?queue_capacity:int ->
+  clients:int ->
+  servers:int ->
+  paths:int ->
+  unit ->
+  fabric
+(** Per-path parameter lists pad by repeating their last element, as in
+    {!parallel_paths}; defaults: 10 Mbps, 10 ms, 0 loss, 128-packet access
+    queues. *)
+
 type direct = {
   client : Host.t;
   server : Host.t;

@@ -11,23 +11,21 @@ type timer = { engine : t; mutable current : event option }
 
 and t = {
   mutable clock : Time.t;
-  queue : event Heap.t;
+  queue : event Timer_wheel.t;
   root_rng : Rng.t;
   mutable next_seq : int;
   mutable live : int; (* queued events not yet cancelled *)
+  mutable executed : int; (* callbacks run over the engine's lifetime *)
 }
-
-let compare_event a b =
-  let c = Time.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
 
 let create ?(seed = 42) () =
   {
     clock = Time.zero;
-    queue = Heap.create ~cmp:compare_event;
+    queue = Timer_wheel.create ();
     root_rng = Rng.of_int seed;
     next_seq = 0;
     live = 0;
+    executed = 0;
   }
 
 let now t = t.clock
@@ -40,7 +38,7 @@ let schedule_event t when_ f =
       (Format.asprintf "Engine.at: %a is before now (%a)" Time.pp when_ Time.pp t.clock);
   let ev = { time = when_; seq = t.next_seq; callback = Some f } in
   t.next_seq <- t.next_seq + 1;
-  Heap.add t.queue ev;
+  Timer_wheel.add t.queue ~time:(Time.to_ns when_) ev;
   t.live <- t.live + 1;
   ev
 
@@ -95,15 +93,15 @@ let run ?until ?(max_events = max_int) t =
   let executed = ref 0 in
   let continue = ref true in
   while !continue && !executed < max_events do
-    match Heap.peek t.queue with
+    match Timer_wheel.peek t.queue with
     | None -> continue := false
-    | Some ev -> (
+    | Some (_, ev) -> (
         match until with
         | Some limit when Time.(ev.time > limit) ->
             t.clock <- limit;
             continue := false
         | _ -> (
-            ignore (Heap.pop t.queue);
+            ignore (Timer_wheel.pop t.queue);
             match ev.callback with
             | None -> () (* cancelled: already uncounted *)
             | Some f ->
@@ -111,10 +109,12 @@ let run ?until ?(max_events = max_int) t =
                 t.live <- t.live - 1;
                 t.clock <- ev.time;
                 incr executed;
+                t.executed <- t.executed + 1;
                 f ()))
   done;
   match until with
-  | Some limit when Heap.is_empty t.queue && Time.(t.clock < limit) -> t.clock <- limit
+  | Some limit when Timer_wheel.is_empty t.queue && Time.(t.clock < limit) -> t.clock <- limit
   | _ -> ()
 
 let pending t = t.live
+let events_executed t = t.executed

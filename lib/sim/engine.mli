@@ -46,3 +46,7 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
 
 val pending : t -> int
 (** Number of queued (non-cancelled) events. *)
+
+val events_executed : t -> int
+(** Total callbacks run over the engine's lifetime (across [run] calls) —
+    the numerator of the bench's events-per-second metric. *)

@@ -1,0 +1,31 @@
+(** An insertion-ordered hash table over int keys.
+
+    O(1) add, remove and lookup (hash table) with deterministic,
+    insertion-ordered iteration (intrusive doubly-linked list through the
+    nodes) — the connection-table building block: registries that are
+    looked up by token/port on every packet but must still enumerate in a
+    reproducible order for snapshots and sweeps. *)
+
+type 'a t
+
+val create : ?size:int -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val mem : 'a t -> int -> bool
+val find : 'a t -> int -> 'a option
+
+val add : 'a t -> int -> 'a -> unit
+(** Bind [key]. An existing binding is replaced and the key moves to the
+    end of the iteration order. *)
+
+val remove : 'a t -> int -> unit
+(** No-op when absent. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Oldest binding first. The binding under iteration may be removed by
+    [f]; other concurrent mutation is unspecified. *)
+
+val fold : (int -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val to_list : 'a t -> 'a list
+val keys : 'a t -> int list

@@ -1,0 +1,137 @@
+(* Hierarchical timer wheel, 32 slots x 8 levels over nanosecond keys.
+
+   Level [k] covers the aligned 32^(k+1)-tick window around [base]: an
+   element with key [t] lives at the smallest level whose aligned window
+   (relative to [base]) contains it, in slot [(t lsr 5k) land 31]. Within
+   the level-0 window every slot holds exactly one key value, so draining
+   a slot in insertion order yields the same firing order as a stable
+   (key, insertion) heap. Advancing [base] cascades one higher-level slot
+   into the levels below it; an element cascades at most once per level.
+
+   Elements more than the wheel horizon (2^40 ns ~ 18 simulated minutes)
+   ahead — or behind [base], which can run ahead of the caller's clock by
+   up to one window — overflow to a stable binary-heap tier and are served
+   from there, ordered against wheel elements by a global insertion
+   counter. *)
+
+let slot_bits = 5
+let slots = 1 lsl slot_bits (* 32 *)
+let slot_mask = slots - 1
+let levels = 8 (* horizon: 2^(5*8) ns *)
+
+type 'a entry = { e_time : int; e_seq : int; e_value : 'a }
+
+let compare_entry a b =
+  let c = Int.compare a.e_time b.e_time in
+  if c <> 0 then c else Int.compare a.e_seq b.e_seq
+
+type 'a t = {
+  wheel : 'a entry Queue.t array array; (* [level].[slot] *)
+  masks : int array; (* per-level slot-occupancy bitmask *)
+  overflow : 'a entry Heap.t;
+  mutable base : int; (* all wheel entries have e_time >= base *)
+  mutable next_seq : int; (* global insertion counter, for stable ties *)
+  mutable size : int;
+}
+
+let create () =
+  {
+    wheel = Array.init levels (fun _ -> Array.init slots (fun _ -> Queue.create ()));
+    masks = Array.make levels 0;
+    overflow = Heap.create ~cmp:compare_entry;
+    base = 0;
+    next_seq = 0;
+    size = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* Smallest level whose aligned window around [base] contains [time];
+   [levels] when the key is past the horizon. *)
+let level_for t time =
+  let rec find k =
+    if k >= levels then levels
+    else if time lsr (slot_bits * (k + 1)) = t.base lsr (slot_bits * (k + 1)) then k
+    else find (k + 1)
+  in
+  find 0
+
+let place t entry =
+  if entry.e_time < t.base then Heap.add t.overflow entry
+  else
+    let k = level_for t entry.e_time in
+    if k >= levels then Heap.add t.overflow entry
+    else begin
+      let idx = (entry.e_time lsr (slot_bits * k)) land slot_mask in
+      Queue.push entry t.wheel.(k).(idx);
+      t.masks.(k) <- t.masks.(k) lor (1 lsl idx)
+    end
+
+let add t ~time value =
+  if time < 0 then invalid_arg "Timer_wheel.add: negative time";
+  let entry = { e_time = time; e_seq = t.next_seq; e_value = value } in
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  place t entry
+
+let lowest_bit_index m =
+  let rec go i v = if v land 1 = 1 then i else go (i + 1) (v lsr 1) in
+  go 0 (m land -m)
+
+(* First occupied slot at [level] at or after [base]'s own slot there. *)
+let scan_level t k =
+  let idx = (t.base lsr (slot_bits * k)) land slot_mask in
+  let m = t.masks.(k) land (-1 lsl idx) in
+  if m = 0 then None else Some (lowest_bit_index m)
+
+(* Redistribute one level-[k] slot into the levels below it, advancing
+   [base] to the start of that slot's window first. *)
+let cascade t k idx =
+  let above = slot_bits * (k + 1) in
+  t.base <- ((t.base lsr above) lsl above) lor (idx lsl (slot_bits * k));
+  let q = t.wheel.(k).(idx) in
+  t.masks.(k) <- t.masks.(k) land lnot (1 lsl idx);
+  Queue.iter (fun entry -> place t entry) q;
+  Queue.clear q
+
+(* The level-0 slot holding the earliest wheel entry, cascading as needed. *)
+let rec wheel_front t =
+  let rec find k = if k >= levels then None else
+      match scan_level t k with
+      | Some idx -> Some (k, idx)
+      | None -> find (k + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some (0, idx) -> Some (Queue.peek t.wheel.(0).(idx), idx)
+  | Some (k, idx) ->
+      cascade t k idx;
+      wheel_front t
+
+let front t =
+  match (wheel_front t, Heap.peek t.overflow) with
+  | None, None -> None
+  | Some (e, idx), None -> Some (e, `Wheel idx)
+  | None, Some e -> Some (e, `Overflow)
+  | Some (we, idx), Some he ->
+      if compare_entry we he <= 0 then Some (we, `Wheel idx) else Some (he, `Overflow)
+
+let peek t =
+  match front t with
+  | None -> None
+  | Some (e, _) -> Some (e.e_time, e.e_value)
+
+let pop t =
+  match front t with
+  | None -> None
+  | Some (e, `Overflow) ->
+      ignore (Heap.pop t.overflow);
+      t.size <- t.size - 1;
+      Some (e.e_time, e.e_value)
+  | Some (_, `Wheel idx) ->
+      let q = t.wheel.(0).(idx) in
+      let e = Queue.pop q in
+      if Queue.is_empty q then t.masks.(0) <- t.masks.(0) land lnot (1 lsl idx);
+      t.size <- t.size - 1;
+      Some (e.e_time, e.e_value)

@@ -1,0 +1,31 @@
+(** A hierarchical timer wheel: the engine's event queue.
+
+    Keys are nanosecond timestamps. Scheduling and cancelling in the
+    near future (up to ~18 simulated minutes ahead) is O(1); keys beyond
+    the wheel horizon, or behind the wheel's internal base, overflow to a
+    binary-heap tier and cost O(log n) — far timers are the rare case in
+    a busy simulation. Elements with equal keys pop in insertion order
+    (the wheel is stable), so the engine's FIFO tie-breaking is
+    preserved exactly. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty wheel based at time 0. *)
+
+val add : 'a t -> time:int -> 'a -> unit
+(** [add t ~time v] inserts [v] with key [time] (>= 0; raises
+    [Invalid_argument] otherwise). Keys may be in any order; keys below
+    the wheel's advanced base are still served correctly, via the
+    overflow tier. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val peek : 'a t -> (int * 'a) option
+(** Earliest (key, value) without removing it. May internally advance
+    the wheel (amortised O(1)). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest element; equal keys pop in insertion
+    order. *)

@@ -1,0 +1,16 @@
+(** A minimal JSON emitter (no parsing) for machine-readable bench output.
+
+    NaN and infinities serialize as [null] — JSON has no representation for
+    them and downstream tooling must treat them as missing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_file : string -> t -> unit

@@ -13,7 +13,7 @@ type t = {
   engine : Engine.t;
   rng : Rng.t;
   mutable tcbs : Tcb.t Ip.Flow_map.t;
-  mutable listeners : (int * (Segment.t -> accept option)) list;
+  listeners : (int, Segment.t -> accept option) Hashtbl.t; (* port -> handler *)
   mutable default_config : Tcb.config;
   mutable rst_sent : int;
 }
@@ -57,7 +57,7 @@ let connections t = List.map snd (Ip.Flow_map.bindings t.tcbs)
 
 let handle_syn t seg =
   let port = seg.Segment.flow.Ip.dst.Ip.port in
-  match List.assoc_opt port t.listeners with
+  match Hashtbl.find_opt t.listeners port with
   | None -> send_rst_for t seg
   | Some handler -> (
       match handler seg with
@@ -100,7 +100,7 @@ let attach host =
       engine;
       rng = Engine.split_rng engine;
       tcbs = Ip.Flow_map.empty;
-      listeners = [];
+      listeners = Hashtbl.create 16;
       default_config = Tcb.default_config;
       rst_sent = 0;
     }
@@ -108,10 +108,8 @@ let attach host =
   Host.set_receive host (receive t);
   t
 
-let listen t ~port handler =
-  t.listeners <- (port, handler) :: List.remove_assoc port t.listeners
-
-let unlisten t ~port = t.listeners <- List.remove_assoc port t.listeners
+let listen t ~port handler = Hashtbl.replace t.listeners port handler
+let unlisten t ~port = Hashtbl.remove t.listeners port
 
 let ephemeral_port t ~src ~dst =
   let rec draw attempts =

@@ -322,7 +322,12 @@ let maybe_send_fin t =
   end
 
 let rec pump t =
-  if (not t.pumping) && t.state = Tcp_info.Established then begin
+  (* Close_wait is a half-close: the peer is done sending but we may still
+     have queued data to deliver (and a FIN to send after it). *)
+  if
+    (not t.pumping)
+    && (t.state = Tcp_info.Established || t.state = Tcp_info.Close_wait)
+  then begin
     t.pumping <- true;
     let progress = ref true in
     while !progress do
@@ -340,7 +345,6 @@ let rec pump t =
     t.pumping <- false;
     maybe_send_fin t
   end
-  else if t.state = Tcp_info.Close_wait then maybe_send_fin t
 
 and enqueue t ~dsn ~len =
   if len <= 0 then invalid_arg "Tcb.enqueue: len must be positive";

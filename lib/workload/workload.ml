@@ -1,0 +1,205 @@
+open Smapp_sim
+open Smapp_netsim
+open Smapp_mptcp
+module Setup = Smapp_core.Setup
+module Factory = Smapp_controllers.Factory
+module Fullmesh = Smapp_controllers.Fullmesh
+module Backup = Smapp_controllers.Backup
+module Bulk = Smapp_apps.Bulk
+
+type flow_dist =
+  | Fixed of int
+  | Pareto of { xmin : int; alpha : float; cap : int }
+  | Exponential of { mean : int }
+
+type controller = [ `None | `Fullmesh | `Backup ]
+
+type config = {
+  conns : int;
+  arrival_rate : float;
+  flow_dist : flow_dist;
+  controller : controller;
+  clients : int;
+  servers : int;
+  paths : int;
+  access_rate_bps : float;
+  access_delay : Time.span;
+  seed : int;
+  port : int;
+}
+
+let default_config =
+  {
+    conns = 1000;
+    arrival_rate = 500.0;
+    flow_dist = Pareto { xmin = 10_000; alpha = 1.5; cap = 10_000_000 };
+    controller = `Fullmesh;
+    clients = 8;
+    servers = 4;
+    paths = 2;
+    access_rate_bps = 20_000_000.0;
+    access_delay = Time.span_ms 5;
+    seed = 42;
+    port = 8080;
+  }
+
+type result = {
+  launched : int;
+  completed : int;
+  peak_concurrent : int;
+  bytes_total : int;
+  fcts : float list;
+  goodputs : float list;
+  subflows_created : int;
+  failovers : int;
+  sim_duration_s : float;
+  wall_s : float;
+  engine_events : int;
+  events_per_sec : float;
+}
+
+let sample_size dist rng =
+  match dist with
+  | Fixed n -> n
+  | Exponential { mean } ->
+      max 1 (int_of_float (Rng.exponential rng (float_of_int mean)))
+  | Pareto { xmin; alpha; cap } ->
+      (* inverse transform: xmin * u^(-1/alpha), truncated at cap *)
+      let u = max 1e-12 (Rng.float rng 1.0) in
+      let x = float_of_int xmin *. (u ** (-1.0 /. alpha)) in
+      min cap (max xmin (int_of_float x))
+
+(* One client host's slice of the workload: its endpoint plus the attached
+   control plane and per-connection controller factory. *)
+type client = {
+  cl_endpoint : Endpoint.t;
+  cl_addrs : Ip.t array;
+  cl_mesh : Fullmesh.mesh_state option;
+  cl_backup : Backup.backup_state option;
+}
+
+let make_client config (fabric : Topology.fabric) i =
+  let host = fabric.Topology.mm_clients.(i) in
+  let addrs = fabric.Topology.mm_client_addrs.(i) in
+  let endpoint = Endpoint.of_host host in
+  let setup = Setup.attach endpoint in
+  let cl_mesh, cl_backup =
+    match config.controller with
+    | `None -> (None, None)
+    | `Fullmesh ->
+        let fm_config =
+          Fullmesh.default_config ~local_addresses:(Array.to_list addrs) ()
+        in
+        let state = Fullmesh.mesh_state fm_config in
+        ignore (Factory.start setup.Setup.pm (Fullmesh.per_conn state));
+        (Some state, None)
+    | `Backup ->
+        (* primary on path 0; the rest of the paths are failover spares *)
+        let spares = Array.to_list (Array.sub addrs 1 (Array.length addrs - 1)) in
+        let bk_config = Backup.default_config ~backup_sources:spares () in
+        let state = Backup.backup_state bk_config in
+        ignore (Factory.start setup.Setup.pm (Backup.per_conn state));
+        (None, Some state)
+  in
+  { cl_endpoint = endpoint; cl_addrs = addrs; cl_mesh; cl_backup }
+
+let run config =
+  if config.conns < 1 then invalid_arg "Workload.run: conns must be >= 1";
+  if config.arrival_rate <= 0.0 then
+    invalid_arg "Workload.run: arrival rate must be positive";
+  if config.controller = `Backup && config.paths < 2 then
+    invalid_arg "Workload.run: backup controller needs at least 2 paths";
+  let wall_start = Sys.time () in
+  let engine = Engine.create ~seed:config.seed () in
+  let fabric =
+    Topology.many_to_many engine
+      ~rates_bps:[ config.access_rate_bps ]
+      ~delays:[ config.access_delay ] ~clients:config.clients
+      ~servers:config.servers ~paths:config.paths ()
+  in
+  (* servers: accept anything on the port and sink the bytes *)
+  Array.iter
+    (fun host ->
+      let endpoint = Endpoint.of_host host in
+      Endpoint.listen endpoint ~port:config.port (fun conn ->
+          Connection.set_receive conn (fun _len -> ())))
+    fabric.Topology.mm_servers;
+  let clients = Array.init config.clients (make_client config fabric) in
+  (* independent streams so changing one knob never shifts another's draws *)
+  let arrival_rng = Engine.split_rng engine in
+  let size_rng = Engine.split_rng engine in
+  let place_rng = Engine.split_rng engine in
+  let completed = ref 0 in
+  let bytes_total = ref 0 in
+  let fcts = ref [] in
+  let goodputs = ref [] in
+  let live = ref 0 in
+  let peak = ref 0 in
+  let mean_gap_s = 1.0 /. config.arrival_rate in
+  let launch () =
+    let cl = clients.(Rng.int place_rng config.clients) in
+    let j = Rng.int place_rng config.servers in
+    let bytes = sample_size config.flow_dist size_rng in
+    let src = cl.cl_addrs.(0) in
+    let dst =
+      { Ip.addr = fabric.Topology.mm_server_addrs.(j).(0); Ip.port = config.port }
+    in
+    let conn = Endpoint.connect cl.cl_endpoint ~src ~dst () in
+    let started = Engine.now engine in
+    incr live;
+    if !live > !peak then peak := !live;
+    Connection.subscribe conn (function
+      | Connection.Closed ->
+          decr live;
+          incr completed;
+          bytes_total := !bytes_total + bytes;
+          let fct = Time.span_to_float_s (Time.diff (Engine.now engine) started) in
+          fcts := fct :: !fcts;
+          if fct > 0.0 then
+            goodputs := (float_of_int (bytes * 8) /. fct) :: !goodputs
+      | _ -> ());
+    Bulk.sender conn ~bytes
+  in
+  (* open-loop Poisson arrivals: the next connection is scheduled regardless
+     of how the previous ones are faring *)
+  let rec arrival remaining =
+    if remaining > 0 then begin
+      launch ();
+      let gap = Time.span_of_float_s (Rng.exponential arrival_rng mean_gap_s) in
+      ignore (Engine.after engine gap (fun () -> arrival (remaining - 1)))
+    end
+  in
+  ignore
+    (Engine.after engine
+       (Time.span_of_float_s (Rng.exponential arrival_rng mean_gap_s))
+       (fun () -> arrival config.conns));
+  Engine.run engine;
+  let wall_s = Sys.time () -. wall_start in
+  let engine_events = Engine.events_executed engine in
+  {
+    launched = config.conns;
+    completed = !completed;
+    peak_concurrent = !peak;
+    bytes_total = !bytes_total;
+    fcts = List.rev !fcts;
+    goodputs = List.rev !goodputs;
+    subflows_created =
+      Array.fold_left
+        (fun acc cl ->
+          acc
+          + (match cl.cl_mesh with
+            | Some s -> Fullmesh.mesh_subflows_created s
+            | None -> 0))
+        0 clients;
+    failovers =
+      Array.fold_left
+        (fun acc cl ->
+          acc
+          + (match cl.cl_backup with Some s -> Backup.backup_failovers s | None -> 0))
+        0 clients;
+    sim_duration_s = Time.span_to_float_s (Time.diff (Engine.now engine) Time.zero);
+    wall_s;
+    engine_events;
+    events_per_sec =
+      (if wall_s > 0.0 then float_of_int engine_events /. wall_s else 0.0);
+  }

@@ -203,6 +203,36 @@ let test_local_addr_events () =
   in
   Alcotest.(check (list string)) "flap events" [ "del:c-eth1"; "new:c-eth1" ] names
 
+let test_reply_routing_interleaved () =
+  (* Many outstanding commands at once: each reply must land on the callback
+     of the request with the matching sequence number, not on whichever was
+     registered first. Even requests are valid (Ok), odd ones query a
+     nonexistent subflow (Error) — any misrouting flips a result. *)
+  let engine, topo, client_ep, _, _, setup = make () in
+  let conn = connect topo client_ep in
+  run engine 300;
+  checkb "established" true (Connection.established conn);
+  let token = Connection.local_token conn in
+  let n = 24 in
+  let results = Array.make n None in
+  for i = 0 to n - 1 do
+    if i mod 2 = 0 then
+      Pm_lib.get_conn_info setup.Setup.pm ~token (fun r ->
+          results.(i) <- Some (Result.is_ok r))
+    else
+      Pm_lib.get_sub_info setup.Setup.pm ~token ~sub_id:999 (fun r ->
+          results.(i) <- Some (Result.is_ok r))
+  done;
+  checki "all in flight" n (Pm_lib.pending_requests setup.Setup.pm);
+  run engine 900;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None -> Alcotest.failf "request %d never answered" i
+      | Some ok -> checkb (Printf.sprintf "request %d routed to its caller" i) (i mod 2 = 0) ok)
+    results;
+  checki "none left pending" 0 (Pm_lib.pending_requests setup.Setup.pm)
+
 let test_kernel_pm_counters () =
   let engine, topo, client_ep, _, _, setup = make () in
   Pm_lib.on_event setup.Setup.pm ~mask:Pm_msg.Mask.all (fun _ -> ());
@@ -228,5 +258,7 @@ let () =
           Alcotest.test_case "timeout carries rto" `Quick test_timeout_event_carries_rto;
           Alcotest.test_case "local addr events" `Quick test_local_addr_events;
           Alcotest.test_case "kernel pm counters" `Quick test_kernel_pm_counters;
+          Alcotest.test_case "reply routing interleaved" `Quick
+            test_reply_routing_interleaved;
         ] );
     ]

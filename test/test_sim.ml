@@ -166,6 +166,184 @@ let test_engine_nested_schedule () =
   Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
   checki "clock" 15_000_000 (Time.to_ns (Engine.now e))
 
+(* --- Otable ------------------------------------------------------------------- *)
+
+let test_otable_basics () =
+  let t = Otable.create () in
+  checkb "empty" true (Otable.is_empty t);
+  Otable.add t 1 "a";
+  Otable.add t 2 "b";
+  Otable.add t 3 "c";
+  checki "length" 3 (Otable.length t);
+  checkb "mem" true (Otable.mem t 2);
+  Alcotest.(check (option string)) "find" (Some "b") (Otable.find t 2);
+  Alcotest.(check (option string)) "find absent" None (Otable.find t 9);
+  Otable.remove t 2;
+  checkb "removed" false (Otable.mem t 2);
+  checki "length after remove" 2 (Otable.length t);
+  Otable.remove t 2 (* absent: no-op *)
+
+let test_otable_insertion_order () =
+  let t = Otable.create () in
+  List.iter (fun k -> Otable.add t k (string_of_int k)) [ 5; 1; 4; 2 ];
+  Alcotest.(check (list int)) "keys oldest first" [ 5; 1; 4; 2 ] (Otable.keys t);
+  Alcotest.(check (list string)) "values oldest first" [ "5"; "1"; "4"; "2" ]
+    (Otable.to_list t);
+  Otable.remove t 4;
+  Alcotest.(check (list int)) "order survives removal" [ 5; 1; 2 ] (Otable.keys t)
+
+let test_otable_replace_moves_to_end () =
+  let t = Otable.create () in
+  Otable.add t 1 "a";
+  Otable.add t 2 "b";
+  Otable.add t 1 "A";
+  checki "still two bindings" 2 (Otable.length t);
+  Alcotest.(check (option string)) "new value" (Some "A") (Otable.find t 1);
+  Alcotest.(check (list int)) "replaced key moved to end" [ 2; 1 ] (Otable.keys t)
+
+let test_otable_iter_self_removal () =
+  let t = Otable.create () in
+  List.iter (fun k -> Otable.add t k k) [ 1; 2; 3; 4; 5 ];
+  Otable.iter (fun k _ -> if k mod 2 = 0 then Otable.remove t k) t;
+  Alcotest.(check (list int)) "odd keys remain" [ 1; 3; 5 ] (Otable.keys t)
+
+(* --- Timer wheel --------------------------------------------------------------- *)
+
+(* Drain a wheel and compare against a stable sort by key: same multiset,
+   same order, ties in insertion order. *)
+let wheel_drain_matches times =
+  let w = Timer_wheel.create () in
+  List.iteri (fun i time -> Timer_wheel.add w ~time i) times;
+  let rec drain acc =
+    match Timer_wheel.pop w with
+    | Some (t, v) -> drain ((t, v) :: acc)
+    | None -> List.rev acc
+  in
+  let expect =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (List.mapi (fun i t -> (t, i)) times)
+  in
+  drain [] = expect && Timer_wheel.is_empty w
+
+let test_wheel_tiers () =
+  (* keys on every tier: slot 0, low levels, high levels, past-horizon overflow *)
+  checkb "mixed tiers drain sorted" true
+    (wheel_drain_matches
+       [ 7; 0; (1 lsl 41) + 3; 1 lsl 20; 31; 1 lsl 39; 32; 5; (1 lsl 41) + 3; 7 ])
+
+(* The heap the engine used before the wheel, as the reference model: a
+   min-heap on (time, seq) is a stable priority queue. *)
+let reference_heap () =
+  Heap.create ~cmp:(fun (ta, sa, _) (tb, sb, _) ->
+      if ta <> tb then Int.compare ta tb else Int.compare sa sb)
+
+let wheel_time_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        int_bound 63;                                    (* level 0 *)
+        int_bound ((1 lsl 22) - 1);                      (* mid levels *)
+        map (fun x -> x + (1 lsl 38)) (int_bound 1000);  (* top level *)
+        map (fun x -> x + (1 lsl 41)) (int_bound 1000);  (* overflow tier *)
+      ])
+
+let wheel_props =
+  let time_list = QCheck.make ~print:QCheck.Print.(list int) QCheck.Gen.(list wheel_time_gen) in
+  let ops =
+    (* Some t = add at time t, None = pop *)
+    QCheck.make
+      ~print:QCheck.Print.(list (option int))
+      QCheck.Gen.(list (frequency [ (3, map Option.some wheel_time_gen); (2, pure None) ]))
+  in
+  [
+    QCheck.Test.make ~name:"wheel drains like a stable sort" ~count:300 time_list
+      wheel_drain_matches;
+    QCheck.Test.make ~name:"wheel matches heap under interleaved add/pop" ~count:300 ops
+      (fun ops ->
+        let w = Timer_wheel.create () in
+        let h = reference_heap () in
+        let seq = ref 0 in
+        (* the engine never schedules before [now]: floor each add at the
+           last popped key so the wheel sees a monotone-feasible workload *)
+        let floor_t = ref 0 in
+        List.for_all
+          (fun op ->
+            match op with
+            | Some t ->
+                let t = max t !floor_t in
+                Timer_wheel.add w ~time:t !seq;
+                Heap.add h (t, !seq, !seq);
+                incr seq;
+                Timer_wheel.length w = Heap.length h
+            | None -> (
+                match (Timer_wheel.pop w, Heap.pop h) with
+                | None, None -> true
+                | Some (tw, vw), Some (th, _, vh) ->
+                    floor_t := max !floor_t tw;
+                    tw = th && vw = vh
+                | _ -> false))
+          ops)
+  ]
+
+let engine_props =
+  (* Random delays, a random subset cancelled while armed: the survivors
+     must fire in time order with FIFO ties (= stable sort by delay). *)
+  let specs = QCheck.(list (pair (int_bound 50) bool)) in
+  [
+    QCheck.Test.make ~name:"engine fires survivors in stable time order" ~count:200 specs
+      (fun specs ->
+        let e = Engine.create () in
+        let log = ref [] in
+        let timers =
+          List.mapi
+            (fun i (d, _) -> Engine.after e (Time.span_ms d) (fun () -> log := i :: !log))
+            specs
+        in
+        List.iteri (fun i (_, cancel) -> if cancel then Engine.cancel (List.nth timers i)) specs;
+        Engine.run e;
+        let expect =
+          List.mapi (fun i (d, c) -> (d, i, c)) specs
+          |> List.filter (fun (_, _, c) -> not c)
+          |> List.stable_sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+          |> List.map (fun (_, i, _) -> i)
+        in
+        List.rev !log = expect);
+  ]
+
+let test_engine_every_rearm_exact () =
+  let e = Engine.create () in
+  let ticks = ref [] in
+  let _timer =
+    Engine.every e (Time.span_ms 10) (fun () ->
+        ticks := Time.to_ns (Engine.now e) :: !ticks;
+        if List.length !ticks >= 4 then `Stop else `Continue)
+  in
+  Engine.run e;
+  Alcotest.(check (list int)) "re-arms drift-free"
+    [ 10_000_000; 20_000_000; 30_000_000; 40_000_000 ]
+    (List.rev !ticks)
+
+let test_engine_cancel_while_armed () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let timer =
+    Engine.every e (Time.span_ms 10)
+      (fun () ->
+        incr count;
+        `Continue)
+  in
+  ignore
+    (Engine.after e (Time.span_ms 25) (fun () ->
+         checkb "armed between ticks" true (Engine.timer_active timer);
+         Engine.cancel timer;
+         Engine.cancel timer;
+         (* double cancel is a no-op *)
+         checkb "disarmed" false (Engine.timer_active timer)));
+  Engine.run e;
+  checki "two ticks then cancelled" 2 !count;
+  checki "clock stops at cancel point" 25_000_000 (Time.to_ns (Engine.now e))
+
 let test_engine_past_raises () =
   let e = Engine.create () in
   ignore
@@ -186,6 +364,16 @@ let () =
       ( "heap",
         [ Alcotest.test_case "ordering" `Quick test_heap_ordering ]
         @ List.map QCheck_alcotest.to_alcotest heap_props );
+      ( "otable",
+        [
+          Alcotest.test_case "basics" `Quick test_otable_basics;
+          Alcotest.test_case "insertion order" `Quick test_otable_insertion_order;
+          Alcotest.test_case "replace moves to end" `Quick test_otable_replace_moves_to_end;
+          Alcotest.test_case "iter self removal" `Quick test_otable_iter_self_removal;
+        ] );
+      ( "timer wheel",
+        [ Alcotest.test_case "mixed tiers" `Quick test_wheel_tiers ]
+        @ List.map QCheck_alcotest.to_alcotest wheel_props );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
@@ -204,5 +392,8 @@ let () =
           Alcotest.test_case "every cancel" `Quick test_engine_every_cancel;
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
           Alcotest.test_case "past raises" `Quick test_engine_past_raises;
-        ] );
+          Alcotest.test_case "every re-arms exactly" `Quick test_engine_every_rearm_exact;
+          Alcotest.test_case "cancel while armed" `Quick test_engine_cancel_while_armed;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest engine_props );
     ]

@@ -475,6 +475,109 @@ let test_ephemeral_ports_distinct () =
   let distinct = List.sort_uniq Int.compare ports in
   checki "20 distinct ephemeral ports" 20 (List.length distinct)
 
+(* --- listener table semantics ------------------------------------------------- *)
+
+let plain_accept cbs =
+  Some
+    {
+      Stack.acc_config = None;
+      acc_synack_options = [];
+      acc_callbacks = cbs;
+      acc_on_created = ignore;
+    }
+
+let listen_harness () =
+  let engine = Engine.create ~seed:11 () in
+  let d = Topology.direct_link engine () in
+  let cstack = Stack.attach d.Topology.client in
+  let sstack = Stack.attach d.Topology.server in
+  let server_addr = List.hd (Host.addresses d.Topology.server) in
+  let client_addr = List.hd (Host.addresses d.Topology.client) in
+  (engine, cstack, sstack, client_addr, server_addr)
+
+let test_listen_replaces_previous () =
+  let engine, cstack, sstack, client_addr, server_addr = listen_harness () in
+  let first_hits = ref 0 and second_hits = ref 0 in
+  Stack.listen sstack ~port:80 (fun _ ->
+      incr first_hits;
+      plain_accept Tcb.null_callbacks);
+  Stack.listen sstack ~port:80 (fun _ ->
+      incr second_hits;
+      plain_accept Tcb.null_callbacks);
+  let established = ref false in
+  let cbs =
+    { Tcb.null_callbacks with Tcb.on_established = (fun _ -> established := true) }
+  in
+  let _ = Stack.connect cstack ~src:client_addr ~dst:(Ip.endpoint server_addr 80) cbs in
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 2)) engine;
+  checkb "established" true !established;
+  checki "replaced listener never consulted" 0 !first_hits;
+  checki "new listener handles the syn" 1 !second_hits
+
+let test_unlisten_refuses () =
+  let engine, cstack, sstack, client_addr, server_addr = listen_harness () in
+  let hits = ref 0 in
+  Stack.listen sstack ~port:80 (fun _ ->
+      incr hits;
+      plain_accept Tcb.null_callbacks);
+  Stack.unlisten sstack ~port:80;
+  let closed = ref None in
+  let cbs = { Tcb.null_callbacks with Tcb.on_close = (fun _ err -> closed := Some err) } in
+  let _ = Stack.connect cstack ~src:client_addr ~dst:(Ip.endpoint server_addr 80) cbs in
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 5)) engine;
+  checki "removed listener never consulted" 0 !hits;
+  match !closed with
+  | Some (Some _) -> ()
+  | Some None -> Alcotest.fail "expected an error close"
+  | None -> Alcotest.fail "client never closed"
+
+(* --- half-close: sending must continue from CLOSE_WAIT ------------------------- *)
+
+let test_send_continues_in_close_wait () =
+  (* The server FINs as soon as the handshake completes, so the client's FIN
+     and most of its queued data are still pending when it enters CLOSE_WAIT.
+     Regression: pump once refused to transmit outside ESTABLISHED, so the
+     transfer deadlocked with no timer armed. *)
+  let engine = Engine.create ~seed:3 () in
+  let d = Topology.direct_link engine ~rate_bps:10e6 ~delay:(Time.span_ms 10) () in
+  let cstack = Stack.attach d.Topology.client in
+  let sstack = Stack.attach d.Topology.server in
+  let total = 300_000 in
+  let received = ref 0 in
+  let server_cbs =
+    {
+      Tcb.null_callbacks with
+      Tcb.on_established = (fun tcb -> Tcb.close tcb);
+      on_data = (fun _ ~dsn:_ ~len -> received := !received + len);
+    }
+  in
+  Stack.listen sstack ~port:80 (fun _ -> plain_accept server_cbs);
+  let client_closed = ref None in
+  let client_state = ref Tcp_info.Closed in
+  let client_cbs =
+    {
+      Tcb.null_callbacks with
+      Tcb.on_established =
+        (fun tcb ->
+          Tcb.enqueue tcb ~dsn:0 ~len:total;
+          Tcb.close tcb);
+      on_fin = (fun tcb -> client_state := (Tcb.info tcb).Tcp_info.state);
+      on_close = (fun _ err -> client_closed := Some err);
+    }
+  in
+  let server_addr = List.hd (Host.addresses d.Topology.server) in
+  let client_addr = List.hd (Host.addresses d.Topology.client) in
+  let _ =
+    Stack.connect cstack ~src:client_addr ~dst:(Ip.endpoint server_addr 80) client_cbs
+  in
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 60)) engine;
+  checkb "fin arrived before our own" true (!client_state = Tcp_info.Close_wait);
+  checki "all bytes delivered from CLOSE_WAIT" total !received;
+  match !client_closed with
+  | Some None -> ()
+  | Some (Some e) -> Alcotest.failf "client closed with %s" (Tcp_error.to_string e)
+  | None -> Alcotest.fail "client deadlocked in CLOSE_WAIT"
+
 let () =
   Alcotest.run "tcp"
     [
@@ -519,5 +622,12 @@ let () =
           Alcotest.test_case "blackhole -> ETIMEDOUT" `Quick test_blackhole_kills_after_backoffs;
           Alcotest.test_case "rto backoff doubles" `Quick test_rto_backoff_doubles;
           Alcotest.test_case "ephemeral ports distinct" `Quick test_ephemeral_ports_distinct;
+          Alcotest.test_case "close_wait keeps sending" `Quick
+            test_send_continues_in_close_wait;
+        ] );
+      ( "listeners",
+        [
+          Alcotest.test_case "listen replaces previous" `Quick test_listen_replaces_previous;
+          Alcotest.test_case "unlisten refuses" `Quick test_unlisten_refuses;
         ] );
     ]
