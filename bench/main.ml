@@ -375,6 +375,39 @@ let workload () =
       metric "fct_p50_s" (Stats.Cdf.quantile cdf 0.5);
       metric "fct_p90_s" (Stats.Cdf.quantile cdf 0.9))
 
+(* -------------------------------------------- conformance-hook overhead *)
+
+(* The FSM instrumentation in Tcb/Connection is a load-and-branch when the
+   hooks are off; this section holds it to that by running the same workload
+   with checks off and with the full conformance checker installed. *)
+let check_overhead () =
+  let open Smapp_workload in
+  let conns = scale ~q:100 ~d:400 ~f:1000 in
+  let config =
+    {
+      Workload.default_config with
+      Workload.conns;
+      arrival_rate = float_of_int conns;
+      flow_dist = Workload.Fixed 100_000;
+    }
+  in
+  let run () = Workload.run config in
+  let off = run () in
+  Smapp_check.Fsm.install ();
+  let on_ = Fun.protect ~finally:Smapp_check.Fsm.uninstall run in
+  let ratio =
+    if on_.Workload.events_per_sec > 0.0 then
+      off.Workload.events_per_sec /. on_.Workload.events_per_sec
+    else 0.0
+  in
+  Printf.printf "hooks off: %.0f events/s; hooks on: %.0f events/s (x%.3f)\n"
+    off.Workload.events_per_sec on_.Workload.events_per_sec ratio;
+  Printf.printf "conformance validated %d transitions\n"
+    (Smapp_check.Fsm.transitions_seen ());
+  metric "events_per_sec_hooks_off" off.Workload.events_per_sec;
+  metric "events_per_sec_hooks_on" on_.Workload.events_per_sec;
+  metric "overhead_ratio" ratio
+
 (* ------------------------------------------------------- microbenchmarks *)
 
 let microbench () =
@@ -481,6 +514,7 @@ let () =
   section "fullmesh" fullmesh;
   section "chaos" chaos;
   section "workload" workload;
+  section "check" check_overhead;
   section "microbench" microbench;
   write_bench_json "BENCH.json";
   Printf.printf "\nDone.\n"

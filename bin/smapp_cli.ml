@@ -348,6 +348,72 @@ let workload_cmd =
       const run_workload $ conns $ arrival_rate $ flow_dist $ controller $ clients
       $ servers $ paths $ seed)
 
+(* --- check: the correctness tooling ----------------------------------------- *)
+
+let run_check quick permutations =
+  let module Check = Smapp_check in
+  let failures = ref 0 in
+  let part name ok detail =
+    Printf.printf "%s %-28s %s\n" (if ok then "ok  " else "FAIL") name detail;
+    if not ok then incr failures
+  in
+  (* 1. the transition tables are structurally sound *)
+  (match Check.Fsm.self_check () with
+  | Ok () -> part "fsm self-check" true "tables complete, terminal, reachable"
+  | Error msg -> part "fsm self-check" false msg);
+  (* 2. the source tree is lint-clean (when run from the repo root) *)
+  (if Sys.file_exists "lib" && Sys.is_directory "lib" then
+     let r = Check.Lint.run ~dir:"lib" in
+     List.iter
+       (fun f -> Format.printf "%a@." Check.Lint.pp_finding f)
+       r.Check.Lint.r_findings;
+     part "lint lib/"
+       (r.Check.Lint.r_findings = [])
+       (Printf.sprintf "%d files, %d findings, %d suppressed"
+          r.Check.Lint.r_files
+          (List.length r.Check.Lint.r_findings)
+          r.Check.Lint.r_suppressed)
+   else Printf.printf "skip lint (no lib/ here)\n");
+  (* 3. tie-order exploration of the conformance-checked scenarios *)
+  let permutations = if quick then min permutations 120 else permutations in
+  let explore name scenario =
+    match Check.Explore.run ~permutations scenario with
+    | outcome ->
+        part
+          (Printf.sprintf "explore %s" name)
+          (Check.Explore.consistent outcome)
+          (Format.asprintf "%a" Check.Explore.pp_outcome outcome)
+    | exception Check.Fsm.Conformance msg ->
+        part (Printf.sprintf "explore %s" name) false ("conformance: " ^ msg)
+  in
+  explore "two-subflow-transfer" Check.Scenarios.two_subflow_transfer;
+  explore "close-wait-drain" Check.Scenarios.close_wait_deadlock;
+  explore "post-fin-subflow" Check.Scenarios.post_fin_subflow;
+  if !failures > 0 then begin
+    Printf.printf "smapp check: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  Printf.printf "smapp check: all passed\n"
+
+let check_cmd =
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Cap exploration at 120 permutations per scenario (CI).")
+  in
+  let permutations =
+    Arg.(
+      value & opt int 300
+      & info [ "permutations" ]
+          ~doc:"Tie-order permutations to explore per scenario.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Correctness tooling: FSM table self-check, source lint, and \
+          tie-order race exploration")
+    Term.(const run_check $ quick $ permutations)
+
 let main_cmd =
   let doc = "SMAPP experiments: smart Multipath TCP path management" in
   Cmd.group (Cmd.info "smapp" ~doc)
@@ -360,6 +426,7 @@ let main_cmd =
       fullmesh_cmd;
       chaos_cmd;
       workload_cmd;
+      check_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

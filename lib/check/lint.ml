@@ -1,0 +1,231 @@
+type rule = Poly_compare_seq | Hashtbl_order | Naked_failwith | Parse_error
+
+let rule_id = function
+  | Poly_compare_seq -> "poly-compare-seq"
+  | Hashtbl_order -> "hashtbl-order"
+  | Naked_failwith -> "naked-failwith"
+  | Parse_error -> "parse-error"
+
+type finding = {
+  f_rule : rule;
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_message : string;
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.f_file f.f_line f.f_col
+    (rule_id f.f_rule) f.f_message
+
+let suppression_reach = 4
+
+type report = { r_findings : finding list; r_suppressed : int; r_files : int }
+
+(* --- rule predicates over the parsetree -------------------------------------- *)
+
+let comparison_ops = [ "="; "<>"; "=="; "!="; "<"; ">"; "<="; ">=" ]
+let poly_funs = [ "compare"; "min"; "max" ]
+
+(* Does [lid] pass through a module component named [m]?
+   Catches both [Seq32.x] and [Smapp_tcp.Seq32.x]. *)
+let rec path_through m = function
+  | Longident.Lident _ -> false
+  | Longident.Ldot (Longident.Lident p, _) -> p = m
+  | Longident.Ldot (prefix, _) -> (
+      (match prefix with Longident.Ldot (_, p) -> p = m | _ -> false)
+      || path_through m prefix)
+  | Longident.Lapply (a, b) -> path_through m a || path_through m b
+
+let seq_field_names = [ "seq"; "ack_seq"; "iss"; "irs" ]
+
+let last_component = function
+  | Longident.Lident s | Longident.Ldot (_, s) -> Some s
+  | Longident.Lapply _ -> None
+
+(* Does [e] syntactically mention a sequence number: a [Seq32.x] value path,
+   a [(x : Seq32.t)] constraint, or a record field named like one? A
+   sub-iterator with an early-out flag — purely syntactic, so a variable
+   merely *typed* Seq32.t elsewhere is not caught (that would need typing). *)
+let mentions_seq (e : Parsetree.expression) =
+  let found = ref false in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    if not !found then
+      match e.pexp_desc with
+      (* applications of Seq32's int-producing functions are opaque:
+         comparing [Seq32.compare a b] or [Seq32.diff a b] against an int
+         is the fix, not the bug — skip the whole subtree *)
+      | Parsetree.Pexp_apply ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, _)
+        when path_through "Seq32" txt
+             && (match last_component txt with
+                | Some ("compare" | "diff" | "to_int") -> true
+                | Some _ | None -> false) ->
+          ()
+      | Parsetree.Pexp_ident { txt; _ } when path_through "Seq32" txt ->
+          found := true
+      | Parsetree.Pexp_field (_, { txt; _ })
+        when (match last_component txt with
+             | Some n -> List.mem n seq_field_names
+             | None -> false) ->
+          found := true
+      | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  let typ (it : Ast_iterator.iterator) (ty : Parsetree.core_type) =
+    (match ty.ptyp_desc with
+    | Parsetree.Ptyp_constr ({ txt; _ }, _)
+      when path_through "Seq32" txt || txt = Longident.Lident "Seq32" ->
+        found := true
+    | _ -> ());
+    if not !found then Ast_iterator.default_iterator.typ it ty
+  in
+  let it = { Ast_iterator.default_iterator with expr; typ } in
+  it.expr it e;
+  !found
+
+let loc_pos (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let collect ~file source_structure =
+  let acc = ref [] in
+  let add rule loc message =
+    let line, col = loc_pos loc in
+    acc := { f_rule = rule; f_file = file; f_line = line; f_col = col; f_message = message } :: !acc
+  in
+  let check_apply fn_lid fn_loc args =
+    (match fn_lid with
+    (* hashtbl-order: Hashtbl.iter / Hashtbl.fold (Otable is exempt by name) *)
+    | Longident.Ldot (_, ("iter" | "fold")) when path_through "Hashtbl" fn_lid ->
+        add Hashtbl_order fn_loc
+          "Hashtbl iteration order is unspecified and escapes into behaviour; \
+           use Otable (insertion-ordered) or sort the bindings first"
+    | _ -> ());
+    let is_bare = match fn_lid with Longident.Lident _ -> true | _ -> false in
+    match last_component fn_lid with
+    (* poly-compare-seq: a comparison whose operand mentions a sequence number.
+       Operators fire however qualified; compare/min/max only bare (so
+       [Seq32.compare] itself is exempt). *)
+    | Some op
+      when (List.mem op comparison_ops || (is_bare && List.mem op poly_funs))
+           && List.exists (fun (_, a) -> mentions_seq a) args ->
+        add Poly_compare_seq fn_loc
+          (Printf.sprintf
+             "polymorphic %s on a sequence number is wrong across the 2^32 \
+              wraparound; use Seq32.lt/le/gt/ge/compare/min/max"
+             op)
+    | _ -> ()
+  in
+  let ident_finding lid loc =
+    (* naked-failwith: any mention, applied or not (e.g. [|> failwith]) *)
+    match last_component lid with
+    | Some "failwith"
+      when (match lid with
+           | Longident.Lident _ -> true
+           | Longident.Ldot (Longident.Lident "Stdlib", _) -> true
+           | _ -> false) ->
+        add Naked_failwith loc
+          "raise Bug.fail (invariant) or a typed error instead of failwith"
+    | _ -> ()
+  in
+  let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Parsetree.Pexp_apply ({ pexp_desc = Parsetree.Pexp_ident { txt; loc }; _ }, args) ->
+        check_apply txt loc args;
+        ident_finding txt loc;
+        (* recurse into the arguments only: revisiting the function ident
+           would double-report failwith *)
+        List.iter (fun (_, a) -> it.expr it a) args
+    | Parsetree.Pexp_ident { txt; loc } ->
+        ident_finding txt loc
+    | Parsetree.Pexp_assert
+        { pexp_desc = Parsetree.Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
+      ->
+        add Naked_failwith e.pexp_loc
+          "assert false marks unreachable code without saying why; use \
+           Bug.fail with the violated invariant"
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it source_structure;
+  List.rev !acc
+
+(* --- suppression -------------------------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let marker = "smapp-lint: allow"
+
+(* line number -> remainder of each marker on that line *)
+let markers_of_lines lines =
+  let tbl = Hashtbl.create 8 in
+  Array.iteri
+    (fun i line ->
+      if contains ~sub:marker line then Hashtbl.replace tbl (i + 1) line)
+    lines;
+  tbl
+
+let suppressed markers f =
+  let rid = rule_id f.f_rule in
+  let rec probe l n =
+    if n < 0 || l < 1 then false
+    else
+      match Hashtbl.find_opt markers l with
+      | Some line when contains ~sub:rid line -> true
+      | _ -> probe (l - 1) (n - 1)
+  in
+  probe f.f_line suppression_reach
+
+(* --- entry points ------------------------------------------------------------- *)
+
+let lint_string ~file source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | exception _ ->
+      let f =
+        {
+          f_rule = Parse_error;
+          f_file = file;
+          f_line = (let p = lexbuf.Lexing.lex_curr_p in p.pos_lnum);
+          f_col = 0;
+          f_message = "file does not parse; lint skipped it";
+        }
+      in
+      { r_findings = [ f ]; r_suppressed = 0; r_files = 1 }
+  | structure ->
+      let all = collect ~file structure in
+      let lines = Array.of_list (String.split_on_char '\n' source) in
+      let markers = markers_of_lines lines in
+      let live, dead = List.partition (fun f -> not (suppressed markers f)) all in
+      { r_findings = live; r_suppressed = List.length dead; r_files = 1 }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path = lint_string ~file:path (read_file path)
+
+let rec ml_files dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if String.length entry > 0 && (entry.[0] = '_' || entry.[0] = '.') then []
+         else if Sys.is_directory path then ml_files path
+         else if Filename.check_suffix entry ".ml" then [ path ]
+         else [])
+
+let run ~dir =
+  List.fold_left
+    (fun acc path ->
+      let r = lint_file path in
+      {
+        r_findings = acc.r_findings @ r.r_findings;
+        r_suppressed = acc.r_suppressed + r.r_suppressed;
+        r_files = acc.r_files + 1;
+      })
+    { r_findings = []; r_suppressed = 0; r_files = 0 }
+    (ml_files dir)

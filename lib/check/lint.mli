@@ -1,0 +1,65 @@
+(** A source-level lint pass for the smapp tree.
+
+    Parses [.ml] files with the compiler's own front end (no typing) and
+    flags three idioms that have each produced a real bug here:
+
+    - {b poly-compare-seq}: a polymorphic comparison ([=], [<>], [<], [>],
+      [<=], [>=], [compare], [min], [max]) with an operand that mentions a
+      [Seq32] value or a sequence-number field ([seq], [ack_seq], [iss],
+      [irs]). 32-bit sequence numbers wrap; [Stdlib.compare] on their raw
+      representation is wrong across the 2{^32} boundary — use [Seq32.lt] /
+      [Seq32.compare] and friends, which compare by signed distance.
+    - {b hashtbl-order}: [Hashtbl.iter] or [Hashtbl.fold]. Their visit
+      order is unspecified and has repeatedly escaped into behaviour
+      (retry order on daemon restart, teardown sweep order). Use
+      [Otable], the insertion-ordered table, or sort the bindings first.
+    - {b naked-failwith}: [failwith] or [assert false]. Internal-invariant
+      violations must raise {!Smapp_sim.Bug.Bug} with a message naming the
+      invariant ([Bug.fail]); [Failure] is reserved for
+      environment/resource conditions a caller is expected to handle.
+
+    A finding is suppressed by a comment marker
+
+    {[ (* smapp-lint: allow <rule-id> — justification *) ]}
+
+    placed on the finding's line or up to {!suppression_reach} lines above
+    it (so a multi-line justification comment covers the flagged line).
+    Suppressed findings are counted but not reported. *)
+
+type rule = Poly_compare_seq | Hashtbl_order | Naked_failwith | Parse_error
+
+val rule_id : rule -> string
+(** The kebab-case identifier used in reports and suppression markers:
+    ["poly-compare-seq"], ["hashtbl-order"], ["naked-failwith"],
+    ["parse-error"]. *)
+
+type finding = {
+  f_rule : rule;
+  f_file : string;
+  f_line : int;  (** 1-based *)
+  f_col : int;  (** 0-based *)
+  f_message : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line:col: [rule-id] message], one line — editor-clickable. *)
+
+val suppression_reach : int
+(** How many lines above a finding a suppression marker still covers. *)
+
+type report = {
+  r_findings : finding list;  (** unsuppressed, in source order *)
+  r_suppressed : int;
+  r_files : int;
+}
+
+val lint_string : file:string -> string -> report
+(** Lint source text directly; [file] is used in locations. Unparseable
+    input yields a single [Parse_error] finding rather than an exception. *)
+
+val lint_file : string -> report
+
+val run : dir:string -> report
+(** Lint every [*.ml] under [dir] recursively, skipping [_build]-style
+    (underscore- or dot-prefixed) directories. Reports merge in path
+    order. *)

@@ -1,0 +1,32 @@
+(** Canned end-to-end scenarios for the conformance checker and the
+    tie-order explorer.
+
+    Each scenario has the explorer's shape ([Engine.t -> string]): it
+    builds a two-host world on the given engine, drives it to completion,
+    and digests the final state that must not depend on tie order. All of
+    them run with {!Fsm} conformance installed, so an illegal state-machine
+    transition in any permutation raises {!Fsm.Conformance} instead of
+    silently producing a different digest. *)
+
+open Smapp_sim
+
+val two_subflow_transfer : Engine.t -> string
+(** The paper's baseline: a client joins a second path after establishment,
+    streams data, and closes. Digest: bytes delivered, subflow count, and
+    both meta sockets' final phases. *)
+
+val close_wait_deadlock : Engine.t -> string
+(** Regression for the PR 2 CLOSE_WAIT bug (the send pump refused to
+    transmit after the peer's FIN): the server closes early while the
+    client still has queued data, leaving the client's subflows in
+    CLOSE_WAIT mid-transfer. The digest exposes whether the remaining
+    bytes drained — the broken pump shows up as a short byte count — and
+    the FSM checker validates every teardown transition on the way. *)
+
+val post_fin_subflow : Engine.t -> string
+(** Regression for the PR 2 post-FIN subflow leak. Joins are attempted at
+    two points of the close sequence: at [P_draining] (close called, FIN
+    pending — legal, a controller may add a path to speed the drain) and
+    at [P_finning]/[P_closed], where the attempt must be refused
+    ([Error _]). Were a subflow registered anyway, the installed
+    [subflow_open_hook] raises {!Fsm.Conformance}. *)

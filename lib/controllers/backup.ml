@@ -108,7 +108,10 @@ let start pm config =
   let on_event _ = function
     | Pm_msg.Timeout { token; sub_id; rto; count = _ } -> (
         match !t_ref with Some t -> handle_timeout t token sub_id rto | None -> ())
-    | _ -> ()
+    | Pm_msg.Created _ | Pm_msg.Estab _ | Pm_msg.Closed _ | Pm_msg.Sub_estab _
+    | Pm_msg.Sub_closed _ | Pm_msg.Add_addr _ | Pm_msg.Rem_addr _
+    | Pm_msg.New_local_addr _ | Pm_msg.Del_local_addr _ ->
+        ()
   in
   let view = Conn_view.create pm ~extra_mask:Pm_msg.Mask.timeout ~on_event () in
   let t = { view; config; failovers = 0; remaining = Hashtbl.create 7 } in

@@ -14,7 +14,7 @@ type conn = {
 
 type t = {
   pm : Pm_lib.t;
-  conn_tbl : conn Smapp_sim.Otable.t; (* token -> conn, registration order *)
+  conn_tbl : (int, conn) Smapp_sim.Otable.t; (* token -> conn, registration order *)
   mutable created_cbs : (conn -> unit) list;
   mutable established_cbs : (conn -> unit) list;
   mutable closed_cbs : (conn -> unit) list;

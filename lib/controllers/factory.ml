@@ -52,7 +52,10 @@ let start pm_lib ?(extra_mask = 0) make =
             | Some conn ->
                 dispatch t token (fun i -> i.on_timeout conn ~sub_id ~rto ~count)
             | None -> ())
-        | _ -> ())
+        | Pm_msg.Created _ | Pm_msg.Estab _ | Pm_msg.Closed _ | Pm_msg.Sub_estab _
+        | Pm_msg.Sub_closed _ | Pm_msg.Add_addr _ | Pm_msg.Rem_addr _
+        | Pm_msg.New_local_addr _ | Pm_msg.Del_local_addr _ ->
+            ())
   in
   let view =
     Conn_view.create pm_lib ~extra_mask:(Pm_msg.Mask.timeout lor extra_mask)

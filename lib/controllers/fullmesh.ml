@@ -54,8 +54,9 @@ type t = {
   mutable locals : Ip.t list;
   mutable created : int;
   mutable reconnects : int;
-  (* (token, src, dst) pairs already requested, to keep the mesh idempotent *)
-  requested : (int * int * int * int, int) Hashtbl.t; (* -> reconnect attempts *)
+  (* (token, src, dst) pairs already requested, to keep the mesh idempotent;
+     insertion-ordered so the teardown sweep below is deterministic *)
+  requested : (int * int * int * int, int) Otable.t; (* -> reconnect attempts *)
 }
 
 let view t = t.view
@@ -68,8 +69,8 @@ let key token src (dst : Ip.endpoint) =
 
 let spawn t (conn : Conn_view.conn) src dst =
   let k = key conn.Conn_view.cv_token src dst in
-  if not (Hashtbl.mem t.requested k) then begin
-    Hashtbl.replace t.requested k 0;
+  if not (Otable.mem t.requested k) then begin
+    Otable.add t.requested k 0;
     t.created <- t.created + 1;
     Pm_lib.create_subflow (Conn_view.pm t.view) ~token:conn.Conn_view.cv_token ~src ~dst ()
   end
@@ -90,10 +91,10 @@ let schedule_reconnect t (conn : Conn_view.conn) (sub : Conn_view.sub) error =
     let flow = sub.Conn_view.sv_flow in
     let src = flow.Ip.src.Ip.addr and dst = flow.Ip.dst in
     let k = key conn.Conn_view.cv_token src dst in
-    let attempts = match Hashtbl.find_opt t.requested k with Some n -> n | None -> 0 in
+    let attempts = match Otable.find t.requested k with Some n -> n | None -> 0 in
     let delay = reconnect_delay t.config ~attempt:attempts error in
     if attempts < t.config.max_reconnect_attempts then begin
-      Hashtbl.replace t.requested k (attempts + 1);
+      Otable.add t.requested k (attempts + 1);
       t.reconnects <- t.reconnects + 1;
       ignore
         (Engine.after (Pm_lib.engine (Conn_view.pm t.view)) delay (fun () ->
@@ -135,14 +136,14 @@ let per_conn state factory (conn0 : Conn_view.conn) =
   let config = state.ms_config in
   let pm = Factory.pm factory in
   let token = conn0.Conn_view.cv_token in
-  let requested : (int * int * int, int) Hashtbl.t = Hashtbl.create 8 in
+  let requested : (int * int * int, int) Otable.t = Otable.create ~size:8 () in
   let key src (dst : Ip.endpoint) =
     (Ip.to_int src, Ip.to_int dst.Ip.addr, dst.Ip.port)
   in
   let spawn src dst =
     let k = key src dst in
-    if not (Hashtbl.mem requested k) then begin
-      Hashtbl.replace requested k 0;
+    if not (Otable.mem requested k) then begin
+      Otable.add requested k 0;
       state.ms_created <- state.ms_created + 1;
       Pm_lib.create_subflow pm ~token ~src ~dst ()
     end
@@ -155,7 +156,7 @@ let per_conn state factory (conn0 : Conn_view.conn) =
   in
   let on_established conn =
     let flow = conn.Conn_view.cv_initial_flow in
-    Hashtbl.replace requested (key flow.Ip.src.Ip.addr flow.Ip.dst) 0;
+    Otable.add requested (key flow.Ip.src.Ip.addr flow.Ip.dst) 0;
     mesh conn
   in
   let on_sub_closed _conn (sub : Conn_view.sub) error =
@@ -164,10 +165,10 @@ let per_conn state factory (conn0 : Conn_view.conn) =
       let src = flow.Ip.src.Ip.addr and dst = flow.Ip.dst in
       let k = key src dst in
       let attempts =
-        match Hashtbl.find_opt requested k with Some n -> n | None -> 0
+        match Otable.find requested k with Some n -> n | None -> 0
       in
       if attempts < config.max_reconnect_attempts then begin
-        Hashtbl.replace requested k (attempts + 1);
+        Otable.add requested k (attempts + 1);
         state.ms_reconnects <- state.ms_reconnects + 1;
         let delay = reconnect_delay config ~attempt:attempts error in
         ignore
@@ -226,14 +227,14 @@ let start pm config =
       locals = config.local_addresses;
       created = 0;
       reconnects = 0;
-      requested = Hashtbl.create 16;
+      requested = Otable.create ~size:16 ();
     }
   in
   t_ref := Some t;
   Conn_view.on_conn_established view (fun conn ->
       (* the initial subflow's pair is taken *)
       let flow = conn.Conn_view.cv_initial_flow in
-      Hashtbl.replace t.requested
+      Otable.add t.requested
         (key conn.Conn_view.cv_token flow.Ip.src.Ip.addr flow.Ip.dst)
         0;
       mesh t conn);
@@ -241,9 +242,10 @@ let start pm config =
   Conn_view.on_conn_closed view (fun conn ->
       (* forget this connection's request marks *)
       let token = conn.Conn_view.cv_token in
-      let keys =
-        Hashtbl.fold (fun ((tk, _, _, _) as k) _ acc -> if tk = token then k :: acc else acc)
-          t.requested []
-      in
-      List.iter (Hashtbl.remove t.requested) keys);
+      (* request-order sweep: Otable.iter visits insertion order and
+         tolerates removing the binding under iteration *)
+      Otable.iter
+        (fun ((tk, _, _, _) as k) _ ->
+          if tk = token then Otable.remove t.requested k)
+        t.requested);
   t

@@ -114,7 +114,10 @@ let start pm_lib config =
   let on_event _ = function
     | Pm_msg.Timeout { token; sub_id; rto; count = _ } -> (
         match !t_ref with Some t -> handle_timeout t token sub_id rto | None -> ())
-    | _ -> ()
+    | Pm_msg.Created _ | Pm_msg.Estab _ | Pm_msg.Closed _ | Pm_msg.Sub_estab _
+    | Pm_msg.Sub_closed _ | Pm_msg.Add_addr _ | Pm_msg.Rem_addr _
+    | Pm_msg.New_local_addr _ | Pm_msg.Del_local_addr _ ->
+        ()
   in
   let view = Conn_view.create pm_lib ~extra_mask:Pm_msg.Mask.timeout ~on_event () in
   let t =

@@ -10,7 +10,6 @@ type config = {
 let default_config = { retry = Retry.command_default; resync_on_gap = true }
 
 type pending = {
-  p_seq : int;
   p_on_reply : (Pm_msg.reply -> unit) option;
   mutable p_run : Retry.run option;
 }
@@ -26,7 +25,9 @@ type t = {
   mutable registered_mask : int; (* union of all registered masks *)
   mutable subscribed_mask : int;
   mutable next_seq : int;
-  pending : (int, pending) Hashtbl.t; (* seq -> in-flight command *)
+  pending : (int, pending) Otable.t;
+      (* seq -> in-flight command, in issue order: draining it (restart)
+         must visit commands deterministically, which Hashtbl order is not *)
   mutable events_received : int;
   mutable last_event_seq : int option;
   mutable resync_cbs : (Pm_msg.conn_snapshot list -> unit) list;
@@ -41,7 +42,7 @@ type t = {
 }
 
 let engine t = t.engine
-let pending_requests t = Hashtbl.length t.pending
+let pending_requests t = Otable.length t.pending
 let events_received t = t.events_received
 let retries t = t.retries
 let command_failures t = t.command_failures
@@ -63,8 +64,8 @@ let send_command ?(reliable = true) t cmd on_reply =
   let bytes = Wire.encode (Pm_msg.command_to_msg ~key ~seq cmd) in
   if not reliable then transmit t bytes
   else begin
-    let p = { p_seq = seq; p_on_reply = on_reply; p_run = None } in
-    Hashtbl.replace t.pending seq p;
+    let p = { p_on_reply = on_reply; p_run = None } in
+    Otable.add t.pending seq p;
     p.p_run <-
       Some
         (Retry.start t.engine ~rng:t.rng t.config.retry
@@ -73,7 +74,7 @@ let send_command ?(reliable = true) t cmd on_reply =
              transmit t bytes)
            ~exhausted:(fun () ->
              t.command_failures <- t.command_failures + 1;
-             Hashtbl.remove t.pending seq;
+             Otable.remove t.pending seq;
              match p.p_on_reply with
              | Some f -> f (Pm_msg.Error "command timed out")
              | None -> ())
@@ -136,9 +137,9 @@ let handle_event t seq ev =
       dispatch_event t ev
 
 let dispatch_reply t seq reply =
-  match Hashtbl.find_opt t.pending seq with
+  match Otable.find t.pending seq with
   | Some p ->
-      Hashtbl.remove t.pending seq;
+      Otable.remove t.pending seq;
       (match p.p_run with Some run -> Retry.stop run | None -> ());
       (match p.p_on_reply with Some f -> f reply | None -> ())
   | None -> ()
@@ -162,9 +163,10 @@ let on_bytes t bytes =
    subscription and pull a full snapshot. *)
 let restart t =
   t.restarts <- t.restarts + 1;
-  let stale = Hashtbl.fold (fun _ p acc -> p :: acc) t.pending [] in
-  let stale = List.sort (fun a b -> Int.compare a.p_seq b.p_seq) stale in
-  Hashtbl.reset t.pending;
+  (* issue order == seq order: Otable iteration replaces the old
+     sort-after-Hashtbl.fold dance and stays deterministic by construction *)
+  let stale = Otable.to_list t.pending in
+  Otable.clear t.pending;
   List.iter
     (fun p ->
       (match p.p_run with Some run -> Retry.stop run | None -> ());
@@ -199,7 +201,7 @@ let create ?(config = default_config) engine channel =
       registered_mask = 0;
       subscribed_mask = 0;
       next_seq = 0;
-      pending = Hashtbl.create 64;
+      pending = Otable.create ~size:64 ();
       events_received = 0;
       last_event_seq = None;
       resync_cbs = [];

@@ -76,7 +76,44 @@ and t = {
   mutable is_closed : bool;
   mutable peer_closed : bool;
   mutable pumping : bool;
+  mutable last_phase : phase;
 }
+
+(* The connection-lifecycle FSM, derived from the four lifecycle flags.
+   [Draining] = close requested, stream not yet fully acknowledged;
+   [Finning] = every subflow told to FIN, waiting for them to die. *)
+and phase = P_init | P_established | P_draining | P_finning | P_closed
+
+let phase_name = function
+  | P_init -> "INIT"
+  | P_established -> "ESTABLISHED"
+  | P_draining -> "DRAINING"
+  | P_finning -> "FINNING"
+  | P_closed -> "CLOSED"
+
+(* --- conformance instrumentation: see Tcb for the cost contract ----------- *)
+
+let checks_enabled = ref false
+
+let phase_hook : (id:int -> phase -> phase -> unit) ref = ref (fun ~id:_ _ _ -> ())
+
+let subflow_open_hook : (id:int -> phase -> unit) ref = ref (fun ~id:_ _ -> ())
+
+let phase t =
+  if t.is_closed then P_closed
+  else if t.fin_sent then P_finning
+  else if t.closing then P_draining
+  else if t.is_established then P_established
+  else P_init
+
+(* Call after any mutation of the lifecycle flags. *)
+let note_phase t =
+  let next = phase t in
+  if next <> t.last_phase then begin
+    let prev = t.last_phase in
+    t.last_phase <- next;
+    if !checks_enabled then !phase_hook ~id:t.id prev next
+  end
 
 let next_conn_id = ref 0
 
@@ -118,6 +155,7 @@ let all_data_acked t =
 let finish_if_done t =
   if (not t.is_closed) && t.closing && t.fin_sent && t.subflow_list = [] then begin
     t.is_closed <- true;
+    note_phase t;
     emit t Closed;
     t.deps.dep_on_meta_closed t
   end
@@ -126,6 +164,7 @@ let finish_if_done t =
 let progress_close t =
   if t.closing && (not t.fin_sent) && all_data_acked t then begin
     t.fin_sent <- true;
+    note_phase t;
     List.iter (fun sf -> Tcb.close sf.Subflow.tcb) t.subflow_list;
     finish_if_done t
   end
@@ -146,6 +185,7 @@ let abort_internal t ~notify_peer =
     List.iter (fun sf -> Tcb.abort sf.Subflow.tcb) t.subflow_list;
     t.closing <- true;
     t.fin_sent <- true;
+    note_phase t;
     finish_if_done t
   end
 
@@ -167,13 +207,13 @@ let consume_range t len = function
       | (lo, hi) :: rest ->
           if lo + len >= hi then t.reinject_q <- rest
           else t.reinject_q <- (lo + len, hi) :: rest
-      | [] -> assert false)
+      | [] -> Bug.fail "Connection.consume_range: reinject queue empty mid-consume")
   | `Fresh -> (
       match Queue.peek_opt t.send_q with
       | Some c ->
           c.ch_taken <- c.ch_taken + len;
           if c.ch_taken >= c.ch_len then ignore (Queue.pop t.send_q)
-      | None -> assert false)
+      | None -> Bug.fail "Connection.consume_range: send queue empty mid-consume")
 
 let rec pump t =
   if (not t.pumping) && t.is_established && not t.is_closed then begin
@@ -325,7 +365,7 @@ let subflow_callbacks t sf_ref ~initial ~joiner =
   let sf () =
     match !sf_ref with
     | Some sf -> sf
-    | None -> failwith "subflow callback before registration"
+    | None -> Bug.fail "Connection: subflow callback fired before registration"
   in
   {
     Tcb.on_established =
@@ -334,6 +374,7 @@ let subflow_callbacks t sf_ref ~initial ~joiner =
         sf.Subflow.established_at <- Some (Engine.now t.deps.dep_engine);
         if initial then begin
           t.is_established <- true;
+          note_phase t;
           emit t Established
         end;
         (* a client-side joiner proves itself with the third-ack HMAC *)
@@ -358,6 +399,7 @@ let subflow_callbacks t sf_ref ~initial ~joiner =
         (* the peer is closing the connection: close our side once drained *)
         if not t.closing then begin
           t.closing <- true;
+          note_phase t;
           progress_close t
         end);
     on_can_send = (fun _ -> pump t);
@@ -396,6 +438,7 @@ let register_subflow t tcb ~addr_id ~initial =
     }
   in
   t.next_subflow_id <- t.next_subflow_id + 1;
+  if !checks_enabled then !subflow_open_hook ~id:t.id (phase t);
   t.subflow_list <- t.subflow_list @ [ sf ];
   Cc.set_sibling_probe (Tcb.cc tcb) (lia_probe t);
   sf
@@ -486,6 +529,7 @@ let withdraw_addr t addr =
 let close t =
   if not t.closing then begin
     t.closing <- true;
+    note_phase t;
     progress_close t
   end
 
@@ -525,6 +569,7 @@ let make deps ~scheduler ~role ~initial_flow =
     is_closed = false;
     peer_closed = false;
     pumping = false;
+    last_phase = P_init;
   }
 
 let create_client deps ~scheduler ~src ~dst ?src_port () =

@@ -57,6 +57,29 @@ val find_subflow : t -> int -> Subflow.t option
 val established : t -> bool
 val closed : t -> bool
 
+(** {2 Lifecycle FSM}
+
+    The connection-level lifecycle as an explicit five-state machine derived
+    from the internal flags. [P_draining] is a close in progress with stream
+    data still unacknowledged; [P_finning] means every subflow has been told
+    to FIN. Conformance tooling ([Smapp_check.Fsm]) installs the hooks below
+    to validate observed transitions; with [checks_enabled] off (default)
+    the instrumentation is a load-and-branch. *)
+
+type phase = P_init | P_established | P_draining | P_finning | P_closed
+
+val phase : t -> phase
+val phase_name : phase -> string
+val checks_enabled : bool ref
+
+val phase_hook : (id:int -> phase -> phase -> unit) ref
+(** Fired on every phase change with the connection id. *)
+
+val subflow_open_hook : (id:int -> phase -> unit) ref
+(** Fired when a subflow is registered, with the phase it was registered
+    in — a subflow appearing at [P_finning] or later is the post-FIN
+    subflow-leak bug class. *)
+
 val subscribe : t -> (event -> unit) -> unit
 (** Add an event listener (the application's controller, the netlink PM...).
     Listeners fire in subscription order. *)

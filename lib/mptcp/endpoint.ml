@@ -7,7 +7,7 @@ type t = {
   rng : Rng.t;
   tcb_config : Tcb.config;
   scheduler_factory : unit -> Scheduler.t;
-  metas : Connection.t Otable.t; (* local token -> connection *)
+  metas : (int, Connection.t) Otable.t; (* local token -> connection *)
   mutable watchers : (Connection.t -> unit) list;
 }
 

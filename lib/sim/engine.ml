@@ -16,7 +16,10 @@ and t = {
   mutable next_seq : int;
   mutable live : int; (* queued events not yet cancelled *)
   mutable executed : int; (* callbacks run over the engine's lifetime *)
+  mutable tie_break : tie_break;
 }
+
+and tie_break = Fifo | Shuffle of Rng.t
 
 let create ?(seed = 42) () =
   {
@@ -26,7 +29,10 @@ let create ?(seed = 42) () =
     next_seq = 0;
     live = 0;
     executed = 0;
+    tie_break = Fifo;
   }
+
+let set_tie_break t policy = t.tie_break <- policy
 
 let now t = t.clock
 let rng t = t.root_rng
@@ -89,6 +95,36 @@ let every t ?start period f =
   arm start;
   timer
 
+(* Under [Shuffle], drain the whole tie group at the head timestamp and pick
+   uniformly; the remainder is re-queued at the same time. Sequential uniform
+   picks yield a uniform interleaving of the group, including events the
+   executing callbacks schedule back at the same instant — exactly the
+   delivery-order races the {!Smapp_check.Explore} harness probes. *)
+let pop_shuffled t rng =
+  match Timer_wheel.pop t.queue with
+  | None -> None
+  | Some (time, ev) ->
+      let group = ref [ ev ] in
+      let draining = ref true in
+      while !draining do
+        match Timer_wheel.peek t.queue with
+        | Some (time', _) when time' = time -> (
+            match Timer_wheel.pop t.queue with
+            | Some (_, ev') -> group := ev' :: !group
+            | None -> draining := false)
+        | _ -> draining := false
+      done;
+      let arr = Array.of_list (List.rev !group) in
+      let i = Rng.int rng (Array.length arr) in
+      Array.iteri (fun j ev' -> if j <> i then Timer_wheel.add t.queue ~time ev') arr;
+      Some arr.(i)
+
+let pop_next t =
+  match t.tie_break with
+  | Fifo -> (
+      match Timer_wheel.pop t.queue with None -> None | Some (_, ev) -> Some ev)
+  | Shuffle rng -> pop_shuffled t rng
+
 let run ?until ?(max_events = max_int) t =
   let executed = ref 0 in
   let continue = ref true in
@@ -101,16 +137,20 @@ let run ?until ?(max_events = max_int) t =
             t.clock <- limit;
             continue := false
         | _ -> (
-            ignore (Timer_wheel.pop t.queue);
-            match ev.callback with
-            | None -> () (* cancelled: already uncounted *)
-            | Some f ->
-                ev.callback <- None;
-                t.live <- t.live - 1;
-                t.clock <- ev.time;
-                incr executed;
-                t.executed <- t.executed + 1;
-                f ()))
+            (* under [Shuffle] the popped event may differ from the peeked
+               one, but shares its timestamp *)
+            match pop_next t with
+            | None -> continue := false
+            | Some ev -> (
+                match ev.callback with
+                | None -> () (* cancelled: already uncounted *)
+                | Some f ->
+                    ev.callback <- None;
+                    t.live <- t.live - 1;
+                    t.clock <- ev.time;
+                    incr executed;
+                    t.executed <- t.executed + 1;
+                    f ())))
   done;
   match until with
   | Some limit when Timer_wheel.is_empty t.queue && Time.(t.clock < limit) -> t.clock <- limit

@@ -11,12 +11,23 @@ type t
 type timer
 (** A handle on a scheduled event, usable to cancel it. *)
 
+type tie_break =
+  | Fifo  (** same-instant events run in scheduling order (the default) *)
+  | Shuffle of Rng.t
+      (** same-instant events run in an order drawn uniformly from [Rng];
+          the race-exploration mode of [Smapp_check.Explore] *)
+
 val create : ?seed:int -> unit -> t
 (** Fresh engine with clock at {!Time.zero}. [seed] (default 42) seeds the
     root RNG from which component streams are split. *)
 
 val now : t -> Time.t
 val rng : t -> Rng.t
+
+val set_tie_break : t -> tie_break -> unit
+(** Choose how simultaneous events are ordered from now on. [Fifo] keeps the
+    documented deterministic scheduling order; [Shuffle] randomises within
+    each timestamp to surface tie-order races. *)
 
 val split_rng : t -> Rng.t
 (** An independent RNG stream for one component. *)

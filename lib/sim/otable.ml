@@ -1,14 +1,14 @@
-type 'a node = {
-  n_key : int;
-  n_value : 'a;
-  mutable n_prev : 'a node option;
-  mutable n_next : 'a node option;
+type ('k, 'v) node = {
+  n_key : 'k;
+  n_value : 'v;
+  mutable n_prev : ('k, 'v) node option;
+  mutable n_next : ('k, 'v) node option;
 }
 
-type 'a t = {
-  tbl : (int, 'a node) Hashtbl.t;
-  mutable first : 'a node option;
-  mutable last : 'a node option;
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option;
+  mutable last : ('k, 'v) node option;
 }
 
 let create ?(size = 64) () = { tbl = Hashtbl.create size; first = None; last = None }
@@ -56,6 +56,11 @@ let fold f t acc =
   let acc = ref acc in
   iter (fun k v -> acc := f k v !acc) t;
   !acc
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.first <- None;
+  t.last <- None
 
 let to_list t = List.rev (fold (fun _ v acc -> v :: acc) t [])
 let keys t = List.rev (fold (fun k _ acc -> k :: acc) t [])

@@ -1,31 +1,37 @@
-(** An insertion-ordered hash table over int keys.
+(** An insertion-ordered hash table.
 
     O(1) add, remove and lookup (hash table) with deterministic,
     insertion-ordered iteration (intrusive doubly-linked list through the
     nodes) — the connection-table building block: registries that are
     looked up by token/port on every packet but must still enumerate in a
-    reproducible order for snapshots and sweeps. *)
+    reproducible order for snapshots and sweeps. Keys are compared and
+    hashed structurally, so tuples of ints work; do not use keys containing
+    functions or cyclic values. *)
 
-type 'a t
+type ('k, 'v) t
 
-val create : ?size:int -> unit -> 'a t
+val create : ?size:int -> unit -> ('k, 'v) t
 
-val length : 'a t -> int
-val is_empty : 'a t -> bool
-val mem : 'a t -> int -> bool
-val find : 'a t -> int -> 'a option
+val length : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+val mem : ('k, 'v) t -> 'k -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
 
-val add : 'a t -> int -> 'a -> unit
+val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** Bind [key]. An existing binding is replaced and the key moves to the
     end of the iteration order. *)
 
-val remove : 'a t -> int -> unit
+val remove : ('k, 'v) t -> 'k -> unit
 (** No-op when absent. *)
 
-val iter : (int -> 'a -> unit) -> 'a t -> unit
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
 (** Oldest binding first. The binding under iteration may be removed by
     [f]; other concurrent mutation is unspecified. *)
 
-val fold : (int -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
-val to_list : 'a t -> 'a list
-val keys : 'a t -> int list
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+
+val clear : ('k, 'v) t -> unit
+(** Drop every binding. *)
+
+val to_list : ('k, 'v) t -> 'v list
+val keys : ('k, 'v) t -> 'k list

@@ -25,4 +25,15 @@ val le : t -> t -> bool
 val gt : t -> t -> bool
 val ge : t -> t -> bool
 val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Wraparound-aware total-ish order: the sign of {!diff}. Unlike
+    [Stdlib.compare] on the raw ints, [compare a b < 0] holds whenever [a]
+    precedes [b] across the 2^32 boundary. Antisymmetric for values within
+    half the sequence space of each other (the TCP window guarantee). *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+(** Earlier/later of two values under the modular order. *)
+
 val pp : Format.formatter -> t -> unit

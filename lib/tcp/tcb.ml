@@ -112,6 +112,26 @@ let null_callbacks =
 
 let flow t = t.flow
 let state t = t.state
+
+(* --- conformance instrumentation ------------------------------------------
+
+   Every TCB state change funnels through [set_state]. When [checks_enabled]
+   is off (the default, and the release configuration) the instrumentation
+   is one immediate load and a fall-through branch; tooling such as
+   [Smapp_check.Fsm] flips it on to validate observed transitions against
+   the explicit RFC 793 table and fail loudly with a trace. *)
+
+let checks_enabled = ref false
+
+let transition_hook : (flow:Ip.flow -> Tcp_info.state -> Tcp_info.state -> unit) ref =
+  ref (fun ~flow:_ _ _ -> ())
+
+let set_state t next =
+  let prev = t.state in
+  if prev <> next then begin
+    t.state <- next;
+    if !checks_enabled then !transition_hook ~flow:t.flow prev next
+  end
 let established t = t.state = Tcp_info.Established
 let set_backup t b = t.backup <- b
 let is_backup t = t.backup
@@ -225,7 +245,7 @@ and teardown t err =
   t.rto_timer <- None;
   cancel_timer t.syn_timer;
   t.syn_timer <- None;
-  t.state <- Tcp_info.Closed;
+  set_state t Tcp_info.Closed;
   t.rtx_queue <- [];
   Queue.clear t.send_queue;
   t.queued_bytes <- 0;
@@ -315,7 +335,7 @@ let maybe_send_fin t =
       (Segment.make ~flow:t.flow ~ack:true ~fin:true ~seq:(wire_of_snd t off)
          ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t) ());
     if t.rto_timer = None then arm_rto t;
-    t.state <-
+    set_state t
       (match t.state with
       | Tcp_info.Close_wait -> Tcp_info.Last_ack
       | _ -> Tcp_info.Fin_wait_1)
@@ -529,14 +549,14 @@ let process_fin t seg =
       t.rcv_nxt <- t.rcv_nxt + 1;
       (match t.state with
       | Tcp_info.Established ->
-          t.state <- Tcp_info.Close_wait;
+          set_state t Tcp_info.Close_wait;
           t.cbs.on_fin t
       | Tcp_info.Fin_wait_1 ->
           (* our FIN not yet acked: simultaneous close *)
-          t.state <- Tcp_info.Closing;
+          set_state t Tcp_info.Closing;
           t.cbs.on_fin t
       | Tcp_info.Fin_wait_2 ->
-          t.state <- Tcp_info.Time_wait;
+          set_state t Tcp_info.Time_wait;
           t.cbs.on_fin t;
           let linger = Time.span_scale 2 (Rtt.min_rto t.rtt) in
           ignore (Engine.after t.engine linger (fun () -> teardown t None))
@@ -553,9 +573,9 @@ let check_fin_acked t =
   match t.fin_offset with
   | Some off when t.snd_una > off -> (
       match t.state with
-      | Tcp_info.Fin_wait_1 -> t.state <- Tcp_info.Fin_wait_2
+      | Tcp_info.Fin_wait_1 -> set_state t Tcp_info.Fin_wait_2
       | Tcp_info.Closing ->
-          t.state <- Tcp_info.Time_wait;
+          set_state t Tcp_info.Time_wait;
           let linger = Time.span_scale 2 (Rtt.min_rto t.rtt) in
           ignore (Engine.after t.engine linger (fun () -> teardown t None))
       | Tcp_info.Last_ack -> teardown t None
@@ -595,7 +615,7 @@ let send_synack t =
        ~options:t.synack_options ())
 
 let become_established t =
-  t.state <- Tcp_info.Established;
+  set_state t Tcp_info.Established;
   cancel_timer t.syn_timer;
   t.syn_timer <- None;
   t.cbs.on_established t;

@@ -83,6 +83,20 @@ val create_passive :
 val handle_segment : t -> Segment.t -> unit
 val flow : t -> Ip.flow
 val state : t -> Tcp_info.state
+
+(** {2 Conformance instrumentation}
+
+    Every internal state change funnels through one point that, when
+    [checks_enabled] is set, reports the (old, new) pair to
+    [transition_hook]. With the flag off (the default and the release
+    configuration) the cost is a single load-and-branch per transition —
+    the bench's [check] section guards that this stays in the noise. *)
+
+val checks_enabled : bool ref
+
+(* Called with the subflow's four-tuple and the (old, new) states; install
+   via [Smapp_check.Fsm.install] rather than directly. *)
+val transition_hook : (flow:Ip.flow -> Tcp_info.state -> Tcp_info.state -> unit) ref
 val established : t -> bool
 val info : t -> Tcp_info.t
 

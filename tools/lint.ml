@@ -1,0 +1,30 @@
+(* The lint driver behind [dune build @lint]: lint every .ml under the
+   given directories (default lib), print findings compiler-style, exit
+   non-zero if any are unsuppressed. *)
+
+let () =
+  let dirs =
+    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | dirs -> dirs
+  in
+  let report =
+    List.fold_left
+      (fun acc dir ->
+        let r = Smapp_check.Lint.run ~dir in
+        {
+          Smapp_check.Lint.r_findings = acc.Smapp_check.Lint.r_findings @ r.Smapp_check.Lint.r_findings;
+          r_suppressed = acc.Smapp_check.Lint.r_suppressed + r.Smapp_check.Lint.r_suppressed;
+          r_files = acc.Smapp_check.Lint.r_files + r.Smapp_check.Lint.r_files;
+        })
+      { Smapp_check.Lint.r_findings = []; r_suppressed = 0; r_files = 0 }
+      dirs
+  in
+  List.iter
+    (fun f -> Format.printf "%a@." Smapp_check.Lint.pp_finding f)
+    report.Smapp_check.Lint.r_findings;
+  Format.printf "lint: %d file%s, %d finding%s, %d suppressed@."
+    report.Smapp_check.Lint.r_files
+    (if report.Smapp_check.Lint.r_files = 1 then "" else "s")
+    (List.length report.Smapp_check.Lint.r_findings)
+    (if List.length report.Smapp_check.Lint.r_findings = 1 then "" else "s")
+    report.Smapp_check.Lint.r_suppressed;
+  if report.Smapp_check.Lint.r_findings <> [] then exit 1
