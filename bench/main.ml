@@ -228,6 +228,24 @@ let fig3 () =
      stress the extra delay is %.1f us (paper: stays below 37 us).\n"
     ((mean user.E.Fig3.delays -. base) *. 1e6)
     ((mean stressed.E.Fig3.delays -. base) *. 1e6);
+  subbanner "traced decomposition of the userspace gap";
+  let b = E.Fig3.traced_breakdown ~requests:(min requests 300) () in
+  let model = E.Fig3.breakdown_model_us b in
+  Printf.printf
+    "  netlink k->u %.2f us + u->k %.2f us - in-kernel reaction %.2f us\n\
+    \  = %.2f us vs measured %.2f us (%.0f%%)\n"
+    b.E.Fig3.b_up_us b.E.Fig3.b_down_us b.E.Fig3.b_kernel_pm_us model
+    b.E.Fig3.b_extra_us
+    (100. *. model /. b.E.Fig3.b_extra_us);
+  metric "netlink_up_us" b.E.Fig3.b_up_us;
+  metric "netlink_down_us" b.E.Fig3.b_down_us;
+  metric "kernel_pm_us" b.E.Fig3.b_kernel_pm_us;
+  (match b.E.Fig3.b_decision_rtt_us with
+  | Some d -> metric "decision_rtt_us" d
+  | None -> ());
+  metric "breakdown_model_us" model;
+  metric "breakdown_vs_measured_ratio"
+    (if b.E.Fig3.b_extra_us = 0.0 then 0.0 else model /. b.E.Fig3.b_extra_us);
   subbanner "ablation: netlink channel latency sweep";
   List.iter
     (fun us ->
@@ -408,6 +426,69 @@ let check_overhead () =
   metric "events_per_sec_hooks_on" on_.Workload.events_per_sec;
   metric "overhead_ratio" ratio
 
+(* ---------------------------------------------------- observability cost *)
+
+(* Smapp_obs follows the same load-and-branch discipline as the conformance
+   hooks: every counter bump and span emission starts with a check of a
+   [bool ref].  Instrumentation is compiled in unconditionally, so the
+   "disabled" run below is the same binary as the baseline — the ratio
+   between two disabled runs is the run-to-run noise floor, and the gate on
+   it is a regression tripwire for anyone who moves work outside the
+   enabled-branch. *)
+let obs_overhead () =
+  let open Smapp_workload in
+  banner "Observability overhead — metrics+tracing off vs on";
+  let conns = scale ~q:100 ~d:400 ~f:1000 in
+  let config =
+    {
+      Workload.default_config with
+      Workload.conns;
+      arrival_rate = float_of_int conns;
+      flow_dist = Workload.Fixed 100_000;
+    }
+  in
+  let saved_m = !Smapp_obs.Metrics.enabled and saved_t = !Smapp_obs.Trace.enabled in
+  let run () = Workload.run config in
+  let finally () =
+    Smapp_obs.Metrics.enabled := saved_m;
+    Smapp_obs.Trace.enabled := saved_t
+  in
+  let baseline, disabled, enabled_r =
+    Fun.protect ~finally (fun () ->
+        Smapp_obs.Metrics.enabled := false;
+        Smapp_obs.Trace.enabled := false;
+        let baseline = run () in
+        let disabled = run () in
+        Smapp_obs.Metrics.clear ();
+        Smapp_obs.Trace.clear ();
+        Smapp_obs.Metrics.enabled := true;
+        Smapp_obs.Trace.enabled := true;
+        let enabled_r = run () in
+        (baseline, disabled, enabled_r))
+  in
+  let ratio a b =
+    if b.Workload.events_per_sec > 0.0 then
+      a.Workload.events_per_sec /. b.Workload.events_per_sec
+    else 0.0
+  in
+  let disabled_ratio = ratio baseline disabled in
+  let enabled_ratio = ratio baseline enabled_r in
+  Printf.printf
+    "baseline: %.0f events/s; obs disabled: %.0f events/s (x%.3f, noise floor);\n\
+     obs enabled: %.0f events/s (x%.3f)\n"
+    baseline.Workload.events_per_sec disabled.Workload.events_per_sec
+    disabled_ratio enabled_r.Workload.events_per_sec enabled_ratio;
+  Printf.printf "trace ring: %d events recorded, %d evicted\n"
+    (Smapp_obs.Trace.recorded ()) (Smapp_obs.Trace.dropped ());
+  Smapp_obs.Trace.export_chrome_file "trace_sample.json";
+  Printf.printf "wrote trace_sample.json (Chrome trace_event format)\n";
+  metric "events_per_sec_baseline" baseline.Workload.events_per_sec;
+  metric "events_per_sec_disabled" disabled.Workload.events_per_sec;
+  metric "events_per_sec_enabled" enabled_r.Workload.events_per_sec;
+  metric "disabled_overhead_ratio" disabled_ratio;
+  metric "enabled_overhead_ratio" enabled_ratio;
+  metric "trace_events_recorded" (float_of_int (Smapp_obs.Trace.recorded ()))
+
 (* ------------------------------------------------------- microbenchmarks *)
 
 let microbench () =
@@ -515,6 +596,7 @@ let () =
   section "chaos" chaos;
   section "workload" workload;
   section "check" check_overhead;
+  section "obs" obs_overhead;
   section "microbench" microbench;
   write_bench_json "BENCH.json";
   Printf.printf "\nDone.\n"

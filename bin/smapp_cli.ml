@@ -4,6 +4,27 @@
 open Cmdliner
 module E = Smapp_experiments
 module Stats = Smapp_stats
+module Obs = Smapp_obs
+
+(* Run [f] with metrics + tracing on (cleared first), restoring the flags
+   afterwards. The recorded data stays available for export. *)
+let with_obs f =
+  let saved_m = !Obs.Metrics.enabled and saved_t = !Obs.Trace.enabled in
+  Obs.Metrics.enabled := true;
+  Obs.Trace.enabled := true;
+  Obs.Metrics.clear ();
+  Obs.Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.enabled := saved_m;
+      Obs.Trace.enabled := saved_t)
+    f
+
+let write_trace out =
+  Obs.Trace.export_chrome_file out;
+  Printf.printf "wrote %d trace events (%d evicted) to %s — load in chrome://tracing or ui.perfetto.dev\n"
+    (List.length (Obs.Trace.events ()))
+    (Obs.Trace.dropped ()) out
 
 let print_cdf_table name cdfs =
   Printf.printf "\n%s\n" name;
@@ -217,22 +238,36 @@ let pp_convergence r =
     r.E.Chaos.retries r.E.Chaos.resyncs r.E.Chaos.gaps_detected r.E.Chaos.dropped
     r.E.Chaos.duplicated r.E.Chaos.overflowed r.E.Chaos.duplicate_commands
 
-let run_chaos seed drop grid =
-  Printf.printf
-    "Chaos: fullmesh controller over a lossy Netlink channel + daemon restart\n";
-  if grid then List.iter pp_convergence (E.Chaos.run_grid ())
-  else pp_convergence (E.Chaos.run_convergence ~seed ~drop ());
-  Printf.printf "\nWatchdog: daemon lost for good at t=5s\n";
-  let w = E.Chaos.run_watchdog ~seed () in
-  Printf.printf
-    "fallback_active=%b fallbacks=%d handbacks=%d kernel_subflows=%d\n"
-    w.E.Chaos.w_fallback_active w.E.Chaos.w_fallbacks w.E.Chaos.w_handbacks
-    w.E.Chaos.w_kernel_subflows;
-  Printf.printf "bytes acked at loss / at end: %d / %d (%s)\n"
-    w.E.Chaos.w_bytes_at_loss w.E.Chaos.w_bytes_final
-    (if w.E.Chaos.w_bytes_final > w.E.Chaos.w_bytes_at_loss then
-       "still transferring"
-     else "STALLED")
+let run_chaos seed drop grid trace =
+  let body () =
+    Printf.printf
+      "Chaos: fullmesh controller over a lossy Netlink channel + daemon restart\n";
+    if grid then List.iter pp_convergence (E.Chaos.run_grid ())
+    else pp_convergence (E.Chaos.run_convergence ~seed ~drop ());
+    Printf.printf "\nWatchdog: daemon lost for good at t=5s\n";
+    let w = E.Chaos.run_watchdog ~seed () in
+    Printf.printf
+      "fallback_active=%b fallbacks=%d handbacks=%d kernel_subflows=%d\n"
+      w.E.Chaos.w_fallback_active w.E.Chaos.w_fallbacks w.E.Chaos.w_handbacks
+      w.E.Chaos.w_kernel_subflows;
+    Printf.printf "bytes acked at loss / at end: %d / %d (%s)\n"
+      w.E.Chaos.w_bytes_at_loss w.E.Chaos.w_bytes_final
+      (if w.E.Chaos.w_bytes_final > w.E.Chaos.w_bytes_at_loss then
+         "still transferring"
+       else "STALLED")
+  in
+  match trace with
+  | None -> body ()
+  | Some out ->
+      with_obs (fun () ->
+          body ();
+          write_trace out)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Record a Chrome trace of the run into $(docv).")
 
 let chaos_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
@@ -244,7 +279,7 @@ let chaos_cmd =
   in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Control-plane fault injection: convergence and watchdog")
-    Term.(const run_chaos $ seed $ drop $ grid)
+    Term.(const run_chaos $ seed $ drop $ grid $ trace_arg)
 
 (* --- workload ----------------------------------------------------------------- *)
 
@@ -282,7 +317,8 @@ let flow_dist_conv =
 let controller_conv =
   Arg.enum [ ("none", `None); ("fullmesh", `Fullmesh); ("backup", `Backup) ]
 
-let run_workload conns arrival_rate flow_dist controller clients servers paths seed =
+let run_workload conns arrival_rate flow_dist controller clients servers paths seed trace
+    =
   let open Smapp_workload in
   let config =
     {
@@ -300,7 +336,12 @@ let run_workload conns arrival_rate flow_dist controller clients servers paths s
   Printf.printf
     "workload: %d conns at %g/s, %d clients x %d servers x %d paths, seed %d\n"
     conns arrival_rate clients servers paths seed;
-  let r = Workload.run config in
+  let run () =
+    let r = Workload.run config in
+    (match trace with Some out -> write_trace out | None -> ());
+    r
+  in
+  let r = match trace with None -> run () | Some _ -> with_obs run in
   Printf.printf "completed %d/%d (peak %d concurrent), %d bytes total\n"
     r.Workload.completed r.Workload.launched r.Workload.peak_concurrent
     r.Workload.bytes_total;
@@ -346,7 +387,7 @@ let workload_cmd =
        ~doc:"Scale-out traffic: many connections under per-connection controllers")
     Term.(
       const run_workload $ conns $ arrival_rate $ flow_dist $ controller $ clients
-      $ servers $ paths $ seed)
+      $ servers $ paths $ seed $ trace_arg)
 
 (* --- check: the correctness tooling ----------------------------------------- *)
 
@@ -414,6 +455,107 @@ let check_cmd =
           tie-order race exploration")
     Term.(const run_check $ quick $ permutations)
 
+(* --- trace / metrics: the observability front door --------------------------- *)
+
+let exp_conv =
+  Arg.enum
+    [ ("fig3", `Fig3); ("chaos", `Chaos); ("workload", `Workload); ("fullmesh", `Fullmesh) ]
+
+(* A scaled-down run of each experiment, sized so tracing it stays within
+   one ring buffer and finishes in seconds. *)
+let run_small exp seed =
+  match exp with
+  | `Fig3 -> ignore (E.Fig3.run ~seed ~requests:200 ~variant:E.Fig3.Userspace ())
+  | `Chaos -> ignore (E.Chaos.run_convergence ~seed ~drop:0.05 ())
+  | `Fullmesh -> ignore (E.Fullmesh_recovery.run ~seed ())
+  | `Workload ->
+      let open Smapp_workload in
+      ignore
+        (Workload.run { Workload.default_config with Workload.conns = 200; Workload.seed })
+
+let print_trace_report out width =
+  write_trace out;
+  Printf.printf "\n%s\n" (Obs.Trace.timeline ~width ());
+  print_string (Obs.Trace.summary_table ())
+
+let run_trace exp out seed requests width =
+  match exp with
+  | `Fig3 ->
+      (* kernel vs userspace with tracing: the report decomposes the extra
+         userspace reaction time into its two Netlink crossings *)
+      let b = E.Fig3.traced_breakdown ~seed ~requests () in
+      print_trace_report out width;
+      let model = E.Fig3.breakdown_model_us b in
+      Printf.printf "\nFig 3 reaction-gap decomposition (%d requests):\n"
+        b.E.Fig3.b_requests;
+      Printf.printf "  measured userspace extra  : %7.2f us\n" b.E.Fig3.b_extra_us;
+      Printf.printf "  netlink k->u crossing     : %7.2f us\n" b.E.Fig3.b_up_us;
+      Printf.printf "  netlink u->k crossing     : %7.2f us\n" b.E.Fig3.b_down_us;
+      Printf.printf "  in-kernel reaction skipped: %7.2f us\n" (-.b.E.Fig3.b_kernel_pm_us);
+      (match b.E.Fig3.b_decision_rtt_us with
+      | Some d ->
+          Printf.printf "  decision round trip       : %7.2f us (event->command->reply)\n" d
+      | None -> ());
+      let ratio = if b.E.Fig3.b_extra_us = 0.0 then infinity else model /. b.E.Fig3.b_extra_us in
+      Printf.printf "  component sum %.2f us = %.0f%% of the measured gap%s\n" model
+        (ratio *. 100.)
+        (if Float.abs (ratio -. 1.0) <= 0.2 then " (within 20%)" else " (OUTSIDE 20%)");
+      if Float.abs (ratio -. 1.0) > 0.2 then exit 1
+  | (`Chaos | `Workload | `Fullmesh) as exp ->
+      with_obs (fun () ->
+          run_small exp seed;
+          print_trace_report out width)
+
+let trace_cmd =
+  let exp =
+    Arg.(
+      required
+      & pos 0 (some exp_conv) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"One of fig3, chaos, workload, fullmesh.")
+  in
+  let out =
+    Arg.(
+      value & opt string "smapp_trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Chrome trace output path.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let requests =
+    Arg.(value & opt int 300 & info [ "requests" ] ~doc:"GET count (fig3 only).")
+  in
+  let width =
+    Arg.(value & opt int 72 & info [ "width" ] ~doc:"ASCII timeline width in columns.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run an experiment with tracing on: Chrome trace file, ASCII span \
+          timeline, and per-span statistics")
+    Term.(const run_trace $ exp $ out $ seed $ requests $ width)
+
+let run_metrics exp seed =
+  let saved = !Obs.Metrics.enabled in
+  Obs.Metrics.enabled := true;
+  Obs.Metrics.clear ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.enabled := saved)
+    (fun () -> run_small exp seed);
+  print_string (Obs.Metrics.to_prometheus ())
+
+let metrics_cmd =
+  let exp =
+    Arg.(
+      value
+      & pos 0 exp_conv `Workload
+      & info [] ~docv:"EXPERIMENT" ~doc:"One of fig3, chaos, workload, fullmesh.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run an experiment with the metrics registry on and print the \
+          Prometheus text exposition")
+    Term.(const run_metrics $ exp $ seed)
+
 let main_cmd =
   let doc = "SMAPP experiments: smart Multipath TCP path management" in
   Cmd.group (Cmd.info "smapp" ~doc)
@@ -427,6 +569,8 @@ let main_cmd =
       chaos_cmd;
       workload_cmd;
       check_cmd;
+      trace_cmd;
+      metrics_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -60,7 +60,7 @@ let describe name delays =
   | [] -> Printf.printf "%-22s no blocks delivered!\n" name
   | _ ->
       let arr = Array.of_list delays in
-      let p q = Smapp_stats.Summary.percentile (Array.copy arr) q in
+      let p q = Smapp_stats.Summary.percentile arr q in
       Printf.printf "%-22s blocks=%2d  median=%.2fs  p90=%.2fs  worst=%.2fs\n" name
         (List.length delays) (p 50.) (p 90.)
         (List.fold_left Float.max 0. delays)

@@ -1,9 +1,15 @@
-type rule = Poly_compare_seq | Hashtbl_order | Naked_failwith | Parse_error
+type rule =
+  | Poly_compare_seq
+  | Hashtbl_order
+  | Naked_failwith
+  | Naked_print
+  | Parse_error
 
 let rule_id = function
   | Poly_compare_seq -> "poly-compare-seq"
   | Hashtbl_order -> "hashtbl-order"
   | Naked_failwith -> "naked-failwith"
+  | Naked_print -> "naked-print"
   | Parse_error -> "parse-error"
 
 type finding = {
@@ -114,16 +120,28 @@ let collect ~file source_structure =
              op)
     | _ -> ()
   in
+  let is_stdlib_name = function
+    | Longident.Lident _ -> true
+    | Longident.Ldot (Longident.Lident "Stdlib", _) -> true
+    | Longident.Ldot _ | Longident.Lapply _ -> false
+  in
   let ident_finding lid loc =
-    (* naked-failwith: any mention, applied or not (e.g. [|> failwith]) *)
+    (* these fire on any mention, applied or not (e.g. [|> failwith]) *)
     match last_component lid with
-    | Some "failwith"
-      when (match lid with
-           | Longident.Lident _ -> true
-           | Longident.Ldot (Longident.Lident "Stdlib", _) -> true
-           | _ -> false) ->
+    | Some "failwith" when is_stdlib_name lid ->
         add Naked_failwith loc
           "raise Bug.fail (invariant) or a typed error instead of failwith"
+    (* naked-print: diagnostics written straight to the process's std
+       channels can't be redirected or silenced by a host application *)
+    | Some ("eprintf" | "printf") when path_through "Printf" lid ->
+        add Naked_print loc
+          "route library diagnostics through Smapp_obs.Log (redirectable \
+           via set_sink) instead of Printf to the std channels"
+    | Some ("print_endline" | "prerr_endline" | "print_string" | "prerr_string")
+      when is_stdlib_name lid ->
+        add Naked_print loc
+          "route library diagnostics through Smapp_obs.Log (redirectable \
+           via set_sink) instead of the raw std channels"
     | _ -> ()
   in
   let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =

@@ -1,7 +1,7 @@
 (** A source-level lint pass for the smapp tree.
 
     Parses [.ml] files with the compiler's own front end (no typing) and
-    flags three idioms that have each produced a real bug here:
+    flags four idioms that have each produced a real bug here:
 
     - {b poly-compare-seq}: a polymorphic comparison ([=], [<>], [<], [>],
       [<=], [>=], [compare], [min], [max]) with an operand that mentions a
@@ -17,6 +17,12 @@
       violations must raise {!Smapp_sim.Bug.Bug} with a message naming the
       invariant ([Bug.fail]); [Failure] is reserved for
       environment/resource conditions a caller is expected to handle.
+    - {b naked-print}: [Printf.printf] / [Printf.eprintf] /
+      [print_endline] / [prerr_endline] (and the [_string] variants).
+      Library code writing straight to the std channels cannot be
+      redirected or silenced by a host application; diagnostics go through
+      [Smapp_obs.Log] ([Log.warn], [Log.set_sink]). [Smapp_obs.Log]'s own
+      default sink is the single suppressed exception.
 
     A finding is suppressed by a comment marker
 
@@ -26,12 +32,17 @@
     it (so a multi-line justification comment covers the flagged line).
     Suppressed findings are counted but not reported. *)
 
-type rule = Poly_compare_seq | Hashtbl_order | Naked_failwith | Parse_error
+type rule =
+  | Poly_compare_seq
+  | Hashtbl_order
+  | Naked_failwith
+  | Naked_print
+  | Parse_error
 
 val rule_id : rule -> string
 (** The kebab-case identifier used in reports and suppression markers:
     ["poly-compare-seq"], ["hashtbl-order"], ["naked-failwith"],
-    ["parse-error"]. *)
+    ["naked-print"], ["parse-error"]. *)
 
 type finding = {
   f_rule : rule;

@@ -12,6 +12,14 @@ type config = {
 let default_config ~backup_sources () =
   { rto_threshold = Time.span_s 1; backup_sources; backup_destination = None }
 
+let m_failovers =
+  Smapp_obs.Metrics.counter ~help:"break-before-make failovers triggered by RTO growth"
+    "ctrl_failovers_total"
+
+let note_failover () =
+  Smapp_obs.Metrics.incr m_failovers;
+  Smapp_obs.Trace.instant ~cat:"controller" "failover"
+
 type t = {
   view : Conn_view.t;
   config : config;
@@ -57,6 +65,7 @@ let handle_timeout t token sub_id rto =
                     ~default:sub.Conn_view.sv_flow.Ip.dst
                 in
                 t.failovers <- t.failovers + 1;
+                note_failover ();
                 let pm = Conn_view.pm t.view in
                 Pm_lib.create_subflow pm ~token ~src ~dst ();
                 Pm_lib.remove_subflow pm ~token ~sub_id ()))
@@ -93,6 +102,7 @@ let per_conn state factory (_conn0 : Conn_view.conn) =
           | src :: _ ->
               remaining := List.filter (fun a -> not (Ip.equal a src)) !remaining;
               state.bs_failovers <- state.bs_failovers + 1;
+              note_failover ();
               let dst =
                 Option.value config.backup_destination
                   ~default:sub.Conn_view.sv_flow.Ip.dst

@@ -48,6 +48,22 @@ let reconnect_delay config ?(attempt = 0) error =
         }
         ~attempt
 
+let m_subflow_requests =
+  Smapp_obs.Metrics.counter ~help:"Create_subflow commands issued by full-mesh controllers"
+    "ctrl_subflow_requests_total"
+
+let m_reconnects =
+  Smapp_obs.Metrics.counter ~help:"subflow reconnects scheduled after errors"
+    "ctrl_reconnects_total"
+
+let note_subflow_request () =
+  Smapp_obs.Metrics.incr m_subflow_requests;
+  Smapp_obs.Trace.instant ~cat:"controller" "subflow-request"
+
+let note_reconnect () =
+  Smapp_obs.Metrics.incr m_reconnects;
+  Smapp_obs.Trace.instant ~cat:"controller" "reconnect-scheduled"
+
 type t = {
   view : Conn_view.t;
   config : config;
@@ -72,6 +88,7 @@ let spawn t (conn : Conn_view.conn) src dst =
   if not (Otable.mem t.requested k) then begin
     Otable.add t.requested k 0;
     t.created <- t.created + 1;
+    note_subflow_request ();
     Pm_lib.create_subflow (Conn_view.pm t.view) ~token:conn.Conn_view.cv_token ~src ~dst ()
   end
 
@@ -96,6 +113,7 @@ let schedule_reconnect t (conn : Conn_view.conn) (sub : Conn_view.sub) error =
     if attempts < t.config.max_reconnect_attempts then begin
       Otable.add t.requested k (attempts + 1);
       t.reconnects <- t.reconnects + 1;
+      note_reconnect ();
       ignore
         (Engine.after (Pm_lib.engine (Conn_view.pm t.view)) delay (fun () ->
              (* only if the connection still exists and the pair is absent *)
@@ -110,6 +128,7 @@ let schedule_reconnect t (conn : Conn_view.conn) (sub : Conn_view.sub) error =
                  in
                  if (not already) && List.exists (Ip.equal src) t.locals then begin
                    t.created <- t.created + 1;
+                   note_subflow_request ();
                    Pm_lib.create_subflow (Conn_view.pm t.view)
                      ~token:conn.Conn_view.cv_token ~src ~dst ()
                  end
@@ -145,6 +164,7 @@ let per_conn state factory (conn0 : Conn_view.conn) =
     if not (Otable.mem requested k) then begin
       Otable.add requested k 0;
       state.ms_created <- state.ms_created + 1;
+      note_subflow_request ();
       Pm_lib.create_subflow pm ~token ~src ~dst ()
     end
   in
@@ -170,6 +190,7 @@ let per_conn state factory (conn0 : Conn_view.conn) =
       if attempts < config.max_reconnect_attempts then begin
         Otable.add requested k (attempts + 1);
         state.ms_reconnects <- state.ms_reconnects + 1;
+        note_reconnect ();
         let delay = reconnect_delay config ~attempt:attempts error in
         ignore
           (Engine.after (Pm_lib.engine pm) delay (fun () ->
@@ -185,6 +206,7 @@ let per_conn state factory (conn0 : Conn_view.conn) =
                    if (not already) && List.exists (Ip.equal src) config.local_addresses
                    then begin
                      state.ms_created <- state.ms_created + 1;
+                     note_subflow_request ();
                      Pm_lib.create_subflow pm ~token ~src ~dst ()
                    end
                | None -> ()))

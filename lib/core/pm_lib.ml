@@ -9,9 +9,57 @@ type config = {
 
 let default_config = { retry = Retry.command_default; resync_on_gap = true }
 
+(* Observability handles (inert until [Smapp_obs.Metrics.enabled] /
+   [Trace.enabled]). The "decision:<event>-><command>" spans stitch a
+   dispatched kernel event to the command a controller issued in response —
+   their duration is the command round trip, which together with the
+   channel's crossing spans decomposes the Fig 3 userspace reaction gap. *)
+module Obs = struct
+  module M = Smapp_obs.Metrics
+
+  let commands = M.counter ~help:"commands issued to the kernel" "pm_commands_total"
+  let events = M.counter ~help:"events dispatched to listeners" "pm_events_total"
+  let retries = M.counter ~help:"command retransmissions" "pm_command_retries_total"
+
+  let failures =
+    M.counter ~help:"commands that exhausted their retry budget" "pm_command_failures_total"
+
+  let gaps = M.counter ~help:"event sequence gaps detected" "pm_seq_gaps_total"
+  let dups = M.counter ~help:"duplicate events filtered" "pm_duplicate_events_total"
+  let resyncs = M.counter ~help:"full-state resyncs requested" "pm_resyncs_total"
+  let restarts = M.counter ~help:"daemon restarts handled" "pm_restarts_total"
+  let cmd_rtt = M.histogram ~help:"ns from command send to its reply" "pm_command_rtt_ns"
+end
+
+let command_label = function
+  | Pm_msg.Subscribe _ -> "subscribe"
+  | Pm_msg.Create_subflow _ -> "create_subflow"
+  | Pm_msg.Remove_subflow _ -> "remove_subflow"
+  | Pm_msg.Set_backup _ -> "set_backup"
+  | Pm_msg.Get_sub_info _ -> "get_sub_info"
+  | Pm_msg.Get_conn_info _ -> "get_conn_info"
+  | Pm_msg.Dump -> "dump"
+  | Pm_msg.Keepalive -> "keepalive"
+
+let event_label = function
+  | Pm_msg.Created _ -> "created"
+  | Pm_msg.Estab _ -> "estab"
+  | Pm_msg.Closed _ -> "closed"
+  | Pm_msg.Sub_estab _ -> "sub_estab"
+  | Pm_msg.Sub_closed _ -> "sub_closed"
+  | Pm_msg.Timeout _ -> "timeout"
+  | Pm_msg.Add_addr _ -> "add_addr"
+  | Pm_msg.Rem_addr _ -> "rem_addr"
+  | Pm_msg.New_local_addr _ -> "new_local_addr"
+  | Pm_msg.Del_local_addr _ -> "del_local_addr"
+
 type pending = {
   p_on_reply : (Pm_msg.reply -> unit) option;
   mutable p_run : Retry.run option;
+  p_sent_ns : int;
+  p_label : string;
+  p_decision : string option;
+      (* label of the event whose dispatch issued this command, if any *)
 }
 
 type t = {
@@ -39,6 +87,9 @@ type t = {
   mutable resyncs : int;
   mutable duplicate_events_dropped : int;
   mutable restarts : int;
+  mutable dispatching : string option;
+      (* event label while listeners run, so commands they issue can be
+         attributed to the triggering event in decision spans *)
 }
 
 let engine t = t.engine
@@ -62,18 +113,37 @@ let send_command ?(reliable = true) t cmd on_reply =
   let seq = t.next_seq in
   let key = Rng.bits30 t.rng in
   let bytes = Wire.encode (Pm_msg.command_to_msg ~key ~seq cmd) in
+  Smapp_obs.Metrics.incr Obs.commands;
   if not reliable then transmit t bytes
   else begin
-    let p = { p_on_reply = on_reply; p_run = None } in
+    let p =
+      {
+        p_on_reply = on_reply;
+        p_run = None;
+        p_sent_ns = Time.to_ns (Engine.now t.engine);
+        p_label = command_label cmd;
+        p_decision = t.dispatching;
+      }
+    in
     Otable.add t.pending seq p;
     p.p_run <-
       Some
         (Retry.start t.engine ~rng:t.rng t.config.retry
            ~body:(fun ~attempt ->
-             if attempt > 0 then t.retries <- t.retries + 1;
+             if attempt > 0 then begin
+               t.retries <- t.retries + 1;
+               Smapp_obs.Metrics.incr Obs.retries;
+               Smapp_obs.Trace.instant ~cat:"pm"
+                 ~args:[ ("command", p.p_label) ]
+                 "retry"
+             end;
              transmit t bytes)
            ~exhausted:(fun () ->
              t.command_failures <- t.command_failures + 1;
+             Smapp_obs.Metrics.incr Obs.failures;
+             Smapp_obs.Trace.instant ~cat:"pm"
+               ~args:[ ("command", p.p_label) ]
+               "command-failed";
              Otable.remove t.pending seq;
              match p.p_on_reply with
              | Some f -> f (Pm_msg.Error "command timed out")
@@ -95,12 +165,18 @@ let rec iter_mask_bits f mask bit =
 
 let dispatch_event t ev =
   t.events_received <- t.events_received + 1;
-  iter_mask_bits
-    (fun bit ->
-      match Hashtbl.find_opt t.listeners bit with
-      | Some fs -> List.iter (fun f -> f ev) !fs
-      | None -> ())
-    (Pm_msg.mask_of_event ev) 0
+  Smapp_obs.Metrics.incr Obs.events;
+  let saved = t.dispatching in
+  t.dispatching <- Some (event_label ev);
+  Fun.protect
+    ~finally:(fun () -> t.dispatching <- saved)
+    (fun () ->
+      iter_mask_bits
+        (fun bit ->
+          match Hashtbl.find_opt t.listeners bit with
+          | Some fs -> List.iter (fun f -> f ev) !fs
+          | None -> ())
+        (Pm_msg.mask_of_event ev) 0)
 
 let on_resync t f = t.resync_cbs <- t.resync_cbs @ [ f ]
 
@@ -108,6 +184,8 @@ let request_resync t =
   if not t.resync_inflight then begin
     t.resync_inflight <- true;
     t.resyncs <- t.resyncs + 1;
+    Smapp_obs.Metrics.incr Obs.resyncs;
+    Smapp_obs.Trace.instant ~cat:"pm" "resync";
     send_command t Pm_msg.Dump
       (Some
          (function
@@ -126,9 +204,14 @@ let request_resync t =
 let handle_event t seq ev =
   match t.last_event_seq with
   | Some last when seq <= last ->
-      t.duplicate_events_dropped <- t.duplicate_events_dropped + 1
+      t.duplicate_events_dropped <- t.duplicate_events_dropped + 1;
+      Smapp_obs.Metrics.incr Obs.dups
   | Some last when seq > last + 1 ->
       t.gaps_detected <- t.gaps_detected + 1;
+      Smapp_obs.Metrics.incr Obs.gaps;
+      Smapp_obs.Trace.instant ~cat:"pm"
+        ~args:[ ("missing", string_of_int (seq - last - 1)) ]
+        "seq-gap";
       t.last_event_seq <- Some seq;
       dispatch_event t ev;
       if t.config.resync_on_gap then request_resync t
@@ -141,6 +224,15 @@ let dispatch_reply t seq reply =
   | Some p ->
       Otable.remove t.pending seq;
       (match p.p_run with Some run -> Retry.stop run | None -> ());
+      Smapp_obs.Metrics.observe Obs.cmd_rtt
+        (float_of_int (Time.to_ns (Engine.now t.engine) - p.p_sent_ns));
+      Smapp_obs.Trace.complete ~cat:"pm" ~start_ns:p.p_sent_ns ("cmd:" ^ p.p_label);
+      (match p.p_decision with
+      | Some ev ->
+          Smapp_obs.Trace.complete ~cat:"controller" ~start_ns:p.p_sent_ns
+            ~args:[ ("event", ev); ("command", p.p_label) ]
+            ("decision:" ^ ev ^ "->" ^ p.p_label)
+      | None -> ());
       (match p.p_on_reply with Some f -> f reply | None -> ())
   | None -> ()
 
@@ -163,6 +255,8 @@ let on_bytes t bytes =
    subscription and pull a full snapshot. *)
 let restart t =
   t.restarts <- t.restarts + 1;
+  Smapp_obs.Metrics.incr Obs.restarts;
+  Smapp_obs.Trace.instant ~cat:"pm" "restart";
   (* issue order == seq order: Otable iteration replaces the old
      sort-after-Hashtbl.fold dance and stays deterministic by construction *)
   let stale = Otable.to_list t.pending in
@@ -213,6 +307,7 @@ let create ?(config = default_config) engine channel =
       resyncs = 0;
       duplicate_events_dropped = 0;
       restarts = 0;
+      dispatching = None;
     }
   in
   Channel.on_user_receive channel (on_bytes t);

@@ -45,3 +45,75 @@ let run ?(seed = 42) ?(requests = 1000) ?(file_bytes = 512 * 1024) ?(stress = 1.
     match !finished with Some s -> s.Smapp_apps.Http.completed | None -> 0
   in
   { variant; stress; delays = Harness.Syn_tap.join_delays tap; requests_completed = completed }
+
+(* --- traced decomposition of the kernel-vs-userspace gap --------------------
+
+   The userspace controller itself runs in zero simulated time, so its extra
+   reaction latency is boundary crossings: the event climbing kernel->user
+   plus the command descending user->kernel — minus the in-kernel
+   path-manager work ([Path_manager.creation_delay]) that the command path
+   replaces, since [Create_subflow] executes synchronously on arrival.
+   Tracing one userspace run measures each crossing; up + down - kernel
+   should reproduce the independently measured CAPA->JOIN gap. *)
+
+type breakdown = {
+  b_extra_us : float;
+  b_up_us : float;
+  b_down_us : float;
+  b_kernel_pm_us : float;
+  b_decision_rtt_us : float option;
+  b_requests : int;
+}
+
+let breakdown_model_us b = b.b_up_us +. b.b_down_us -. b.b_kernel_pm_us
+
+let mean_of = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let traced_breakdown ?(seed = 42) ?(requests = 300) () =
+  let saved_m = !Smapp_obs.Metrics.enabled and saved_t = !Smapp_obs.Trace.enabled in
+  Smapp_obs.Metrics.enabled := false;
+  Smapp_obs.Trace.enabled := false;
+  let kernel = run ~seed ~requests ~variant:Kernel () in
+  Smapp_obs.Trace.clear ();
+  Smapp_obs.Trace.enabled := true;
+  Smapp_obs.Metrics.enabled := true;
+  let user = run ~seed ~requests ~variant:Userspace () in
+  Smapp_obs.Metrics.enabled := saved_m;
+  Smapp_obs.Trace.enabled := saved_t;
+  (* the trace buffer keeps the userspace run for the caller to export *)
+  let extra_us = (mean_of user.delays -. mean_of kernel.delays) *. 1e6 in
+  let crossing name =
+    Option.value ~default:0.0 (Smapp_obs.Trace.mean_duration_us ~cat:"netlink" ~name)
+  in
+  let decision =
+    let rows =
+      List.filter
+        (fun (key, _) -> starts_with ~prefix:"controller:decision:" key)
+        (Smapp_obs.Trace.span_summary ())
+    in
+    match rows with
+    | [] -> None
+    | _ ->
+        let total, n =
+          List.fold_left
+            (fun (total, n) (_, s) ->
+              ( total +. (s.Smapp_stats.Summary.mean *. float_of_int s.Smapp_stats.Summary.count),
+                n + s.Smapp_stats.Summary.count ))
+            (0.0, 0) rows
+        in
+        Some (total /. float_of_int n)
+  in
+  {
+    b_extra_us = extra_us;
+    b_up_us = crossing "k->u";
+    b_down_us = crossing "u->k";
+    b_kernel_pm_us = Time.span_to_float_s Path_manager.creation_delay *. 1e6;
+    b_decision_rtt_us = decision;
+    b_requests = requests;
+  }

@@ -26,3 +26,25 @@ type result = {
 val run :
   ?seed:int -> ?requests:int -> ?file_bytes:int -> ?stress:float -> variant:variant -> unit -> result
 (** Defaults: 1000 requests of 512 KB, stress 1.0. *)
+
+type breakdown = {
+  b_extra_us : float;  (** measured userspace-minus-kernel mean gap, µs *)
+  b_up_us : float;  (** mean kernel->user Netlink crossing, µs *)
+  b_down_us : float;  (** mean user->kernel Netlink crossing, µs *)
+  b_kernel_pm_us : float;
+      (** mean in-kernel path-manager reaction the command path replaces, µs *)
+  b_decision_rtt_us : float option;
+      (** mean event->command decision round trip seen by the controller, µs *)
+  b_requests : int;
+}
+
+val breakdown_model_us : breakdown -> float
+(** [b_up_us + b_down_us - b_kernel_pm_us]: what the traced components
+    predict the measured gap should be. *)
+
+val traced_breakdown : ?seed:int -> ?requests:int -> unit -> breakdown
+(** Runs the kernel variant untraced, then the userspace variant with
+    [Smapp_obs] tracing on, and decomposes the reaction-time gap into its
+    two Netlink crossings. On return the [Smapp_obs.Trace] buffer still
+    holds the userspace run, ready to export; the enabled flags are
+    restored to their prior values. *)

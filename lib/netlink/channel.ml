@@ -47,6 +47,46 @@ type stats = {
   s_crashes : int;
 }
 
+(* Observability. Per-direction handles are registered once here; the span
+   names "k->u" / "u->k" are what the fig3 trace report sums to decompose
+   the userspace reaction-time gap into its two boundary crossings. *)
+module Obs = struct
+  module M = Smapp_obs.Metrics
+
+  let crossing_k2u =
+    M.histogram ~help:"ns spent crossing the netlink boundary"
+      ~labels:[ ("dir", "k2u") ] "netlink_crossing_ns"
+
+  let crossing_u2k = M.histogram ~labels:[ ("dir", "u2k") ] "netlink_crossing_ns"
+
+  let dropped_k2u =
+    M.counter ~help:"messages lost to injected drops or a dead daemon"
+      ~labels:[ ("dir", "k2u") ] "netlink_dropped_total"
+
+  let dropped_u2k = M.counter ~labels:[ ("dir", "u2k") ] "netlink_dropped_total"
+
+  let duplicated_k2u =
+    M.counter ~help:"messages duplicated in flight" ~labels:[ ("dir", "k2u") ]
+      "netlink_duplicated_total"
+
+  let duplicated_u2k = M.counter ~labels:[ ("dir", "u2k") ] "netlink_duplicated_total"
+
+  let enobufs_k2u =
+    M.counter ~help:"messages lost to a full socket buffer (ENOBUFS)"
+      ~labels:[ ("dir", "k2u") ] "netlink_enobufs_total"
+
+  let enobufs_u2k = M.counter ~labels:[ ("dir", "u2k") ] "netlink_enobufs_total"
+
+  let crashes =
+    M.counter ~help:"path-manager daemon crashes injected" "netlink_daemon_crashes_total"
+
+  let crossing = function To_user -> crossing_k2u | To_kernel -> crossing_u2k
+  let dropped = function To_user -> dropped_k2u | To_kernel -> dropped_u2k
+  let duplicated = function To_user -> duplicated_k2u | To_kernel -> duplicated_u2k
+  let enobufs = function To_user -> enobufs_k2u | To_kernel -> enobufs_u2k
+  let span_name = function To_user -> "k->u" | To_kernel -> "u->k"
+end
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
@@ -109,10 +149,13 @@ let user_up t = t.user_up
 let set_user_up t up =
   if t.user_up && not up then begin
     t.user_up <- false;
-    t.crashes <- t.crashes + 1
+    t.crashes <- t.crashes + 1;
+    Smapp_obs.Metrics.incr Obs.crashes;
+    Smapp_obs.Trace.instant ~cat:"netlink" "daemon-crash"
   end
   else if (not t.user_up) && up then begin
     t.user_up <- true;
+    Smapp_obs.Trace.instant ~cat:"netlink" "daemon-restart";
     t.on_user_restart ()
   end
 
@@ -151,36 +194,61 @@ let schedule_delivery t dir bytes =
       Rng.uniform_span t.fault_rng t.profile.extra_jitter
     else Time.span_zero
   in
+  let sent_ns = Time.to_ns (Engine.now t.engine) in
   let arrival = Time.add (Engine.now t.engine) (Time.span_add (crossing t) extra) in
   let arrival = if Time.( < ) arrival st.last_arrival then st.last_arrival else arrival in
   st.last_arrival <- arrival;
   st.in_flight <- st.in_flight + 1;
+  let delivered () =
+    Smapp_obs.Metrics.observe (Obs.crossing dir)
+      (float_of_int (Time.to_ns arrival - sent_ns));
+    Smapp_obs.Trace.complete ~cat:"netlink" ~start_ns:sent_ns (Obs.span_name dir)
+  in
   ignore
     (Engine.at t.engine arrival (fun () ->
          st.in_flight <- st.in_flight - 1;
          match dir with
-         | To_kernel -> t.to_kernel bytes
+         | To_kernel ->
+             delivered ();
+             t.to_kernel bytes
          | To_user ->
              (* the daemon may have died while the message was in flight *)
-             if t.user_up then t.to_user bytes else st.dropped <- st.dropped + 1))
+             if t.user_up then begin
+               delivered ();
+               t.to_user bytes
+             end
+             else begin
+               st.dropped <- st.dropped + 1;
+               Smapp_obs.Metrics.incr (Obs.dropped dir);
+               Smapp_obs.Trace.instant ~cat:"netlink" "drop-in-flight"
+             end))
 
 let send t dir bytes =
   let st = dir_state t dir in
-  if not t.user_up then st.dropped <- st.dropped + 1
+  let drop () =
+    st.dropped <- st.dropped + 1;
+    Smapp_obs.Metrics.incr (Obs.dropped dir);
+    Smapp_obs.Trace.instant ~cat:"netlink" "drop"
+  in
+  if not t.user_up then drop ()
     (* daemon down: events vanish, and nothing real is sending commands *)
   else if st.forced_drops > 0 then begin
     st.forced_drops <- st.forced_drops - 1;
-    st.dropped <- st.dropped + 1
+    drop ()
   end
-  else if t.profile.drop > 0.0 && Rng.bernoulli t.fault_rng t.profile.drop then
-    st.dropped <- st.dropped + 1
-  else if st.in_flight >= t.profile.buffer then
+  else if t.profile.drop > 0.0 && Rng.bernoulli t.fault_rng t.profile.drop then drop ()
+  else if st.in_flight >= t.profile.buffer then begin
     (* ENOBUFS: the socket buffer is full, the message is lost *)
-    st.overflowed <- st.overflowed + 1
+    st.overflowed <- st.overflowed + 1;
+    Smapp_obs.Metrics.incr (Obs.enobufs dir);
+    Smapp_obs.Trace.instant ~cat:"netlink" "enobufs"
+  end
   else begin
     schedule_delivery t dir bytes;
     if t.profile.duplicate > 0.0 && Rng.bernoulli t.fault_rng t.profile.duplicate then begin
       st.duplicated <- st.duplicated + 1;
+      Smapp_obs.Metrics.incr (Obs.duplicated dir);
+      Smapp_obs.Trace.instant ~cat:"netlink" "dup";
       if st.in_flight < t.profile.buffer then schedule_delivery t dir bytes
     end
   end

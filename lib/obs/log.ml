@@ -1,0 +1,39 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+let threshold = ref Warn
+let set_level l = threshold := l
+let level () = !threshold
+
+let emitted_count = ref 0
+let emitted () = !emitted_count
+
+(* The default sink is the one place in lib/** allowed to write raw stderr:
+   every other module routes diagnostics through [msg]/[debug]/... so a host
+   application can redirect or silence them with [set_sink]. *)
+let default_sink l s =
+  (* smapp-lint: allow naked-print — Log *is* the diagnostics sink the rule
+     points everyone else at; this is the single egress to stderr *)
+  Printf.eprintf "[smapp %-5s] %s\n%!" (level_name l) s
+
+let sink = ref default_sink
+let set_sink f = sink := f
+let reset_sink () = sink := default_sink
+
+let enabled_for l = severity l >= severity !threshold
+
+let msg l s =
+  if enabled_for l then begin
+    incr emitted_count;
+    !sink l s
+  end
+
+(* Thunked variants: the message string is only built when the level is
+   enabled, so a hot-path [debug] is a load and a branch. *)
+let log l f = if enabled_for l then msg l (f ())
+let debug f = log Debug f
+let info f = log Info f
+let warn f = log Warn f
+let error f = log Error f

@@ -1,0 +1,222 @@
+(* A process-wide registry of counters, gauges and log-bucketed histograms
+   with static labels.
+
+   Discipline: instrument-and-forget. Handles are created once at module
+   initialisation (registration is unconditional and cheap); every update
+   entry point ([incr]/[add]/[set]/[observe]) is a load of [enabled] and a
+   fall-through branch when observability is off — the same pattern as
+   [Tcb.checks_enabled], held to its budget by the bench's [obs] section. *)
+
+type labels = (string * string) list
+
+let enabled = ref false
+
+type counter = { c_name : string; c_labels : labels; mutable c_value : int }
+type gauge = { g_name : string; g_labels : labels; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_labels : labels;
+  h_bounds : float array; (* ascending upper bounds; observations above the
+                             last bound land in an implicit +Inf bucket *)
+  h_counts : int array; (* length = Array.length h_bounds + 1 *)
+  mutable h_sum : float;
+  mutable h_total : int;
+}
+
+type metric = M_counter of counter | M_gauge of gauge | M_histogram of histogram
+
+let metric_name = function
+  | M_counter c -> c.c_name
+  | M_gauge g -> g.g_name
+  | M_histogram h -> h.h_name
+
+let metric_labels = function
+  | M_counter c -> c.c_labels
+  | M_gauge g -> g.g_labels
+  | M_histogram h -> h.h_labels
+
+(* Registration order is the export order, so the text exposition is
+   deterministic (Hashtbl iteration never escapes). *)
+let registered : metric list ref = ref []
+let index : (string * labels, metric) Hashtbl.t = Hashtbl.create 64
+let help_of : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let register ~help name labels make =
+  (match Hashtbl.find_opt help_of name with
+  | None -> Hashtbl.replace help_of name help
+  | Some existing -> if existing = "" && help <> "" then Hashtbl.replace help_of name help);
+  match Hashtbl.find_opt index (name, labels) with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.replace index (name, labels) m;
+      registered := !registered @ [ m ];
+      m
+
+let kind_mismatch name =
+  invalid_arg ("Metrics: " ^ name ^ " already registered with a different kind")
+
+let counter ?(help = "") ?(labels = []) name =
+  match
+    register ~help name labels (fun () ->
+        M_counter { c_name = name; c_labels = labels; c_value = 0 })
+  with
+  | M_counter c -> c
+  | M_gauge _ | M_histogram _ -> kind_mismatch name
+
+let gauge ?(help = "") ?(labels = []) name =
+  match
+    register ~help name labels (fun () ->
+        M_gauge { g_name = name; g_labels = labels; g_value = 0.0 })
+  with
+  | M_gauge g -> g
+  | M_counter _ | M_histogram _ -> kind_mismatch name
+
+let default_base = 1_000.0 (* 1 us in ns *)
+let default_growth = 4.0
+let default_buckets = 16
+
+let histogram ?(help = "") ?(labels = []) ?(base = default_base)
+    ?(growth = default_growth) ?(buckets = default_buckets) name =
+  if base <= 0.0 then invalid_arg "Metrics.histogram: base must be positive";
+  if growth <= 1.0 then invalid_arg "Metrics.histogram: growth must exceed 1";
+  if buckets < 1 then invalid_arg "Metrics.histogram: need at least one bucket";
+  match
+    register ~help name labels (fun () ->
+        let bounds = Array.init buckets (fun i -> base *. (growth ** float_of_int i)) in
+        M_histogram
+          {
+            h_name = name;
+            h_labels = labels;
+            h_bounds = bounds;
+            h_counts = Array.make (buckets + 1) 0;
+            h_sum = 0.0;
+            h_total = 0;
+          })
+  with
+  | M_histogram h -> h
+  | M_counter _ | M_gauge _ -> kind_mismatch name
+
+(* --- updates: one load and a branch when disabled --------------------------- *)
+
+let incr c = if !enabled then c.c_value <- c.c_value + 1
+let add c n = if !enabled then c.c_value <- c.c_value + n
+let set g v = if !enabled then g.g_value <- v
+
+let bucket_index h v =
+  let n = Array.length h.h_bounds in
+  let rec go i = if i >= n then n else if v <= h.h_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  if !enabled then begin
+    h.h_counts.(bucket_index h v) <- h.h_counts.(bucket_index h v) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_total <- h.h_total + 1
+  end
+
+(* --- inspection --------------------------------------------------------------- *)
+
+let value c = c.c_value
+let gauge_value g = g.g_value
+let bucket_bounds h = Array.copy h.h_bounds
+let bucket_counts h = Array.copy h.h_counts
+let histogram_sum h = h.h_sum
+let histogram_count h = h.h_total
+
+let clear () =
+  List.iter
+    (function
+      | M_counter c -> c.c_value <- 0
+      | M_gauge g -> g.g_value <- 0.0
+      | M_histogram h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.0;
+          h.h_total <- 0)
+    !registered
+
+(* --- Prometheus text exposition ---------------------------------------------- *)
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
+      ^ "}"
+
+let type_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_histogram _ -> "histogram"
+
+let render_metric buf = function
+  | M_counter c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %d\n" c.c_name (render_labels c.c_labels) c.c_value)
+  | M_gauge g ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" g.g_name (render_labels g.g_labels)
+           (float_str g.g_value))
+  | M_histogram h ->
+      let cumulative = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cumulative := !cumulative + h.h_counts.(i);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" h.h_name
+               (render_labels (h.h_labels @ [ ("le", float_str bound) ]))
+               !cumulative))
+        h.h_bounds;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket%s %d\n" h.h_name
+           (render_labels (h.h_labels @ [ ("le", "+Inf") ]))
+           h.h_total);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" h.h_name (render_labels h.h_labels)
+           (float_str h.h_sum));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" h.h_name (render_labels h.h_labels) h.h_total)
+
+let to_prometheus ?names () =
+  let wanted m =
+    match names with None -> true | Some ns -> List.mem (metric_name m) ns
+  in
+  let buf = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      let name = metric_name m in
+      if wanted m && not (Hashtbl.mem seen name) then begin
+        Hashtbl.replace seen name ();
+        (match Hashtbl.find_opt help_of name with
+        | Some help when help <> "" ->
+            Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help)
+        | Some _ | None -> ());
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name (type_name m));
+        List.iter
+          (fun m' -> if metric_name m' = name then render_metric buf m')
+          !registered
+      end)
+    !registered;
+  Buffer.contents buf
+
+let families () =
+  List.map (fun m -> (metric_name m, metric_labels m, m)) !registered

@@ -21,16 +21,38 @@ and t = {
 
 and tie_break = Fifo | Shuffle of Rng.t
 
+(* Observability handles. Updates are load-and-branch no-ops until
+   [Smapp_obs.Metrics.enabled] is set; instrumentation must only *read*
+   engine state so that turning it on cannot change simulation results. *)
+let m_dispatched =
+  Smapp_obs.Metrics.counter ~help:"callbacks dispatched by the event loop"
+    "sim_events_dispatched_total"
+
+let m_queue_depth =
+  Smapp_obs.Metrics.gauge ~help:"live events in the queue after each dispatch"
+    "sim_queue_depth"
+
+let m_horizon =
+  Smapp_obs.Metrics.histogram
+    ~help:"ns between scheduling an event and its deadline" "sim_schedule_horizon_ns"
+
 let create ?(seed = 42) () =
-  {
-    clock = Time.zero;
-    queue = Timer_wheel.create ();
-    root_rng = Rng.of_int seed;
-    next_seq = 0;
-    live = 0;
-    executed = 0;
-    tie_break = Fifo;
-  }
+  let t =
+    {
+      clock = Time.zero;
+      queue = Timer_wheel.create ();
+      root_rng = Rng.of_int seed;
+      next_seq = 0;
+      live = 0;
+      executed = 0;
+      tie_break = Fifo;
+    }
+  in
+  (* Traces are stamped with this engine's virtual time; with several live
+     engines the most recently created one wins, which matches how the
+     experiments and tests use engines (one per run). *)
+  Smapp_obs.Trace.set_clock (fun () -> Time.to_ns t.clock);
+  t
 
 let set_tie_break t policy = t.tie_break <- policy
 
@@ -46,6 +68,8 @@ let schedule_event t when_ f =
   t.next_seq <- t.next_seq + 1;
   Timer_wheel.add t.queue ~time:(Time.to_ns when_) ev;
   t.live <- t.live + 1;
+  Smapp_obs.Metrics.observe m_horizon
+    (float_of_int (Time.to_ns when_ - Time.to_ns t.clock));
   ev
 
 let at t when_ f =
@@ -150,6 +174,8 @@ let run ?until ?(max_events = max_int) t =
                     t.clock <- ev.time;
                     incr executed;
                     t.executed <- t.executed + 1;
+                    Smapp_obs.Metrics.incr m_dispatched;
+                    Smapp_obs.Metrics.set m_queue_depth (float_of_int t.live);
                     f ())))
   done;
   match until with

@@ -25,14 +25,15 @@ let percentile samples p =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Summary.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Summary.percentile: p out of range";
-  Array.sort Float.compare samples;
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in
-  if lo = hi then samples.(lo)
+  if lo = hi then sorted.(lo)
   else begin
     let frac = rank -. float_of_int lo in
-    samples.(lo) +. (frac *. (samples.(hi) -. samples.(lo)))
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
   end
 
 let median samples = percentile samples 50.0

@@ -15,8 +15,9 @@ val of_array : float array -> t
 
 val percentile : float array -> float -> float
 (** [percentile samples p] for [p] in [\[0,100\]], linear interpolation
-    between closest ranks. The array is sorted in place. Raises
-    [Invalid_argument] on an empty array or [p] outside the range. *)
+    between closest ranks. The input array is left untouched (the sort
+    happens on a private copy). Raises [Invalid_argument] on an empty
+    array or [p] outside the range. *)
 
 val median : float array -> float
 

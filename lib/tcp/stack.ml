@@ -24,12 +24,21 @@ let default_config t = t.default_config
 let set_default_config t config = t.default_config <- config
 let rst_sent t = t.rst_sent
 
+let m_segments =
+  Smapp_obs.Metrics.counter ~help:"TCP segments received by stacks" "tcp_segments_received_total"
+
+let m_rst =
+  Smapp_obs.Metrics.counter ~help:"RFC 793 resets generated for segments without a TCB"
+    "tcp_rst_sent_total"
+
 let tx t seg = Host.send t.host (Segment.to_packet seg)
 
 let send_rst_for t seg =
   (* RFC 793 reset generation for a segment that has no TCB *)
   if not seg.Segment.rst then begin
     t.rst_sent <- t.rst_sent + 1;
+    Smapp_obs.Metrics.incr m_rst;
+    Smapp_obs.Trace.instant ~cat:"tcp" "rst";
     let flow = Ip.reverse seg.Segment.flow in
     let rst =
       if seg.Segment.ack then
@@ -88,7 +97,9 @@ let handle_icmp t orig_flow =
 
 let receive t pkt =
   match pkt.Packet.payload with
-  | Segment.Tcp seg -> handle_tcp t seg
+  | Segment.Tcp seg ->
+      Smapp_obs.Metrics.incr m_segments;
+      handle_tcp t seg
   | Packet.Icmp_unreachable orig_flow -> handle_icmp t orig_flow
   | _ -> ()
 

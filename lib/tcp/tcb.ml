@@ -126,6 +126,19 @@ let checks_enabled = ref false
 let transition_hook : (flow:Ip.flow -> Tcp_info.state -> Tcp_info.state -> unit) ref =
   ref (fun ~flow:_ _ _ -> ())
 
+(* Observability handles, same load-and-branch cost model as the
+   conformance hook above. Cwnd is sampled in bytes on each
+   congestion-avoidance update. *)
+let m_retransmits =
+  Smapp_obs.Metrics.counter ~help:"segments retransmitted" "tcp_retransmits_total"
+
+let m_rto_fired =
+  Smapp_obs.Metrics.counter ~help:"retransmission timeouts fired" "tcp_rto_fired_total"
+
+let m_cwnd =
+  Smapp_obs.Metrics.histogram ~help:"congestion window samples in bytes" ~base:1460.0
+    ~growth:2.0 ~buckets:20 "tcp_cwnd_bytes"
+
 let set_state t next =
   let prev = t.state in
   if prev <> next then begin
@@ -189,6 +202,10 @@ and on_rto_expire t =
   t.rto_timer <- None;
   if t.rtx_queue <> [] then begin
     t.rto_backoffs <- t.rto_backoffs + 1;
+    Smapp_obs.Metrics.incr m_rto_fired;
+    Smapp_obs.Trace.instant ~cat:"tcp"
+      ~args:[ ("backoffs", string_of_int t.rto_backoffs) ]
+      "rto";
     if t.rto_backoffs > t.config.max_rto_backoffs then kill t Tcp_error.Etimedout
     else begin
       Cc.on_rto t.cc;
@@ -207,6 +224,8 @@ and retransmit_entry t r =
   r.r_rexmit <- true;
   r.r_retx_epoch <- t.recovery_epoch;
   t.total_retrans <- t.total_retrans + 1;
+  Smapp_obs.Metrics.incr m_retransmits;
+  Smapp_obs.Trace.instant ~cat:"tcp" "retransmit";
   r.r_sent_at <- Engine.now t.engine;
   let payload =
     if r.r_len > 0 then Some { Segment.dsn = r.r_dsn; len = r.r_len } else None
@@ -498,6 +517,7 @@ let process_ack t seg =
       else sack_retransmit t;
       if not t.in_recovery then
         Cc.on_ack t.cc ~acked:acked_bytes ~srtt:(srtt_seconds t);
+      Smapp_obs.Metrics.observe m_cwnd (float_of_int (Cc.cwnd t.cc));
       arm_rto t;
       t.cbs.on_ack_progress t
     end

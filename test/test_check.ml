@@ -59,6 +59,25 @@ let test_lint_naked_failwith () =
   let r = lint "let f x = assert (x > 0)" in
   checki "assert cond ok" 0 (List.length r.Lint.r_findings)
 
+let test_lint_naked_print () =
+  let r = lint "let f () = Printf.eprintf \"oops %d\" 3" in
+  Alcotest.(check (list string)) "eprintf" [ "naked-print" ] (rules r);
+  let r = lint "let f () = Printf.printf \"hi\"" in
+  Alcotest.(check (list string)) "printf" [ "naked-print" ] (rules r);
+  let r = lint "let f s = print_endline s" in
+  Alcotest.(check (list string)) "print_endline" [ "naked-print" ] (rules r);
+  let r = lint "let f s = s |> prerr_endline" in
+  Alcotest.(check (list string)) "unapplied prerr_endline" [ "naked-print" ] (rules r);
+  (* building a string is not printing it *)
+  let r = lint "let f x = Printf.sprintf \"%d\" x" in
+  checki "sprintf ok" 0 (List.length r.Lint.r_findings);
+  (* printing to an explicit channel the caller handed over is deliberate *)
+  let r = lint "let f oc = Printf.fprintf oc \"row\\n\"" in
+  checki "fprintf ok" 0 (List.length r.Lint.r_findings);
+  (* the Log module's shadowed printers are the sanctioned route *)
+  let r = lint "let f () = Smapp_obs.Log.warn (fun () -> \"slow\")" in
+  checki "Log ok" 0 (List.length r.Lint.r_findings)
+
 let test_lint_suppression () =
   let src =
     "(* smapp-lint: allow naked-failwith -- demo *)\nlet f () = failwith \"ok\"\n"
@@ -247,6 +266,7 @@ let () =
           Alcotest.test_case "poly-compare-seq clean" `Quick test_lint_poly_compare_clean;
           Alcotest.test_case "hashtbl-order" `Quick test_lint_hashtbl_order;
           Alcotest.test_case "naked-failwith" `Quick test_lint_naked_failwith;
+          Alcotest.test_case "naked-print" `Quick test_lint_naked_print;
           Alcotest.test_case "suppression markers" `Quick test_lint_suppression;
           Alcotest.test_case "parse error" `Quick test_lint_parse_error;
           Alcotest.test_case "seeded violation" `Quick test_lint_seeded_tree_violation;

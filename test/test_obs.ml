@@ -1,0 +1,295 @@
+(* Tests for Smapp_obs: registry identity and gating, histogram bucket
+   boundaries, Prometheus and Chrome exporter goldens, trace-ring
+   eviction, the log sink, and — the property everything else leans on —
+   that turning instrumentation on does not change simulation results. *)
+
+module Metrics = Smapp_obs.Metrics
+module Trace = Smapp_obs.Trace
+module Log = Smapp_obs.Log
+module E = Smapp_experiments
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* Every test runs in one process against the global registry/ring, so
+   each uses metric names of its own and restores the switches it flips. *)
+let with_obs f =
+  let m = !Metrics.enabled and t = !Trace.enabled in
+  Metrics.enabled := true;
+  Trace.enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.enabled := m;
+      Trace.enabled := t)
+    f
+
+(* === metrics registry ======================================================== *)
+
+let test_counter_identity () =
+  with_obs (fun () ->
+      let a = Metrics.counter ~labels:[ ("dir", "up") ] "t_id_total" in
+      let b = Metrics.counter ~labels:[ ("dir", "up") ] "t_id_total" in
+      let other = Metrics.counter ~labels:[ ("dir", "down") ] "t_id_total" in
+      Metrics.incr a;
+      Metrics.incr a;
+      checki "same (name, labels) is the same metric" 2 (Metrics.value b);
+      checki "different labels are a different series" 0 (Metrics.value other);
+      Metrics.add a 3;
+      checki "add" 5 (Metrics.value a))
+
+let test_disabled_is_noop () =
+  let saved = !Metrics.enabled in
+  Metrics.enabled := false;
+  Fun.protect
+    ~finally:(fun () -> Metrics.enabled := saved)
+    (fun () ->
+      let c = Metrics.counter "t_gated_total" in
+      let g = Metrics.gauge "t_gated_gauge" in
+      let h = Metrics.histogram "t_gated_ns" in
+      Metrics.incr c;
+      Metrics.add c 10;
+      Metrics.set g 4.2;
+      Metrics.observe h 123.0;
+      checki "counter untouched" 0 (Metrics.value c);
+      checkf "gauge untouched" 0.0 (Metrics.gauge_value g);
+      checki "histogram untouched" 0 (Metrics.histogram_count h))
+
+let test_kind_mismatch () =
+  ignore (Metrics.counter "t_kind_total");
+  Alcotest.check_raises "gauge under a counter name"
+    (Invalid_argument "Metrics: t_kind_total already registered with a different kind")
+    (fun () -> ignore (Metrics.gauge "t_kind_total"))
+
+let test_histogram_buckets () =
+  with_obs (fun () ->
+      let h = Metrics.histogram ~base:10.0 ~growth:10.0 ~buckets:3 "t_buckets_ns" in
+      Alcotest.(check (array (float 1e-9)))
+        "bounds are base * growth^i"
+        [| 10.0; 100.0; 1000.0 |] (Metrics.bucket_bounds h);
+      Metrics.observe h 10.0;
+      (* le semantics: a value equal to a bound lands in that bound's bucket *)
+      Metrics.observe h 10.5;
+      Metrics.observe h 1000.0;
+      Metrics.observe h 5000.0;
+      Alcotest.(check (array int))
+        "per-bucket counts with trailing +Inf cell"
+        [| 1; 1; 1; 1 |] (Metrics.bucket_counts h);
+      checki "count" 4 (Metrics.histogram_count h);
+      checkf "sum" 6020.5 (Metrics.histogram_sum h))
+
+let test_clear_keeps_registrations () =
+  with_obs (fun () ->
+      let c = Metrics.counter "t_clear_total" in
+      Metrics.incr c;
+      Metrics.clear ();
+      checki "value zeroed" 0 (Metrics.value c);
+      checkb "registration survives" true
+        (List.exists (fun (n, _, _) -> n = "t_clear_total") (Metrics.families ()));
+      Metrics.incr c;
+      checki "handle still live after clear" 1 (Metrics.value c))
+
+let test_prometheus_golden () =
+  with_obs (fun () ->
+      let c =
+        Metrics.counter ~help:"requests seen" ~labels:[ ("dir", "up") ] "t_gold_total"
+      in
+      let h =
+        Metrics.histogram ~help:"latency" ~base:10.0 ~growth:10.0 ~buckets:2 "t_gold_ns"
+      in
+      Metrics.incr c;
+      Metrics.incr c;
+      Metrics.observe h 5.0;
+      Metrics.observe h 50.0;
+      Metrics.observe h 5000.0;
+      let expected =
+        "# HELP t_gold_total requests seen\n\
+         # TYPE t_gold_total counter\n\
+         t_gold_total{dir=\"up\"} 2\n\
+         # HELP t_gold_ns latency\n\
+         # TYPE t_gold_ns histogram\n\
+         t_gold_ns_bucket{le=\"10\"} 1\n\
+         t_gold_ns_bucket{le=\"100\"} 2\n\
+         t_gold_ns_bucket{le=\"+Inf\"} 3\n\
+         t_gold_ns_sum 5055\n\
+         t_gold_ns_count 3\n"
+      in
+      checks "exposition text"
+        expected
+        (Metrics.to_prometheus ~names:[ "t_gold_total"; "t_gold_ns" ] ()))
+
+(* === trace ring ============================================================== *)
+
+(* A hand-cranked clock so trace tests control every timestamp. *)
+let with_ring cap f =
+  let saved_cap = Trace.capacity () in
+  let t = ref 0 in
+  Trace.set_clock (fun () -> !t);
+  Trace.set_capacity cap;
+  with_obs (fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.set_capacity saved_cap;
+          Trace.set_clock (fun () -> 0))
+        (fun () -> f t))
+
+let test_ring_eviction () =
+  with_ring 4 (fun t ->
+      for i = 0 to 5 do
+        t := i * 1000;
+        Trace.instant ~cat:"test" (Printf.sprintf "e%d" i)
+      done;
+      checki "recorded counts evicted events too" 6 (Trace.recorded ());
+      checki "two fell off the front" 2 (Trace.dropped ());
+      Alcotest.(check (list string))
+        "survivors are the newest, oldest first"
+        [ "e2"; "e3"; "e4"; "e5" ]
+        (List.map (fun ev -> ev.Trace.ev_name) (Trace.events ())))
+
+let test_spans_and_summary () =
+  with_ring 64 (fun t ->
+      t := 1_000;
+      Trace.with_span ~cat:"c" "work" (fun () -> t := 3_000);
+      Trace.complete ~cat:"c" ~start_ns:5_000 ~end_ns:9_000 "work";
+      (match Trace.mean_duration_us ~cat:"c" ~name:"work" with
+      | Some m -> checkf "mean over both spans, in us" 3.0 m
+      | None -> Alcotest.fail "span not recorded");
+      checkb "absent span yields None" true
+        (Trace.mean_duration_us ~cat:"c" ~name:"nope" = None);
+      let summary = Trace.span_summary () in
+      (match List.assoc_opt "c:work" summary with
+      | Some s -> checki "summary count" 2 s.Smapp_stats.Summary.count
+      | None -> Alcotest.fail "no summary row");
+      let table = Trace.summary_table () in
+      checkb "table mentions the span" true
+        (contains ~sub:"c:work" table))
+
+let test_chrome_golden () =
+  with_ring 64 (fun t ->
+      t := 4_000;
+      Trace.complete ~cat:"c" ~start_ns:1_000 "s";
+      t := 5_000;
+      Trace.instant ~args:[ ("k", "v") ] ~cat:"c" "i1";
+      let expected =
+        "{\"traceEvents\":[\
+         {\"name\":\"s\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":1,\"pid\":1,\"tid\":1,\
+         \"dur\":3,\"args\":{}},\
+         {\"name\":\"i1\",\"cat\":\"c\",\"ph\":\"i\",\"ts\":5,\"pid\":1,\"tid\":1,\
+         \"s\":\"g\",\"args\":{\"k\":\"v\"}}\
+         ],\"displayTimeUnit\":\"ms\"}"
+      in
+      checks "trace_event JSON" expected (Trace.export_chrome ()))
+
+let test_timeline_render () =
+  with_ring 64 (fun t ->
+      t := 0;
+      Trace.complete ~cat:"c" ~start_ns:0 ~end_ns:1_000_000 "span";
+      t := 500_000;
+      Trace.instant ~cat:"c" "tick";
+      let art = Trace.timeline ~width:20 () in
+      checkb "span track drawn" true (contains ~sub:"c:span" art);
+      checkb "span bar drawn" true (contains ~sub:"====" art);
+      checkb "instant tick drawn" true (contains ~sub:"|" art))
+
+let test_disabled_records_nothing () =
+  with_ring 8 (fun t ->
+      Trace.enabled := false;
+      t := 1_000;
+      Trace.instant ~cat:"test" "invisible";
+      Trace.complete ~cat:"test" ~start_ns:0 "also-invisible";
+      let ran = ref false in
+      Trace.with_span ~cat:"test" "still-runs" (fun () -> ran := true);
+      checkb "with_span runs the thunk when disabled" true !ran;
+      checki "nothing recorded" 0 (Trace.recorded ());
+      Trace.enabled := true)
+
+(* === log ===================================================================== *)
+
+let test_log_sink_and_levels () =
+  let captured = ref [] in
+  Log.set_sink (fun l s -> captured := (l, s) :: !captured);
+  let saved_level = Log.level () in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.reset_sink ();
+      Log.set_level saved_level)
+    (fun () ->
+      Log.set_level Log.Warn;
+      let built = ref false in
+      Log.debug (fun () ->
+          built := true;
+          "hidden");
+      checkb "below-threshold message never built" false !built;
+      Log.warn (fun () -> "slow");
+      Log.error (fun () -> "bad");
+      Alcotest.(check (list string))
+        "sink saw the enabled levels, newest first" [ "bad"; "slow" ]
+        (List.map snd !captured);
+      Log.set_level Log.Debug;
+      Log.debug (fun () -> "now visible");
+      checki "threshold change takes effect" 3 (List.length !captured))
+
+(* === determinism ============================================================= *)
+
+(* The acceptance property behind the overhead budget: instrumentation only
+   reads simulation state, so the same seeded run must produce bit-identical
+   results with tracing+metrics off and on. *)
+let test_instrumentation_is_inert () =
+  let run () =
+    E.Fig3.run ~seed:7 ~requests:20 ~file_bytes:(32 * 1024)
+      ~variant:E.Fig3.Userspace ()
+  in
+  let saved_m = !Metrics.enabled and saved_t = !Trace.enabled in
+  Metrics.enabled := false;
+  Trace.enabled := false;
+  let plain = run () in
+  Trace.clear ();
+  Metrics.enabled := true;
+  Trace.enabled := true;
+  let traced = run () in
+  Metrics.enabled := saved_m;
+  Trace.enabled := saved_t;
+  checki "same completions" plain.E.Fig3.requests_completed
+    traced.E.Fig3.requests_completed;
+  Alcotest.(check (list (float 0.0)))
+    "bit-identical join delays with tracing on"
+    plain.E.Fig3.delays traced.E.Fig3.delays;
+  checkb "and the traced run actually recorded something" true
+    (Trace.recorded () > 0);
+  Trace.clear ()
+
+let () =
+  Alcotest.run "smapp_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "handle identity" `Quick test_counter_identity;
+          Alcotest.test_case "disabled updates are no-ops" `Quick test_disabled_is_noop;
+          Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch;
+          Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "clear keeps registrations" `Quick
+            test_clear_keeps_registrations;
+          Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "spans and summary" `Quick test_spans_and_summary;
+          Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
+          Alcotest.test_case "timeline render" `Quick test_timeline_render;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+        ] );
+      ("log", [ Alcotest.test_case "sink and levels" `Quick test_log_sink_and_levels ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "tracing does not perturb the sim" `Quick
+            test_instrumentation_is_inert;
+        ] );
+    ]
