@@ -13,6 +13,23 @@ module Stats = Smapp_stats
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let full = Array.exists (( = ) "--full") Sys.argv
 
+(* -j N / --jobs N: run the experiment sweeps across N domains. Default 1:
+   plain sequential, no pool, the historical behaviour. The sweeps are
+   deterministic either way — a parallel run returns byte-identical
+   results (the [par] section measures and checks exactly that). *)
+let jobs =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then 1
+    else if Sys.argv.(i) = "-j" || Sys.argv.(i) = "--jobs" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> invalid_arg "bench: -j expects a positive domain count"
+    else find (i + 1)
+  in
+  find 1
+
+let pool = if jobs > 1 then Some (Smapp_par.Pool.create ~domains:jobs) else None
+
 let scale ~q ~d ~f = if quick then q else if full then f else d
 
 (* --- machine-readable output (BENCH.json) ------------------------------- *)
@@ -145,14 +162,14 @@ let fig2b () =
   let seeds = E.Harness.seeds runs in
   List.iter
     (fun loss ->
-      let fm = E.Fig2b.run ~seeds ~blocks ~loss ~variant:E.Fig2b.Default_fullmesh () in
+      let fm = E.Fig2b.run ?pool ~seeds ~blocks ~loss ~variant:E.Fig2b.Default_fullmesh () in
       cdf_row
         (Printf.sprintf "fullmesh %.0f%%" (loss *. 100.))
         fm.E.Fig2b.delays)
     [ 0.10; 0.20; 0.30; 0.40 ];
   List.iter
     (fun loss ->
-      let sm = E.Fig2b.run ~seeds ~blocks ~loss ~variant:E.Fig2b.Smart_stream () in
+      let sm = E.Fig2b.run ?pool ~seeds ~blocks ~loss ~variant:E.Fig2b.Smart_stream () in
       cdf_row
         (Printf.sprintf "smart-stream %.0f%%" (loss *. 100.))
         sm.E.Fig2b.delays)
@@ -178,7 +195,7 @@ let fig2c () =
     (100.0 /. float_of_int mb);
   let seeds = E.Harness.seeds runs in
   let show variant =
-    let r = E.Fig2c.run ~seeds ~file_bytes ~variant () in
+    let r = E.Fig2c.run ?pool ~seeds ~file_bytes ~variant () in
     let name = E.Fig2c.variant_name variant in
     (match r.E.Fig2c.completion_times with
     | [] -> ()
@@ -213,9 +230,18 @@ let fig3 () =
   Printf.printf
     "paper (1000 GETs of 512 KB): the userspace manager adds ~23 us on average,\n\
      and stays within +37 us under CPU stress. this run: %d GETs.\n\n" requests;
-  let kernel = E.Fig3.run ~requests ~variant:E.Fig3.Kernel () in
-  let user = E.Fig3.run ~requests ~variant:E.Fig3.Userspace () in
-  let stressed = E.Fig3.run ~requests ~stress:1.5 ~variant:E.Fig3.Userspace () in
+  let kernel, user, stressed =
+    match
+      E.Fig3.sweep ?pool
+        [
+          (E.Fig3.Kernel, 1.0, requests);
+          (E.Fig3.Userspace, 1.0, requests);
+          (E.Fig3.Userspace, 1.5, requests);
+        ]
+    with
+    | [ kernel; user; stressed ] -> (kernel, user, stressed)
+    | _ -> assert false
+  in
   let ms l = List.map (fun d -> d *. 1000.) l in
   cdf_row "kernel (ms)" (ms kernel.E.Fig3.delays);
   cdf_row "userspace (ms)" (ms user.E.Fig3.delays);
@@ -247,17 +273,16 @@ let fig3 () =
   metric "breakdown_vs_measured_ratio"
     (if b.E.Fig3.b_extra_us = 0.0 then 0.0 else model /. b.E.Fig3.b_extra_us);
   subbanner "ablation: netlink channel latency sweep";
-  List.iter
-    (fun us ->
-      let r =
-        E.Fig3.run ~requests:(min requests 200)
-          ~variant:E.Fig3.Userspace
-          ~stress:(float_of_int us /. 12.0)
-          ()
-      in
+  let crossings = [ 6; 12; 24; 48 ] in
+  List.iter2
+    (fun us r ->
       let mean_ms = mean r.E.Fig3.delays *. 1000. in
       Printf.printf "  crossing ~%2d us -> mean CAPA-JOIN delay %.3f ms\n" us mean_ms)
-    [ 6; 12; 24; 48 ]
+    crossings
+    (E.Fig3.sweep ?pool
+       (List.map
+          (fun us -> (E.Fig3.Userspace, float_of_int us /. 12.0, min requests 200))
+          crossings))
 
 (* ------------------------------------------------------------- fullmesh *)
 
@@ -298,7 +323,7 @@ let chaos () =
         | None -> "NEVER")
         r.E.Chaos.duplicate_subflows r.E.Chaos.retries r.E.Chaos.resyncs
         r.E.Chaos.gaps_detected r.E.Chaos.dropped)
-    (E.Chaos.run_grid ~seeds ~drops ());
+    (E.Chaos.run_grid ?pool ~seeds ~drops ());
   let w = E.Chaos.run_watchdog () in
   Printf.printf
     "  watchdog: fallback=%b (x%d) kernel_subflows=%d bytes %d -> %d (%s)\n"
@@ -315,8 +340,9 @@ let scheduler_ablation () =
   (* lowest-RTT vs round-robin with both subflows open, 20% loss on path 0 *)
   let run_sched name make_sched =
     let delays =
-      List.concat_map
-        (fun seed ->
+      List.concat
+      @@ E.Harness.sweep ?pool
+           (fun seed ->
           let open Smapp_netsim in
           let open Smapp_mptcp in
           let pair = E.Harness.make_pair ~seed () in
@@ -392,6 +418,50 @@ let workload () =
       let cdf = Stats.Cdf.of_samples samples in
       metric "fct_p50_s" (Stats.Cdf.quantile cdf 0.5);
       metric "fct_p90_s" (Stats.Cdf.quantile cdf 0.9))
+
+(* ---------------------------------------------------- parallel sweeps *)
+
+(* The same fig2c refresh sweep, sequentially and across a 4-domain pool:
+   the results must be structurally equal (the sweep is deterministic and
+   ordered), and the wall-time ratio is the measured speedup. On a
+   single-core host the pool still runs correctly but the domains time-slice
+   one core, so the honest speedup there is ~1x or below. *)
+let par_bench () =
+  banner "Parallel sweep — deterministic fig2c across domains (Smapp_par)";
+  let runs = scale ~q:4 ~d:8 ~f:12 in
+  let mb = scale ~q:4 ~d:15 ~f:40 in
+  let seeds = E.Harness.seeds runs in
+  let file_bytes = mb * 1_000_000 in
+  let domains = max 4 jobs in
+  let available = Domain.recommended_domain_count () in
+  Printf.printf
+    "fig2c refresh sweep: %d seeds x %d MB, sequential vs %d domains\n\
+     (host offers %d domain%s; speedup needs real cores)\n\n"
+    runs mb domains available
+    (if available = 1 then "" else "s");
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sweep p () = E.Fig2c.run ?pool:p ~seeds ~file_bytes ~variant:E.Fig2c.Refresh () in
+  let seq_r, seq_s = timed (sweep None) in
+  let p = Smapp_par.Pool.create ~domains in
+  let par_r, par_s = timed (sweep (Some p)) in
+  Smapp_par.Pool.shutdown p;
+  let identical = seq_r = par_r in
+  let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
+  Printf.printf "sequential: %.2f s wall\n%d domains:  %.2f s wall -> speedup x%.2f\n"
+    seq_s domains par_s speedup;
+  Printf.printf "results %s\n"
+    (if identical then "byte-identical (ordered merge, isolated scopes)"
+     else "DIFFER — determinism broken!");
+  metric "seq_wall_s" seq_s;
+  metric "par_wall_s" par_s;
+  metric "speedup" speedup;
+  metric "domains" (float_of_int domains);
+  metric "domains_available" (float_of_int available);
+  metric "identical" (if identical then 1.0 else 0.0)
 
 (* -------------------------------------------- conformance-hook overhead *)
 
@@ -595,6 +665,7 @@ let () =
   section "fullmesh" fullmesh;
   section "chaos" chaos;
   section "workload" workload;
+  section "par" par_bench;
   section "check" check_overhead;
   section "obs" obs_overhead;
   section "microbench" microbench;

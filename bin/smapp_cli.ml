@@ -20,6 +20,34 @@ let with_obs f =
       Obs.Trace.enabled := saved_t)
     f
 
+(* -j N / --jobs N: run the experiment's independent sweeps across N domains
+   (default 1: plain sequential, no pool). Results are identical either way —
+   the pool merges in submission order and each job runs inside an isolated
+   observability scope. That isolation is also why tracing forces a
+   sequential run: a pooled job's trace events live in its private scope and
+   would never reach the exported file. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Run the experiment's independent sweeps across $(docv) domains.")
+
+let with_pool ?(tracing = false) jobs f =
+  if jobs < 1 then invalid_arg "--jobs expects a positive domain count";
+  if tracing && jobs > 1 then begin
+    Printf.printf
+      "note: --trace forces a sequential run (pooled jobs trace into \
+       per-domain scopes, away from the exported buffer)\n";
+    f None
+  end
+  else if jobs = 1 then f None
+  else begin
+    let pool = Smapp_par.Pool.create ~domains:jobs in
+    Fun.protect
+      ~finally:(fun () -> Smapp_par.Pool.shutdown pool)
+      (fun () -> f (Some pool))
+  end
+
 let write_trace out =
   Obs.Trace.export_chrome_file out;
   Printf.printf "wrote %d trace events (%d evicted) to %s — load in chrome://tracing or ui.perfetto.dev\n"
@@ -65,13 +93,14 @@ let fig2a_cmd =
 
 (* --- fig2b ------------------------------------------------------------------ *)
 
-let run_fig2b runs blocks =
+let run_fig2b runs blocks jobs =
+  with_pool jobs @@ fun pool ->
   let seeds = E.Harness.seeds runs in
   Printf.printf "Fig 2b: CDF of 64KB block completion time (%d runs x %d blocks)\n" runs
     blocks;
   let losses = [ 0.10; 0.20; 0.30; 0.40 ] in
   let curve variant loss =
-    let r = E.Fig2b.run ~seeds ~blocks ~loss ~variant () in
+    let r = E.Fig2b.run ?pool ~seeds ~blocks ~loss ~variant () in
     ( Printf.sprintf "%s %d%%" (E.Fig2b.variant_name variant) (int_of_float (loss *. 100.)),
       r.E.Fig2b.delays )
   in
@@ -89,17 +118,18 @@ let fig2b_cmd =
   let runs = Arg.(value & opt int 5 & info [ "runs" ] ~doc:"Seeds per curve.") in
   let blocks = Arg.(value & opt int 30 & info [ "blocks" ] ~doc:"Blocks per run.") in
   Cmd.v (Cmd.info "fig2b" ~doc:"Smart streaming CDFs (Fig 2b)")
-    Term.(const run_fig2b $ runs $ blocks)
+    Term.(const run_fig2b $ runs $ blocks $ jobs_arg)
 
 (* --- fig2c ------------------------------------------------------------------ *)
 
-let run_fig2c runs mb =
+let run_fig2c runs mb jobs =
+  with_pool jobs @@ fun pool ->
   let file_bytes = mb * 1_000_000 in
   let seeds = E.Harness.seeds runs in
   Printf.printf "Fig 2c: CDF of %d MB completion times over 4 ECMP paths, 5 subflows (%d runs)\n"
     mb runs;
   let show variant =
-    let r = E.Fig2c.run ~seeds ~file_bytes ~variant () in
+    let r = E.Fig2c.run ?pool ~seeds ~file_bytes ~variant () in
     Printf.printf "%s: paths used per run: %s\n"
       (E.Fig2c.variant_name variant)
       (String.concat "," (List.map string_of_int r.E.Fig2c.paths_used_final));
@@ -122,18 +152,27 @@ let fig2c_cmd =
   let runs = Arg.(value & opt int 20 & info [ "runs" ] ~doc:"Runs per variant.") in
   let mb = Arg.(value & opt int 100 & info [ "mb" ] ~doc:"File size in MB.") in
   Cmd.v (Cmd.info "fig2c" ~doc:"ECMP refresh controller vs ndiffports (Fig 2c)")
-    Term.(const run_fig2c $ runs $ mb)
+    Term.(const run_fig2c $ runs $ mb $ jobs_arg)
 
 (* --- fig3 ------------------------------------------------------------------- *)
 
-let run_fig3 requests stress =
+let run_fig3 requests stress jobs =
+  with_pool jobs @@ fun pool ->
   Printf.printf "Fig 3: CAPA-SYN to JOIN-SYN delay, %d HTTP GETs of 512 KB\n" requests;
-  let show variant stress =
-    let r = E.Fig3.run ~requests ~stress ~variant () in
+  (* the kernel / userspace / stressed runs are independent simulations:
+     sweep them together so a pool can spread them over domains *)
+  let specs =
+    [ (E.Fig3.Kernel, 1.0, requests); (E.Fig3.Userspace, 1.0, requests) ]
+    @ (if stress > 1.0 then [ (E.Fig3.Userspace, stress, requests) ] else [])
+  in
+  let show r =
     let delays_ms = List.map (fun d -> d *. 1000.0) r.E.Fig3.delays in
     let label =
-      if stress = 1.0 then E.Fig3.variant_name variant
-      else Printf.sprintf "%s (stress x%.1f)" (E.Fig3.variant_name variant) stress
+      if r.E.Fig3.stress = 1.0 then E.Fig3.variant_name r.E.Fig3.variant
+      else
+        Printf.sprintf "%s (stress x%.1f)"
+          (E.Fig3.variant_name r.E.Fig3.variant)
+          r.E.Fig3.stress
     in
     (match delays_ms with
     | [] -> Printf.printf "%s: no joins observed!\n" label
@@ -143,17 +182,17 @@ let run_fig3 requests stress =
           s.Stats.Summary.count s.Stats.Summary.mean s.Stats.Summary.stddev);
     (label, delays_ms)
   in
-  let kernel = show E.Fig3.Kernel 1.0 in
-  let user = show E.Fig3.Userspace 1.0 in
+  let kernel, user, stressed =
+    match List.map show (E.Fig3.sweep ?pool specs) with
+    | kernel :: user :: stressed -> (kernel, user, stressed)
+    | _ -> assert false (* sweep preserves length; specs has >= 2 entries *)
+  in
   (match (kernel, user) with
-  | (_, k :: _ as _a), (_, u :: _) ->
-      ignore k;
-      ignore u;
+  | (_, _ :: _), (_, _ :: _) ->
       let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
       Printf.printf "userspace adds %.1f us on average (paper: ~23 us)\n"
         ((mean (snd user) -. mean (snd kernel)) *. 1000.0)
   | _ -> ());
-  let stressed = if stress > 1.0 then [ show E.Fig3.Userspace stress ] else [] in
   let cdfs =
     List.filter_map
       (fun (name, delays) ->
@@ -179,7 +218,7 @@ let fig3_cmd =
     Arg.(value & opt float 1.6 & info [ "stress" ] ~doc:"CPU stress multiplier.")
   in
   Cmd.v (Cmd.info "fig3" ~doc:"Kernel vs userspace PM latency (Fig 3)")
-    Term.(const run_fig3 $ requests $ stress)
+    Term.(const run_fig3 $ requests $ stress $ jobs_arg)
 
 (* --- backoff ----------------------------------------------------------------- *)
 
@@ -238,11 +277,12 @@ let pp_convergence r =
     r.E.Chaos.retries r.E.Chaos.resyncs r.E.Chaos.gaps_detected r.E.Chaos.dropped
     r.E.Chaos.duplicated r.E.Chaos.overflowed r.E.Chaos.duplicate_commands
 
-let run_chaos seed drop grid trace =
+let run_chaos seed drop grid jobs trace =
+  with_pool ~tracing:(trace <> None) jobs @@ fun pool ->
   let body () =
     Printf.printf
       "Chaos: fullmesh controller over a lossy Netlink channel + daemon restart\n";
-    if grid then List.iter pp_convergence (E.Chaos.run_grid ())
+    if grid then List.iter pp_convergence (E.Chaos.run_grid ?pool ())
     else pp_convergence (E.Chaos.run_convergence ~seed ~drop ());
     Printf.printf "\nWatchdog: daemon lost for good at t=5s\n";
     let w = E.Chaos.run_watchdog ~seed () in
@@ -279,7 +319,7 @@ let chaos_cmd =
   in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Control-plane fault injection: convergence and watchdog")
-    Term.(const run_chaos $ seed $ drop $ grid $ trace_arg)
+    Term.(const run_chaos $ seed $ drop $ grid $ jobs_arg $ trace_arg)
 
 (* --- workload ----------------------------------------------------------------- *)
 
@@ -317,8 +357,9 @@ let flow_dist_conv =
 let controller_conv =
   Arg.enum [ ("none", `None); ("fullmesh", `Fullmesh); ("backup", `Backup) ]
 
-let run_workload conns arrival_rate flow_dist controller clients servers paths seed trace
-    =
+let run_workload conns arrival_rate flow_dist controller clients servers paths seed runs
+    jobs trace =
+  with_pool ~tracing:(trace <> None) jobs @@ fun pool ->
   let open Smapp_workload in
   let config =
     {
@@ -333,29 +374,39 @@ let run_workload conns arrival_rate flow_dist controller clients servers paths s
       seed;
     }
   in
+  if runs < 1 then invalid_arg "--runs expects a positive count";
   Printf.printf
-    "workload: %d conns at %g/s, %d clients x %d servers x %d paths, seed %d\n"
-    conns arrival_rate clients servers paths seed;
-  let run () =
-    let r = Workload.run config in
+    "workload: %d conns at %g/s, %d clients x %d servers x %d paths, seed %d%s\n"
+    conns arrival_rate clients servers paths seed
+    (if runs > 1 then Printf.sprintf " (x%d runs)" runs else "");
+  let seeds = List.init runs (fun i -> seed + i) in
+  let run_all () =
+    let rs =
+      if runs = 1 then [ Workload.run config ]
+      else Workload.run_many ?pool ~seeds config
+    in
     (match trace with Some out -> write_trace out | None -> ());
-    r
+    rs
   in
-  let r = match trace with None -> run () | Some _ -> with_obs run in
-  Printf.printf "completed %d/%d (peak %d concurrent), %d bytes total\n"
-    r.Workload.completed r.Workload.launched r.Workload.peak_concurrent
-    r.Workload.bytes_total;
-  Printf.printf "controller: %d subflows created, %d failovers\n"
-    r.Workload.subflows_created r.Workload.failovers;
-  Printf.printf "simulated %.2f s in %.2f s wall; %d events -> %.0f events/s\n"
-    r.Workload.sim_duration_s r.Workload.wall_s r.Workload.engine_events
-    r.Workload.events_per_sec;
-  (match r.Workload.fcts with
+  let rs = match trace with None -> run_all () | Some _ -> with_obs run_all in
+  List.iter2
+    (fun run_seed r ->
+      if runs > 1 then Printf.printf "\n[seed %d]\n" run_seed;
+      Printf.printf "completed %d/%d (peak %d concurrent), %d bytes total\n"
+        r.Workload.completed r.Workload.launched r.Workload.peak_concurrent
+        r.Workload.bytes_total;
+      Printf.printf "controller: %d subflows created, %d failovers\n"
+        r.Workload.subflows_created r.Workload.failovers;
+      Printf.printf "simulated %.2f s in %.2f s wall; %d events -> %.0f events/s\n"
+        r.Workload.sim_duration_s r.Workload.wall_s r.Workload.engine_events
+        r.Workload.events_per_sec)
+    seeds rs;
+  (match List.concat_map (fun r -> r.Workload.fcts) rs with
   | [] -> ()
   | samples ->
       print_cdf_table "flow completion times (s)"
         [ ("fct", Stats.Cdf.of_samples samples) ]);
-  if r.Workload.completed < r.Workload.launched then exit 1
+  if List.exists (fun r -> r.Workload.completed < r.Workload.launched) rs then exit 1
 
 let workload_cmd =
   let conns =
@@ -382,12 +433,17 @@ let workload_cmd =
   let servers = Arg.(value & opt int 4 & info [ "servers" ] ~doc:"Server hosts.") in
   let paths = Arg.(value & opt int 2 & info [ "paths" ] ~doc:"Disjoint paths.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let runs =
+    Arg.(
+      value & opt int 1
+      & info [ "runs" ] ~doc:"Repeat with consecutive seeds; FCTs are pooled.")
+  in
   Cmd.v
     (Cmd.info "workload"
        ~doc:"Scale-out traffic: many connections under per-connection controllers")
     Term.(
       const run_workload $ conns $ arrival_rate $ flow_dist $ controller $ clients
-      $ servers $ paths $ seed $ trace_arg)
+      $ servers $ paths $ seed $ runs $ jobs_arg $ trace_arg)
 
 (* --- check: the correctness tooling ----------------------------------------- *)
 

@@ -132,15 +132,19 @@ let run_convergence ?(controller = `Fullmesh) ?(seed = 42) ?(drop = 0.05)
     duplicate_commands = Kernel_pm.duplicate_commands setup.Setup.kernel_pm;
   }
 
-let run_grid ?(controllers = [ `Fullmesh; `Backup ]) ?(seeds = Harness.seeds 5)
+let run_grid ?pool ?(controllers = [ `Fullmesh; `Backup ]) ?(seeds = Harness.seeds 5)
     ?(drops = [ 0.0; 0.01; 0.05; 0.10 ]) () =
-  List.concat_map
-    (fun controller ->
-      List.concat_map
-        (fun drop ->
-          List.map (fun seed -> run_convergence ~controller ~seed ~drop ()) seeds)
-        drops)
-    controllers
+  let cells =
+    List.concat_map
+      (fun controller ->
+        List.concat_map
+          (fun drop -> List.map (fun seed -> (controller, drop, seed)) seeds)
+          drops)
+      controllers
+  in
+  Harness.sweep ?pool
+    (fun (controller, drop, seed) -> run_convergence ~controller ~seed ~drop ())
+    cells
 
 type watchdog_result = {
   w_fallback_active : bool;

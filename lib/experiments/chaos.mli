@@ -49,6 +49,7 @@ val run_convergence :
     controller keeps no public view). *)
 
 val run_grid :
+  ?pool:Smapp_par.Pool.t ->
   ?controllers:controller list ->
   ?seeds:int list ->
   ?drops:float list ->
@@ -56,7 +57,8 @@ val run_grid :
   convergence_result list
 (** {!run_convergence} over a (controller x drop rate x seed) grid;
     defaults both controllers x 4 drop rates [[0; 0.01; 0.05; 0.10]] x 5
-    seeds. *)
+    seeds. Cells run across [pool]'s domains when given, results in grid
+    order either way. *)
 
 type watchdog_result = {
   w_fallback_active : bool;

@@ -70,9 +70,9 @@ let run_once ~seed ~blocks ~loss ~variant =
   | Some r -> Smapp_apps.Stream_app.block_delays r
   | None -> []
 
-let run ?(seeds = Harness.seeds 5) ?(blocks = 30) ~loss ~variant () =
+let run ?pool ?(seeds = Harness.seeds 5) ?(blocks = 30) ~loss ~variant () =
   let delays =
-    List.concat_map (fun seed -> run_once ~seed ~blocks ~loss ~variant) seeds
+    List.concat (Harness.sweep ?pool (fun seed -> run_once ~seed ~blocks ~loss ~variant) seeds)
   in
   {
     loss;

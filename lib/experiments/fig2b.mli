@@ -23,7 +23,13 @@ type result = {
 }
 
 val run :
-  ?seeds:int list -> ?blocks:int -> loss:float -> variant:variant -> unit -> result
+  ?pool:Smapp_par.Pool.t ->
+  ?seeds:int list ->
+  ?blocks:int ->
+  loss:float ->
+  variant:variant ->
+  unit ->
+  result
 (** Aggregates block delays over the given seeds (default 5 runs of 30
     blocks). Loss is applied to the initial path in both directions from the
-    start of the run. *)
+    start of the run. Seeds run across [pool]'s domains when given. *)

@@ -51,10 +51,12 @@ let run_once ~seed ~file_bytes ~subflows ~paths ~cc ~variant =
   in
   (completion, paths_used)
 
-let run ?(seeds = Harness.seeds 20) ?(file_bytes = 100_000_000) ?(subflows = 5)
+let run ?pool ?(seeds = Harness.seeds 20) ?(file_bytes = 100_000_000) ?(subflows = 5)
     ?(paths = 4) ?(cc = Smapp_tcp.Cc.Reno) ~variant () =
   let outcomes =
-    List.map (fun seed -> run_once ~seed ~file_bytes ~subflows ~paths ~cc ~variant) seeds
+    Harness.sweep ?pool
+      (fun seed -> run_once ~seed ~file_bytes ~subflows ~paths ~cc ~variant)
+      seeds
   in
   {
     variant;

@@ -20,6 +20,7 @@ type result = {
 }
 
 val run :
+  ?pool:Smapp_par.Pool.t ->
   ?seeds:int list ->
   ?file_bytes:int ->
   ?subflows:int ->

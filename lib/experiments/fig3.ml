@@ -46,6 +46,14 @@ let run ?(seed = 42) ?(requests = 1000) ?(file_bytes = 512 * 1024) ?(stress = 1.
   in
   { variant; stress; delays = Harness.Syn_tap.join_delays tap; requests_completed = completed }
 
+(* One job per (variant, stress, requests) triple: the kernel / userspace /
+   stressed runs the figure compares are independent simulations, so they
+   sweep like seeds do. *)
+let sweep ?pool specs =
+  Harness.sweep ?pool
+    (fun (variant, stress, requests) -> run ~requests ~stress ~variant ())
+    specs
+
 (* --- traced decomposition of the kernel-vs-userspace gap --------------------
 
    The userspace controller itself runs in zero simulated time, so its extra

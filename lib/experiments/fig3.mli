@@ -27,6 +27,12 @@ val run :
   ?seed:int -> ?requests:int -> ?file_bytes:int -> ?stress:float -> variant:variant -> unit -> result
 (** Defaults: 1000 requests of 512 KB, stress 1.0. *)
 
+val sweep :
+  ?pool:Smapp_par.Pool.t -> (variant * float * int) list -> result list
+(** One {!run} per [(variant, stress, requests)] triple — the independent
+    runs the figure compares — across [pool]'s domains when given,
+    results in submission order. *)
+
 type breakdown = {
   b_extra_us : float;  (** measured userspace-minus-kernel mean gap, µs *)
   b_up_us : float;  (** mean kernel->user Netlink crossing, µs *)

@@ -7,8 +7,9 @@ let threshold = ref Warn
 let set_level l = threshold := l
 let level () = !threshold
 
-let emitted_count = ref 0
-let emitted () = !emitted_count
+(* Atomic: sweep worker domains may emit concurrently. *)
+let emitted_count = Atomic.make 0
+let emitted () = Atomic.get emitted_count
 
 (* The default sink is the one place in lib/** allowed to write raw stderr:
    every other module routes diagnostics through [msg]/[debug]/... so a host
@@ -26,7 +27,7 @@ let enabled_for l = severity l >= severity !threshold
 
 let msg l s =
   if enabled_for l then begin
-    incr emitted_count;
+    Atomic.incr emitted_count;
     !sink l s
   end
 

@@ -1,27 +1,34 @@
-(* A process-wide registry of counters, gauges and log-bucketed histograms
-   with static labels.
+(* A metrics registry of counters, gauges and log-bucketed histograms with
+   static labels.
 
    Discipline: instrument-and-forget. Handles are created once at module
-   initialisation (registration is unconditional and cheap); every update
-   entry point ([incr]/[add]/[set]/[observe]) is a load of [enabled] and a
-   fall-through branch when observability is off — the same pattern as
-   [Tcb.checks_enabled], held to its budget by the bench's [obs] section. *)
+   initialisation (registration is unconditional, cheap and process-wide);
+   every update entry point ([incr]/[add]/[set]/[observe]) is a load of
+   [enabled] and a fall-through branch when observability is off — the same
+   pattern as [Tcb.checks_enabled], held to its budget by the bench's [obs]
+   section.
+
+   Identity vs. state: a handle is pure identity (name, labels, bucket
+   geometry, slot). The *values* live in a scope — an array of cells indexed
+   by the handle's slot — and the current scope is domain-local state. Each
+   domain starts with its own root scope, so parallel sweep workers never
+   write to each other's cells, and [Smapp_par.Ctx] installs a fresh scope
+   per job with [Scope.with_scope] so sequential and parallel runs observe
+   byte-identical values. *)
 
 type labels = (string * string) list
 
 let enabled = ref false
 
-type counter = { c_name : string; c_labels : labels; mutable c_value : int }
-type gauge = { g_name : string; g_labels : labels; mutable g_value : float }
+type counter = { c_name : string; c_labels : labels; c_slot : int }
+type gauge = { g_name : string; g_labels : labels; g_slot : int }
 
 type histogram = {
   h_name : string;
   h_labels : labels;
   h_bounds : float array; (* ascending upper bounds; observations above the
                              last bound land in an implicit +Inf bucket *)
-  h_counts : int array; (* length = Array.length h_bounds + 1 *)
-  mutable h_sum : float;
-  mutable h_total : int;
+  h_slot : int;
 }
 
 type metric = M_counter of counter | M_gauge of gauge | M_histogram of histogram
@@ -36,39 +43,53 @@ let metric_labels = function
   | M_gauge g -> g.g_labels
   | M_histogram h -> h.h_labels
 
+(* --- registry (shared, mutex-guarded) ----------------------------------------- *)
+
 (* Registration order is the export order, so the text exposition is
-   deterministic (Hashtbl iteration never escapes). *)
+   deterministic (Hashtbl iteration never escapes). Handles are registered
+   from module initialisers on the main domain, but the lock keeps late
+   registration from a worker domain safe too. *)
+let lock = Mutex.create ()
 let registered : metric list ref = ref []
 let index : (string * labels, metric) Hashtbl.t = Hashtbl.create 64
 let help_of : (string, string) Hashtbl.t = Hashtbl.create 64
+let next_slot = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let register ~help name labels make =
-  (match Hashtbl.find_opt help_of name with
-  | None -> Hashtbl.replace help_of name help
-  | Some existing -> if existing = "" && help <> "" then Hashtbl.replace help_of name help);
-  match Hashtbl.find_opt index (name, labels) with
-  | Some m -> m
-  | None ->
-      let m = make () in
-      Hashtbl.replace index (name, labels) m;
-      registered := !registered @ [ m ];
-      m
+  locked (fun () ->
+      (match Hashtbl.find_opt help_of name with
+      | None -> Hashtbl.replace help_of name help
+      | Some existing ->
+          if existing = "" && help <> "" then Hashtbl.replace help_of name help);
+      match Hashtbl.find_opt index (name, labels) with
+      | Some m -> m
+      | None ->
+          let slot = !next_slot in
+          incr next_slot;
+          let m = make slot in
+          Hashtbl.replace index (name, labels) m;
+          registered := !registered @ [ m ];
+          m)
 
 let kind_mismatch name =
   invalid_arg ("Metrics: " ^ name ^ " already registered with a different kind")
 
 let counter ?(help = "") ?(labels = []) name =
   match
-    register ~help name labels (fun () ->
-        M_counter { c_name = name; c_labels = labels; c_value = 0 })
+    register ~help name labels (fun slot ->
+        M_counter { c_name = name; c_labels = labels; c_slot = slot })
   with
   | M_counter c -> c
   | M_gauge _ | M_histogram _ -> kind_mismatch name
 
 let gauge ?(help = "") ?(labels = []) name =
   match
-    register ~help name labels (fun () ->
-        M_gauge { g_name = name; g_labels = labels; g_value = 0.0 })
+    register ~help name labels (fun slot ->
+        M_gauge { g_name = name; g_labels = labels; g_slot = slot })
   with
   | M_gauge g -> g
   | M_counter _ | M_histogram _ -> kind_mismatch name
@@ -83,26 +104,94 @@ let histogram ?(help = "") ?(labels = []) ?(base = default_base)
   if growth <= 1.0 then invalid_arg "Metrics.histogram: growth must exceed 1";
   if buckets < 1 then invalid_arg "Metrics.histogram: need at least one bucket";
   match
-    register ~help name labels (fun () ->
+    register ~help name labels (fun slot ->
         let bounds = Array.init buckets (fun i -> base *. (growth ** float_of_int i)) in
-        M_histogram
-          {
-            h_name = name;
-            h_labels = labels;
-            h_bounds = bounds;
-            h_counts = Array.make (buckets + 1) 0;
-            h_sum = 0.0;
-            h_total = 0;
-          })
+        M_histogram { h_name = name; h_labels = labels; h_bounds = bounds; h_slot = slot })
   with
   | M_histogram h -> h
   | M_counter _ | M_gauge _ -> kind_mismatch name
 
+(* --- scopes: where the values live --------------------------------------------- *)
+
+type counter_cell = { mutable cc_value : int }
+type gauge_cell = { mutable cg_value : float }
+type hist_cell = { ch_counts : int array; mutable ch_sum : float; mutable ch_total : int }
+type cell = Cell_counter of counter_cell | Cell_gauge of gauge_cell | Cell_hist of hist_cell
+
+module Scope = struct
+  (* Cells are created lazily on first touch so a scope built before a late
+     registration still works; the array only ever grows. *)
+  type t = { mutable cells : cell option array }
+
+  let create () = { cells = Array.make (max 16 !next_slot) None }
+
+  let key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> create ())
+  let current () = Domain.DLS.get key
+
+  let with_scope scope f =
+    let prev = Domain.DLS.get key in
+    Domain.DLS.set key scope;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+
+  let ensure scope slot mk =
+    let n = Array.length scope.cells in
+    if slot >= n then begin
+      let grown = Array.make (max (slot + 1) (2 * n)) None in
+      Array.blit scope.cells 0 grown 0 n;
+      scope.cells <- grown
+    end;
+    match scope.cells.(slot) with
+    | Some c -> c
+    | None ->
+        let c = mk () in
+        scope.cells.(slot) <- Some c;
+        c
+
+  let clear scope = Array.fill scope.cells 0 (Array.length scope.cells) None
+end
+
+let counter_cell scope c =
+  match Scope.ensure scope c.c_slot (fun () -> Cell_counter { cc_value = 0 }) with
+  | Cell_counter cc -> cc
+  | Cell_gauge _ | Cell_hist _ -> kind_mismatch c.c_name
+
+let gauge_cell scope g =
+  match Scope.ensure scope g.g_slot (fun () -> Cell_gauge { cg_value = 0.0 }) with
+  | Cell_gauge cg -> cg
+  | Cell_counter _ | Cell_hist _ -> kind_mismatch g.g_name
+
+let hist_cell scope h =
+  match
+    Scope.ensure scope h.h_slot (fun () ->
+        Cell_hist
+          {
+            ch_counts = Array.make (Array.length h.h_bounds + 1) 0;
+            ch_sum = 0.0;
+            ch_total = 0;
+          })
+  with
+  | Cell_hist ch -> ch
+  | Cell_counter _ | Cell_gauge _ -> kind_mismatch h.h_name
+
 (* --- updates: one load and a branch when disabled --------------------------- *)
 
-let incr c = if !enabled then c.c_value <- c.c_value + 1
-let add c n = if !enabled then c.c_value <- c.c_value + n
-let set g v = if !enabled then g.g_value <- v
+let incr c =
+  if !enabled then begin
+    let cc = counter_cell (Scope.current ()) c in
+    cc.cc_value <- cc.cc_value + 1
+  end
+
+let add c n =
+  if !enabled then begin
+    let cc = counter_cell (Scope.current ()) c in
+    cc.cc_value <- cc.cc_value + n
+  end
+
+let set g v =
+  if !enabled then begin
+    let cg = gauge_cell (Scope.current ()) g in
+    cg.cg_value <- v
+  end
 
 let bucket_index h v =
   let n = Array.length h.h_bounds in
@@ -111,30 +200,22 @@ let bucket_index h v =
 
 let observe h v =
   if !enabled then begin
-    h.h_counts.(bucket_index h v) <- h.h_counts.(bucket_index h v) + 1;
-    h.h_sum <- h.h_sum +. v;
-    h.h_total <- h.h_total + 1
+    let ch = hist_cell (Scope.current ()) h in
+    let i = bucket_index h v in
+    ch.ch_counts.(i) <- ch.ch_counts.(i) + 1;
+    ch.ch_sum <- ch.ch_sum +. v;
+    ch.ch_total <- ch.ch_total + 1
   end
 
 (* --- inspection --------------------------------------------------------------- *)
 
-let value c = c.c_value
-let gauge_value g = g.g_value
+let value c = (counter_cell (Scope.current ()) c).cc_value
+let gauge_value g = (gauge_cell (Scope.current ()) g).cg_value
 let bucket_bounds h = Array.copy h.h_bounds
-let bucket_counts h = Array.copy h.h_counts
-let histogram_sum h = h.h_sum
-let histogram_count h = h.h_total
-
-let clear () =
-  List.iter
-    (function
-      | M_counter c -> c.c_value <- 0
-      | M_gauge g -> g.g_value <- 0.0
-      | M_histogram h ->
-          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_sum <- 0.0;
-          h.h_total <- 0)
-    !registered
+let bucket_counts h = Array.copy (hist_cell (Scope.current ()) h).ch_counts
+let histogram_sum h = (hist_cell (Scope.current ()) h).ch_sum
+let histogram_count h = (hist_cell (Scope.current ()) h).ch_total
+let clear () = Scope.clear (Scope.current ())
 
 (* --- Prometheus text exposition ---------------------------------------------- *)
 
@@ -167,19 +248,21 @@ let type_name = function
   | M_gauge _ -> "gauge"
   | M_histogram _ -> "histogram"
 
-let render_metric buf = function
+let render_metric scope buf = function
   | M_counter c ->
       Buffer.add_string buf
-        (Printf.sprintf "%s%s %d\n" c.c_name (render_labels c.c_labels) c.c_value)
+        (Printf.sprintf "%s%s %d\n" c.c_name (render_labels c.c_labels)
+           (counter_cell scope c).cc_value)
   | M_gauge g ->
       Buffer.add_string buf
         (Printf.sprintf "%s%s %s\n" g.g_name (render_labels g.g_labels)
-           (float_str g.g_value))
+           (float_str (gauge_cell scope g).cg_value))
   | M_histogram h ->
+      let ch = hist_cell scope h in
       let cumulative = ref 0 in
       Array.iteri
         (fun i bound ->
-          cumulative := !cumulative + h.h_counts.(i);
+          cumulative := !cumulative + ch.ch_counts.(i);
           Buffer.add_string buf
             (Printf.sprintf "%s_bucket%s %d\n" h.h_name
                (render_labels (h.h_labels @ [ ("le", float_str bound) ]))
@@ -188,14 +271,18 @@ let render_metric buf = function
       Buffer.add_string buf
         (Printf.sprintf "%s_bucket%s %d\n" h.h_name
            (render_labels (h.h_labels @ [ ("le", "+Inf") ]))
-           h.h_total);
+           ch.ch_total);
       Buffer.add_string buf
         (Printf.sprintf "%s_sum%s %s\n" h.h_name (render_labels h.h_labels)
-           (float_str h.h_sum));
+           (float_str ch.ch_sum));
       Buffer.add_string buf
-        (Printf.sprintf "%s_count%s %d\n" h.h_name (render_labels h.h_labels) h.h_total)
+        (Printf.sprintf "%s_count%s %d\n" h.h_name (render_labels h.h_labels) ch.ch_total)
+
+let snapshot_registered () = locked (fun () -> !registered)
 
 let to_prometheus ?names () =
+  let registered = snapshot_registered () in
+  let scope = Scope.current () in
   let wanted m =
     match names with None -> true | Some ns -> List.mem (metric_name m) ns
   in
@@ -212,11 +299,11 @@ let to_prometheus ?names () =
         | Some _ | None -> ());
         Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name (type_name m));
         List.iter
-          (fun m' -> if metric_name m' = name then render_metric buf m')
-          !registered
+          (fun m' -> if metric_name m' = name then render_metric scope buf m')
+          registered
       end)
-    !registered;
+    registered;
   Buffer.contents buf
 
 let families () =
-  List.map (fun m -> (metric_name m, metric_labels m, m)) !registered
+  List.map (fun m -> (metric_name m, metric_labels m, m)) (snapshot_registered ())

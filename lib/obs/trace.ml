@@ -17,50 +17,83 @@ type event = {
 
 let enabled = ref false
 
-(* --- clock -------------------------------------------------------------------- *)
+(* --- scopes: clock + ring ----------------------------------------------------- *)
 
-let clock : (unit -> int) ref = ref (fun () -> 0)
-let set_clock f = clock := f
-let now_ns () = !clock ()
-
-(* --- ring --------------------------------------------------------------------- *)
+(* All mutable trace state — the installed clock and the event ring — lives
+   in a scope, and the current scope is domain-local. Each domain starts
+   with its own root scope, so an engine created on a worker domain installs
+   its clock without clobbering anyone else's; [Smapp_par.Ctx] gives every
+   sweep job a fresh scope via [Scope.with_scope]. *)
 
 let default_capacity = 1 lsl 16
 
 let dummy =
   { ev_ts_ns = 0; ev_dur_ns = 0; ev_name = ""; ev_cat = ""; ev_args = []; ev_kind = Instant }
 
-let ring = ref (Array.make default_capacity dummy)
-let write_ix = ref 0
-let total = ref 0
+module Scope = struct
+  type t = {
+    mutable s_clock : unit -> int;
+    mutable s_ring : event array;
+    mutable s_write_ix : int;
+    mutable s_total : int;
+  }
 
-let capacity () = Array.length !ring
+  let create ?(capacity = default_capacity) () =
+    if capacity < 1 then invalid_arg "Trace.Scope.create: need at least one slot";
+    {
+      s_clock = (fun () -> 0);
+      s_ring = Array.make capacity dummy;
+      s_write_ix = 0;
+      s_total = 0;
+    }
+
+  let key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> create ())
+  let current () = Domain.DLS.get key
+
+  let with_scope scope f =
+    let prev = Domain.DLS.get key in
+    Domain.DLS.set key scope;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+end
+
+(* --- clock -------------------------------------------------------------------- *)
+
+let set_clock f = (Scope.current ()).Scope.s_clock <- f
+let now_ns () = (Scope.current ()).Scope.s_clock ()
+
+(* --- ring --------------------------------------------------------------------- *)
+
+let capacity () = Array.length (Scope.current ()).Scope.s_ring
 
 let set_capacity n =
   if n < 1 then invalid_arg "Trace.set_capacity: need at least one slot";
-  ring := Array.make n dummy;
-  write_ix := 0;
-  total := 0
+  let s = Scope.current () in
+  s.Scope.s_ring <- Array.make n dummy;
+  s.Scope.s_write_ix <- 0;
+  s.Scope.s_total <- 0
 
 let clear () =
-  Array.fill !ring 0 (Array.length !ring) dummy;
-  write_ix := 0;
-  total := 0
+  let s = Scope.current () in
+  Array.fill s.Scope.s_ring 0 (Array.length s.Scope.s_ring) dummy;
+  s.Scope.s_write_ix <- 0;
+  s.Scope.s_total <- 0
 
-let recorded () = !total
-let dropped () = max 0 (!total - capacity ())
+let recorded () = (Scope.current ()).Scope.s_total
+let dropped () = max 0 (recorded () - capacity ())
 
 let push ev =
-  let cap = Array.length !ring in
-  !ring.(!write_ix) <- ev;
-  write_ix := (!write_ix + 1) mod cap;
-  incr total
+  let s = Scope.current () in
+  let cap = Array.length s.Scope.s_ring in
+  s.Scope.s_ring.(s.Scope.s_write_ix) <- ev;
+  s.Scope.s_write_ix <- (s.Scope.s_write_ix + 1) mod cap;
+  s.Scope.s_total <- s.Scope.s_total + 1
 
 let events () =
-  let cap = Array.length !ring in
-  let n = min !total cap in
-  let first = if !total <= cap then 0 else !write_ix in
-  List.init n (fun i -> !ring.((first + i) mod cap))
+  let s = Scope.current () in
+  let cap = Array.length s.Scope.s_ring in
+  let n = min s.Scope.s_total cap in
+  let first = if s.Scope.s_total <= cap then 0 else s.Scope.s_write_ix in
+  List.init n (fun i -> s.Scope.s_ring.((first + i) mod cap))
 
 (* --- recording ---------------------------------------------------------------- *)
 

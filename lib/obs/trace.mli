@@ -24,9 +24,28 @@ type event = {
 val enabled : bool ref
 (** Master switch for recording. Default [false]. *)
 
+module Scope : sig
+  type t
+  (** All mutable trace state — installed clock plus event ring. The
+      current scope is domain-local: each domain has a private root scope,
+      and {!with_scope} installs a fresh one around a sweep job so
+      parallel workers cannot interleave events or clobber each other's
+      clocks. *)
+
+  val create : ?capacity:int -> unit -> t
+  (** A fresh empty scope (default capacity 65536, clock stuck at 0 until
+      an engine installs one). *)
+
+  val with_scope : t -> (unit -> 'a) -> 'a
+  (** Run the thunk with [t] as the calling domain's current scope; the
+      previous scope is restored on return or raise. *)
+
+  val current : unit -> t
+end
+
 val set_clock : (unit -> int) -> unit
-(** Install the virtual-time source (nanoseconds). The default clock
-    returns 0. *)
+(** Install the virtual-time source (nanoseconds) into the current scope.
+    The default clock returns 0. *)
 
 val now_ns : unit -> int
 

@@ -1,0 +1,18 @@
+(** Per-job isolation capsule: a private [Smapp_obs] metrics scope and
+    trace scope. [Sweep] wraps every pooled job in a fresh capsule so
+    worker domains cannot interfere through the (otherwise domain-local
+    but job-shared) observability state, and a job behaves identically
+    under sequential and parallel execution. *)
+
+type t
+
+val create : unit -> t
+(** Fresh capsule: all metrics zero, empty trace ring, clock stuck at 0
+    until an engine created inside {!run} installs one. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** Run the thunk with the capsule's scopes installed on the calling
+    domain; previous scopes are restored on return or raise. *)
+
+val metrics : t -> Smapp_obs.Metrics.Scope.t
+val trace : t -> Smapp_obs.Trace.Scope.t

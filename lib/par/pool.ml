@@ -1,0 +1,74 @@
+(* A deterministic fork/join pool over [Domain.spawn].
+
+   No work stealing, no shared queue: [map] partitions jobs statically —
+   job [i] runs on lane [i mod d] — and every lane walks its slice in
+   index order. Which domain runs a job is therefore a pure function of
+   the submission index, never of timing, so a parallel sweep is
+   reproducible run-to-run and agrees with the sequential order. Results
+   land in a per-index slot and are merged in submission order; the
+   caller participates as lane 0, so [create ~domains:4] spawns three
+   extra domains.
+
+   The price is load imbalance when job costs vary wildly; the sweeps we
+   run (same experiment, different seed) are near-uniform, and the paper
+   figures need bit-stable output more than they need the last few
+   percent of utilisation. *)
+
+type t = { lanes : int; mutable closed : bool }
+
+(* Set while a lane is executing jobs — a job that calls [map] again
+   would deadlock-or-oversubscribe, so reject it eagerly. Per-domain:
+   worker domains inherit the default [false] and set their own. *)
+let in_map : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Smapp_par.Pool.create: domains must be >= 1";
+  { lanes = domains; closed = false }
+
+let domains t = t.lanes
+let shutdown t = t.closed <- true
+let is_shut_down t = t.closed
+
+let map t f xs =
+  if t.closed then invalid_arg "Smapp_par.Pool.map: pool is shut down";
+  if Domain.DLS.get in_map then
+    invalid_arg "Smapp_par.Pool.map: nested parallel map";
+  let jobs = Array.of_list xs in
+  let n = Array.length jobs in
+  let d = max 1 (min t.lanes n) in
+  let results = Array.make n None in
+  let run_lane lane =
+    Domain.DLS.set in_map true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_map false)
+      (fun () ->
+        let i = ref lane in
+        while !i < n do
+          (results.(!i) <-
+             (match f jobs.(!i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
+          i := !i + d
+        done)
+  in
+  let workers = List.init (d - 1) (fun k -> Domain.spawn (fun () -> run_lane (k + 1))) in
+  (* Run lane 0 here even if a spawn failed half-way; join everything
+     before looking at results so the writes are ordered before the reads. *)
+  run_lane 0;
+  List.iter Domain.join workers;
+  (* Re-raise the first failure by submission index — deterministic, like
+     the exception [List.map f xs] would surface. *)
+  Array.iter
+    (function
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) | None -> ())
+    results;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error _) | None ->
+             Smapp_sim.Bug.fail
+               "Pool.map: unmerged slot — errors were re-raised above and \
+                every index is written by its lane before Domain.join")
+       results)

@@ -1,0 +1,35 @@
+(** A deterministic fork/join pool over [Domain.spawn].
+
+    No work stealing: {!map} assigns job [i] to lane [i mod domains]
+    statically, each lane walks its slice in index order, and results are
+    merged back in submission order — placement is a pure function of the
+    submission index, so a parallel run is reproducible and ordered
+    exactly like the sequential one. The caller is lane 0;
+    [create ~domains:4] spawns three additional domains per {!map}.
+
+    Jobs run on worker domains and must not touch domain-unsafe shared
+    state; wrap each job in a {!Ctx.t} (as [Sweep] does) to isolate the
+    [Smapp_obs] metrics/trace scopes. *)
+
+type t
+
+val create : domains:int -> t
+(** A pool of [domains] total lanes (including the caller).
+    Raises [Invalid_argument] if [domains < 1]. *)
+
+val domains : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] applies [f] to every element across the pool's lanes and
+    returns the results in submission order. If any job raises, the
+    exception of the lowest-indexed failing job is re-raised (with its
+    backtrace) after all lanes have been joined. Raises
+    [Invalid_argument] on a shut-down pool or when called from inside a
+    running job (nested parallelism). *)
+
+val shutdown : t -> unit
+(** Mark the pool unusable; later {!map} calls raise. Idempotent. There
+    are no persistent worker threads to tear down — domains are joined at
+    the end of every {!map} — so this only flips the lifecycle flag. *)
+
+val is_shut_down : t -> bool

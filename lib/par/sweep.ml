@@ -1,0 +1,19 @@
+(* Multi-seed experiment sweeps.
+
+   [map ?pool f jobs] is the single entry point the experiments go
+   through. Without a pool it is literally [List.map f jobs]: same
+   domain, same scopes, same observable side effects as the historical
+   sequential code (the CLI's [--trace] export keeps seeing the events).
+   With a pool, each job runs inside a fresh [Ctx] capsule on its
+   deterministic lane and the results come back in submission order — so
+   the value a sweep returns is byte-identical either way, because a
+   seeded simulation is a pure function of its inputs and never reads
+   ambient metrics/trace state (the obs determinism test holds tracing to
+   exactly that). *)
+
+let map ?pool f jobs =
+  match pool with
+  | None -> List.map f jobs
+  | Some pool -> Pool.map pool (fun job -> Ctx.run (Ctx.create ()) (fun () -> f job)) jobs
+
+let over_seeds ?pool ~f seeds = map ?pool f seeds

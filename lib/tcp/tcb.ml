@@ -39,6 +39,7 @@ type rtx = {
   mutable r_rexmit : bool;
   mutable r_sacked : bool;
   mutable r_retx_epoch : int;  (* recovery round it was last retransmitted in *)
+  r_born_epoch : int;  (* recovery round it was first transmitted in *)
 }
 
 type callbacks = {
@@ -209,7 +210,15 @@ and on_rto_expire t =
     if t.rto_backoffs > t.config.max_rto_backoffs then kill t Tcp_error.Etimedout
     else begin
       Cc.on_rto t.cc;
-      t.in_recovery <- false;
+      (* RFC 6582: an RTO *enters* loss recovery (up to [recover] = snd_nxt)
+         rather than leaving it. Everything transmitted before the timeout
+         still counts as in flight, so the congestion window stays closed
+         until the holes are repaired — recovery must let each returning
+         partial ack clock out the next head-of-line retransmission, or the
+         repair degenerates to one segment per (backed-off) RTO and a lossy
+         single-path transfer crawls at ~1 MSS per 120 s. *)
+      t.in_recovery <- true;
+      t.recover <- t.snd_nxt;
       t.dup_acks <- 0;
       (* RFC 2018: after an RTO, SACK information must not be trusted *)
       List.iter (fun r -> r.r_sacked <- false) t.rtx_queue;
@@ -328,7 +337,7 @@ let transmit_chunk_bytes t =
     insert_rtx t
       { r_off = off; r_len = len; r_dsn = dsn; r_fin = false;
         r_sent_at = Engine.now t.engine; r_rexmit = false; r_sacked = false;
-        r_retx_epoch = -1 };
+        r_retx_epoch = -1; r_born_epoch = t.recovery_epoch };
     emit t
       (Segment.make ~flow:t.flow ~ack:true ~seq:(wire_of_snd t off)
          ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t)
@@ -349,7 +358,7 @@ let maybe_send_fin t =
     insert_rtx t
       { r_off = off; r_len = 0; r_dsn = 0; r_fin = true;
         r_sent_at = Engine.now t.engine; r_rexmit = false; r_sacked = false;
-        r_retx_epoch = -1 };
+        r_retx_epoch = -1; r_born_epoch = t.recovery_epoch };
     emit t
       (Segment.make ~flow:t.flow ~ack:true ~fin:true ~seq:(wire_of_snd t off)
          ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t) ());
@@ -474,15 +483,22 @@ let process_ack t seg =
          covered range that was neither retransmitted (Karn) nor SACKed
          earlier gives a valid sample — a long-SACKed range is only being
          *cumulatively* covered now because an earlier hole filled, and
-         timing it would fold the hole's repair time into the RTT. *)
+         timing it would fold the hole's repair time into the RTT. The same
+         goes for any range that straddled a recovery episode: an RTO wipes
+         the SACK flags (RFC 2018), so "never SACKed" is not evidence the
+         ack was prompt — require the range to have been born in the current
+         recovery epoch, i.e. no loss event separates send from ack. *)
       let sample = ref None in
       let acked_chunks = ref [] in
       let remaining =
         List.fold_left
           (fun keep r ->
             if r.r_off + max r.r_len (if r.r_fin then 1 else 0) <= ack_off then begin
-              if (not r.r_rexmit) && (not r.r_sacked) && !sample = None then
-                sample := Some r.r_sent_at;
+              if
+                (not r.r_rexmit) && (not r.r_sacked)
+                && r.r_born_epoch = t.recovery_epoch
+                && !sample = None
+              then sample := Some r.r_sent_at;
               if r.r_len > 0 then acked_chunks := (r.r_dsn, r.r_len) :: !acked_chunks;
               keep
             end

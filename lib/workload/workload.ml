@@ -203,3 +203,9 @@ let run config =
     events_per_sec =
       (if wall_s > 0.0 then float_of_int engine_events /. wall_s else 0.0);
   }
+
+(* Multi-seed replication: the same workload re-run under each seed —
+   independent simulations, so they parallelise like any experiment sweep.
+   Results come back in seed order. *)
+let run_many ?pool ~seeds config =
+  Smapp_par.Sweep.map ?pool (fun seed -> run { config with seed }) seeds

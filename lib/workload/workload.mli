@@ -59,3 +59,9 @@ val run : config -> result
 (** Deterministic for a given [config] (all randomness derives from [seed]);
     returns once every launched connection has closed and the event queue
     drained. *)
+
+val run_many : ?pool:Smapp_par.Pool.t -> seeds:int list -> config -> result list
+(** One {!run} per seed (the config's own [seed] field is replaced),
+    across [pool]'s domains when given; results in seed order. Wall-time
+    fields ([wall_s], [events_per_sec]) are per-lane measurements and the
+    only non-deterministic part of the result. *)

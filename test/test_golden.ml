@@ -1,0 +1,132 @@
+(* Golden regression tests at quick scale.
+
+   The simulator is deterministic: a seeded experiment reproduces its
+   numbers exactly, so these tests pin the headline figures of the paper
+   reproduction at fast parameter scales. If a change moves one of them,
+   that is a behaviour change to either justify (update the golden with
+   the reasoning) or fix.
+
+   Golden values measured after the RTO-recovery and RTT-sampling fixes
+   in the TCP sender (they changed every lossy-path number).
+
+   The second half asserts the [Smapp_par] determinism contract end to
+   end: the same sweeps run sequentially and across a 4-domain pool must
+   return structurally identical results. *)
+
+module E = Smapp_experiments
+module Stats = Smapp_stats
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* === fig 2a: smart backup switch ============================================ *)
+
+let test_fig2a_switch () =
+  let r = E.Fig2a.run ~seed:42 () in
+  (match r.E.Fig2a.failover_at with
+  | None -> Alcotest.fail "no failover happened"
+  | Some t -> checkf 1e-3 "controller switches to the backup" 2.242 t);
+  checki "bytes delivered" 593_600 r.E.Fig2a.bytes_delivered;
+  checkf 1e-6 "observation window" 4.0 r.E.Fig2a.duration
+
+(* === fig 3: userspace path-manager overhead ================================= *)
+
+let fig3_requests = 40
+
+let fig3_delta_us results =
+  match results with
+  | [ k; u ] ->
+      checki "kernel joins" fig3_requests (List.length k.E.Fig3.delays);
+      checki "userspace joins" fig3_requests (List.length u.E.Fig3.delays);
+      (mean u.E.Fig3.delays -. mean k.E.Fig3.delays) *. 1e6
+  | _ -> Alcotest.fail "fig3 sweep lost results"
+
+let fig3_specs =
+  [ (E.Fig3.Kernel, 1.0, fig3_requests); (E.Fig3.Userspace, 1.0, fig3_requests) ]
+
+let test_fig3_delta () =
+  let delta = fig3_delta_us (E.Fig3.sweep fig3_specs) in
+  (* paper: ~23 us of Netlink crossings *)
+  checkf 0.01 "userspace adds ~23.8 us" 23.826 delta
+
+(* === fig 2c: refresh controller vs ndiffports =============================== *)
+
+let fig2c_seeds = E.Harness.seeds 10
+let fig2c_bytes = 10_000_000
+
+let fig2c_run ?pool variant =
+  E.Fig2c.run ?pool ~seeds:fig2c_seeds ~file_bytes:fig2c_bytes ~variant ()
+
+let test_fig2c_refresh_beats_ndiffports () =
+  let rf = fig2c_run E.Fig2c.Refresh and nd = fig2c_run E.Fig2c.Ndiffports in
+  let mr = mean rf.E.Fig2c.completion_times
+  and mn = mean nd.E.Fig2c.completion_times in
+  (* golden means (10 seeds x 10 MB) *)
+  checkf 1e-2 "refresh mean" 5.360 mr;
+  checkf 1e-2 "ndiffports mean" 5.453 mn;
+  checkb "refresh wins on average" true (mr < mn);
+  (* the paper's claim lives in the tail: stuck ECMP placements are what
+     refresh eliminates. At this sample size the middle quantiles jitter
+     either way, so pin the upper tail, where the effect is the point. *)
+  let cr = Stats.Cdf.of_samples rf.E.Fig2c.completion_times
+  and cn = Stats.Cdf.of_samples nd.E.Fig2c.completion_times in
+  List.iter
+    (fun q ->
+      checkb
+        (Printf.sprintf "refresh <= ndiffports at q%.2f" q)
+        true
+        (Stats.Cdf.quantile cr q <= Stats.Cdf.quantile cn q))
+    [ 0.90; 1.0 ]
+
+(* === sequential vs pooled: bit-identical results ============================ *)
+
+let with_pool4 f =
+  let pool = Smapp_par.Pool.create ~domains:4 in
+  Fun.protect ~finally:(fun () -> Smapp_par.Pool.shutdown pool) (fun () -> f pool)
+
+let test_fig2c_pool_identical () =
+  with_pool4 (fun pool ->
+      List.iter
+        (fun variant ->
+          checkb
+            (Printf.sprintf "fig2c %s: seq = pool" (E.Fig2c.variant_name variant))
+            true
+            (fig2c_run variant = fig2c_run ~pool variant))
+        [ E.Fig2c.Refresh; E.Fig2c.Ndiffports ])
+
+let test_fig3_pool_identical () =
+  with_pool4 (fun pool ->
+      let seq = E.Fig3.sweep fig3_specs and par = E.Fig3.sweep ~pool fig3_specs in
+      checkb "fig3: seq = pool" true (seq = par);
+      checkf 0.01 "pooled delta matches golden" 23.826 (fig3_delta_us par))
+
+let test_fig2b_pool_identical () =
+  with_pool4 (fun pool ->
+      let run ?pool () =
+        E.Fig2b.run ?pool ~seeds:(E.Harness.seeds 3) ~blocks:10 ~loss:0.30
+          ~variant:E.Fig2b.Default_fullmesh ()
+      in
+      checkb "fig2b: seq = pool" true (run () = run ~pool ()))
+
+let () =
+  Alcotest.run "smapp_golden"
+    [
+      ( "goldens",
+        [
+          Alcotest.test_case "fig2a backup switch" `Quick test_fig2a_switch;
+          Alcotest.test_case "fig3 userspace delta" `Quick test_fig3_delta;
+          Alcotest.test_case "fig2c refresh beats ndiffports" `Quick
+            test_fig2c_refresh_beats_ndiffports;
+        ] );
+      ( "seq-vs-pool",
+        [
+          Alcotest.test_case "fig2c identical" `Quick test_fig2c_pool_identical;
+          Alcotest.test_case "fig3 identical" `Quick test_fig3_pool_identical;
+          Alcotest.test_case "fig2b identical" `Quick test_fig2b_pool_identical;
+        ] );
+    ]

@@ -519,10 +519,10 @@ let test_fullmesh_reacts_to_nic_up () =
 
 
 (* registered separately: a heavyweight end-to-end property *)
-let mptcp_integrity_prop =
-  (* random paths/rates/losses/scheduler: every byte is delivered exactly
-     once, in order, no matter what *)
-  let test (seed, n_paths, loss_pct, rr) =
+
+(* random paths/rates/losses/scheduler: every byte is delivered exactly
+   once, in order, no matter what *)
+let integrity_run (seed, n_paths, loss_pct, rr) =
     let engine = Engine.create ~seed ()
     and total = 150_000 in
     let losses = [ float_of_int loss_pct /. 100.0; 0.02 ] in
@@ -557,12 +557,38 @@ let mptcp_integrity_prop =
     Engine.run ~until:(Time.of_ns 600_000_000_000) engine;
     !received = total
     && (match !accepted with Some c -> Connection.bytes_received c = total | None -> false)
-  in
+
+(* [QCheck.int_range] reuses [Shrink.int], which halves toward 0 and can
+   leave [lo, hi] entirely — a shrunk counterexample with [n_paths = 0]
+   then dies in [Topology.parallel_paths]'s argument check, masking the
+   real failure. Shrink the *offset* from [lo] instead: every candidate
+   stays in range and still minimises toward the low end. *)
+let int_in_range lo hi =
+  QCheck.set_shrink
+    (fun x yield -> QCheck.Shrink.int (x - lo) (fun d -> yield (lo + d)))
+    (QCheck.int_range lo hi)
+
+let mptcp_integrity_prop =
   QCheck.Test.make ~name:"mptcp delivers the stream exactly once (random config)"
     ~count:25
     QCheck.(
-      quad (int_range 0 10_000) (int_range 1 4) (int_range 0 15) bool)
-    test
+      quad (int_in_range 0 10_000) (int_in_range 1 4) (int_in_range 0 15) bool)
+    integrity_run
+
+(* Configs that historically stalled out the 600 s horizon (single lossy
+   subflow; an RTO used to kill the ACK clock and poison the RTT
+   estimator with hole-repair times). Pinned so the fix cannot regress
+   without a deterministic, named failure — QCHECK_SEED=9 used to surface
+   seed 17 via the random property. *)
+let test_integrity_regressions () =
+  List.iter
+    (fun (seed, n_paths, loss_pct, rr) ->
+      checkb
+        (Printf.sprintf "seed=%d n=%d loss=%d%% rr=%b" seed n_paths loss_pct rr)
+        true
+        (integrity_run (seed, n_paths, loss_pct, rr)))
+    [ (2, 1, 15, false); (17, 1, 15, false); (27, 1, 15, true);
+      (37, 1, 15, false); (59, 1, 15, true); (73, 1, 15, false) ]
 
 
 let () =
@@ -618,5 +644,9 @@ let () =
           Alcotest.test_case "ndiffports" `Quick test_ndiffports_creates_n;
           Alcotest.test_case "fullmesh nic up" `Quick test_fullmesh_reacts_to_nic_up;
         ] );
-      ("integrity", [ QCheck_alcotest.to_alcotest mptcp_integrity_prop ]);
+      ( "integrity",
+        [
+          QCheck_alcotest.to_alcotest mptcp_integrity_prop;
+          Alcotest.test_case "pinned lossy configs" `Slow test_integrity_regressions;
+        ] );
     ]

@@ -1,0 +1,145 @@
+(* Tests for Smapp_par: pool lifecycle, ordered deterministic merge,
+   exception propagation, nested-map rejection, Ctx scope isolation, and
+   the property the experiment sweeps lean on — [Pool.map] agrees with
+   [List.map] on every input. *)
+
+module Pool = Smapp_par.Pool
+module Ctx = Smapp_par.Ctx
+module Sweep = Smapp_par.Sweep
+module Metrics = Smapp_obs.Metrics
+module Trace = Smapp_obs.Trace
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let check_ints = Alcotest.check (Alcotest.list Alcotest.int)
+
+(* === lifecycle =============================================================== *)
+
+let test_create () =
+  let p = Pool.create ~domains:3 in
+  checki "domains" 3 (Pool.domains p);
+  checkb "fresh pool is live" false (Pool.is_shut_down p);
+  Alcotest.check_raises "domains must be >= 1"
+    (Invalid_argument "Smapp_par.Pool.create: domains must be >= 1") (fun () ->
+      ignore (Pool.create ~domains:0))
+
+let test_shutdown () =
+  let p = Pool.create ~domains:2 in
+  Pool.shutdown p;
+  checkb "shut down" true (Pool.is_shut_down p);
+  Pool.shutdown p;
+  (* idempotent *)
+  checkb "still shut down" true (Pool.is_shut_down p);
+  Alcotest.check_raises "map after shutdown raises"
+    (Invalid_argument "Smapp_par.Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map p (fun x -> x) [ 1; 2; 3 ]))
+
+(* === ordered merge =========================================================== *)
+
+let test_ordered_merge () =
+  let p = Pool.create ~domains:4 in
+  let xs = List.init 37 (fun i -> i) in
+  check_ints "results in submission order" (List.map (fun i -> i * i) xs)
+    (Pool.map p (fun i -> i * i) xs);
+  check_ints "empty input" [] (Pool.map p (fun i -> i) []);
+  check_ints "fewer jobs than lanes" [ 10 ] (Pool.map p (fun i -> i * 10) [ 1 ]);
+  Pool.shutdown p
+
+let test_single_domain_pool () =
+  (* domains:1 degenerates to the caller walking the list — still ordered *)
+  let p = Pool.create ~domains:1 in
+  check_ints "single lane" [ 2; 4; 6 ] (Pool.map p (fun i -> 2 * i) [ 1; 2; 3 ]);
+  Pool.shutdown p
+
+(* === exception propagation =================================================== *)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let p = Pool.create ~domains:4 in
+  (* jobs 3 and 9 both fail on different lanes: the lowest submission
+     index must win, deterministically *)
+  (match Pool.map p (fun i -> if i = 3 || i = 9 then raise (Boom i) else i)
+           (List.init 12 (fun i -> i))
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> checki "first failure by submission index" 3 i);
+  (* the pool survives a failed map *)
+  check_ints "pool usable after failure" [ 0; 1 ] (Pool.map p (fun i -> i) [ 0; 1 ]);
+  Pool.shutdown p
+
+let test_nested_map_rejected () =
+  let p = Pool.create ~domains:2 in
+  (match Pool.map p (fun i -> Pool.map p (fun x -> x) [ i ]) [ 1; 2; 3; 4 ] with
+  | _ -> Alcotest.fail "expected nested map to be rejected"
+  | exception Invalid_argument msg ->
+      checkb "nested rejection message"
+        true
+        (msg = "Smapp_par.Pool.map: nested parallel map"));
+  Pool.shutdown p
+
+(* === ctx isolation =========================================================== *)
+
+let test_ctx_isolates_obs () =
+  let saved = !Metrics.enabled in
+  Metrics.enabled := true;
+  Fun.protect
+    ~finally:(fun () -> Metrics.enabled := saved)
+    (fun () ->
+      let c = Metrics.counter "t_par_ctx_total" in
+      Metrics.incr c;
+      let inside =
+        Ctx.run (Ctx.create ()) (fun () ->
+            (* fresh scope: the counter reads 0 here, and increments stay
+               behind when the capsule is discarded *)
+            let before = Metrics.value c in
+            Metrics.add c 100;
+            (before, Metrics.value c))
+      in
+      checkb "capsule starts clean" true (fst inside = 0);
+      checkb "capsule sees its own writes" true (snd inside = 100);
+      checki "caller scope untouched" 1 (Metrics.value c))
+
+let test_sweep_matches_list_map () =
+  let p = Pool.create ~domains:3 in
+  let f i = (i, i * 7) in
+  let xs = List.init 23 (fun i -> i) in
+  checkb "Sweep.map ?pool:None is List.map" true (Sweep.map f xs = List.map f xs);
+  checkb "pooled sweep agrees" true (Sweep.map ~pool:p f xs = List.map f xs);
+  Pool.shutdown p
+
+(* === property: Pool.map = List.map ========================================== *)
+
+let prop_map_agrees =
+  QCheck.Test.make ~count:200 ~name:"Pool.map agrees with List.map"
+    QCheck.(pair (int_range 1 6) (small_list int))
+    (fun (domains, xs) ->
+      let p = Pool.create ~domains in
+      let f x = (2 * x) + 1 in
+      let r = Pool.map p f xs = List.map f xs in
+      Pool.shutdown p;
+      r)
+
+let () =
+  Alcotest.run "smapp_par"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "create" `Quick test_create;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+        ] );
+      ( "map",
+        [
+          Alcotest.test_case "ordered merge" `Quick test_ordered_merge;
+          Alcotest.test_case "single domain" `Quick test_single_domain_pool;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "nested map rejected" `Quick test_nested_map_rejected;
+        ] );
+      ( "ctx",
+        [
+          Alcotest.test_case "scope isolation" `Quick test_ctx_isolates_obs;
+          Alcotest.test_case "sweep = list map" `Quick test_sweep_matches_list_map;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_map_agrees ] );
+    ]
