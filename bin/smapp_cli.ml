@@ -277,24 +277,57 @@ let pp_convergence r =
     r.E.Chaos.retries r.E.Chaos.resyncs r.E.Chaos.gaps_detected r.E.Chaos.dropped
     r.E.Chaos.duplicated r.E.Chaos.overflowed r.E.Chaos.duplicate_commands
 
-let run_chaos seed drop grid jobs trace =
+let pp_dataplane r =
+  Printf.printf
+    "%-8s seed=%-4d  bytes=%d/%d %-8s  handovers=%d failovers=%d requests=%d \
+     reconnects=%d stale=%d  max_stall=%.2fs (bound %.1fs)  link_drops=%d  \
+     goodput=%.2f Mbit/s  -> %s\n"
+    r.E.Chaos.dp_scenario r.E.Chaos.dp_seed r.E.Chaos.dp_bytes_received
+    r.E.Chaos.dp_bytes_sent
+    (if r.E.Chaos.dp_byte_exact then "exact" else "MISMATCH")
+    r.E.Chaos.dp_handovers r.E.Chaos.dp_failovers r.E.Chaos.dp_subflow_requests
+    r.E.Chaos.dp_reconnects r.E.Chaos.dp_stale_suppressed r.E.Chaos.dp_max_stall_s
+    r.E.Chaos.dp_stall_bound_s r.E.Chaos.dp_link_drops
+    (r.E.Chaos.dp_goodput_bps /. 1e6)
+    (if E.Chaos.dataplane_invariants_ok r then "ok" else "INVARIANT VIOLATION")
+
+let run_chaos scenario seed drop grid jobs trace =
   with_pool ~tracing:(trace <> None) jobs @@ fun pool ->
+  let dataplane scenarios =
+    Printf.printf
+      "Data-plane chaos: time-varying links, handover churn, degradation audit\n";
+    let results =
+      if grid then E.Chaos.run_dataplane_grid ?pool ~scenarios ()
+      else List.map (fun scenario -> E.Chaos.run_dataplane ~scenario ~seed ()) scenarios
+    in
+    List.iter pp_dataplane results;
+    if not (List.for_all E.Chaos.dataplane_invariants_ok results) then begin
+      Printf.printf "graceful-degradation invariants VIOLATED\n";
+      exit 1
+    end
+  in
   let body () =
-    Printf.printf
-      "Chaos: fullmesh controller over a lossy Netlink channel + daemon restart\n";
-    if grid then List.iter pp_convergence (E.Chaos.run_grid ?pool ())
-    else pp_convergence (E.Chaos.run_convergence ~seed ~drop ());
-    Printf.printf "\nWatchdog: daemon lost for good at t=5s\n";
-    let w = E.Chaos.run_watchdog ~seed () in
-    Printf.printf
-      "fallback_active=%b fallbacks=%d handbacks=%d kernel_subflows=%d\n"
-      w.E.Chaos.w_fallback_active w.E.Chaos.w_fallbacks w.E.Chaos.w_handbacks
-      w.E.Chaos.w_kernel_subflows;
-    Printf.printf "bytes acked at loss / at end: %d / %d (%s)\n"
-      w.E.Chaos.w_bytes_at_loss w.E.Chaos.w_bytes_final
-      (if w.E.Chaos.w_bytes_final > w.E.Chaos.w_bytes_at_loss then
-         "still transferring"
-       else "STALLED")
+    match scenario with
+    | `Mobile -> dataplane [ `Mobile ]
+    | `Degrade -> dataplane [ `Degrade ]
+    | `Dualfade -> dataplane [ `Dualfade ]
+    | `Dataplane -> dataplane [ `Mobile; `Degrade; `Dualfade ]
+    | `Control ->
+        Printf.printf
+          "Chaos: fullmesh controller over a lossy Netlink channel + daemon restart\n";
+        if grid then List.iter pp_convergence (E.Chaos.run_grid ?pool ())
+        else pp_convergence (E.Chaos.run_convergence ~seed ~drop ());
+        Printf.printf "\nWatchdog: daemon lost for good at t=5s\n";
+        let w = E.Chaos.run_watchdog ~seed () in
+        Printf.printf
+          "fallback_active=%b fallbacks=%d handbacks=%d kernel_subflows=%d\n"
+          w.E.Chaos.w_fallback_active w.E.Chaos.w_fallbacks w.E.Chaos.w_handbacks
+          w.E.Chaos.w_kernel_subflows;
+        Printf.printf "bytes acked at loss / at end: %d / %d (%s)\n"
+          w.E.Chaos.w_bytes_at_loss w.E.Chaos.w_bytes_final
+          (if w.E.Chaos.w_bytes_final > w.E.Chaos.w_bytes_at_loss then
+             "still transferring"
+           else "STALLED")
   in
   match trace with
   | None -> body ()
@@ -315,11 +348,35 @@ let chaos_cmd =
     Arg.(value & opt float 0.05 & info [ "drop" ] ~doc:"Netlink message drop ratio.")
   in
   let grid =
-    Arg.(value & flag & info [ "grid" ] ~doc:"Sweep the (drop x seed) grid.")
+    Arg.(
+      value & flag
+      & info [ "grid" ] ~doc:"Sweep the scenario's full (parameter x seed) grid.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("control", `Control);
+               ("mobile", `Mobile);
+               ("degrade", `Degrade);
+               ("dualfade", `Dualfade);
+               ("dataplane", `Dataplane);
+             ])
+          `Control
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:
+            "One of control (lossy Netlink + daemon restart), mobile (WiFi/LTE \
+             handover roaming), degrade (primary fades then dies), dualfade \
+             (correlated burst loss on both paths), dataplane (all three \
+             data-plane scenarios). Data-plane runs exit non-zero if a \
+             graceful-degradation invariant is violated.")
   in
   Cmd.v
-    (Cmd.info "chaos" ~doc:"Control-plane fault injection: convergence and watchdog")
-    Term.(const run_chaos $ seed $ drop $ grid $ jobs_arg $ trace_arg)
+    (Cmd.info "chaos"
+       ~doc:"Fault injection: control-plane convergence and data-plane degradation")
+    Term.(const run_chaos $ scenario $ seed $ drop $ grid $ jobs_arg $ trace_arg)
 
 (* --- workload ----------------------------------------------------------------- *)
 

@@ -32,6 +32,7 @@ let () =
         Backup.rto_threshold = Time.span_s 1;
         backup_sources = [ backup.Topology.client_addr ];
         backup_destination = Some (Ip.endpoint backup.Topology.server_addr 80);
+        max_failovers = 8;
       }
   in
 

@@ -7,10 +7,16 @@ type config = {
   rto_threshold : Time.span;
   backup_sources : Ip.t list;
   backup_destination : Ip.endpoint option;
+  max_failovers : int;
 }
 
 let default_config ~backup_sources () =
-  { rto_threshold = Time.span_s 1; backup_sources; backup_destination = None }
+  {
+    rto_threshold = Time.span_s 1;
+    backup_sources;
+    backup_destination = None;
+    max_failovers = 8;
+  }
 
 let m_failovers =
   Smapp_obs.Metrics.counter ~help:"break-before-make failovers triggered by RTO growth"
@@ -26,6 +32,8 @@ type t = {
   mutable failovers : int;
   (* per token: backup sources not yet consumed *)
   remaining : (int, Ip.t list) Hashtbl.t;
+  (* per token: failovers performed, capped at [config.max_failovers] *)
+  performed : (int, int) Hashtbl.t;
 }
 
 let failovers t = t.failovers
@@ -50,7 +58,13 @@ let next_backup t (conn : Conn_view.conn) =
       Some src
 
 let handle_timeout t token sub_id rto =
-  if Time.compare_span rto t.config.rto_threshold > 0 then begin
+  let performed =
+    match Hashtbl.find_opt t.performed token with Some n -> n | None -> 0
+  in
+  if
+    Time.compare_span rto t.config.rto_threshold > 0
+    && performed < t.config.max_failovers
+  then begin
     match Conn_view.find t.view token with
     | None -> ()
     | Some conn -> (
@@ -65,6 +79,7 @@ let handle_timeout t token sub_id rto =
                     ~default:sub.Conn_view.sv_flow.Ip.dst
                 in
                 t.failovers <- t.failovers + 1;
+                Hashtbl.replace t.performed token (performed + 1);
                 note_failover ();
                 let pm = Conn_view.pm t.view in
                 Pm_lib.create_subflow pm ~token ~src ~dst ();
@@ -87,8 +102,12 @@ let per_conn state factory (_conn0 : Conn_view.conn) =
   let config = state.bs_config in
   let pm = Factory.pm factory in
   let remaining = ref config.backup_sources in
+  let performed = ref 0 in
   let on_timeout (conn : Conn_view.conn) ~sub_id ~rto ~count:_ =
-    if Time.compare_span rto config.rto_threshold > 0 then
+    if
+      Time.compare_span rto config.rto_threshold > 0
+      && !performed < config.max_failovers
+    then
       match Conn_view.find_sub conn sub_id with
       | None -> ()
       | Some sub -> (
@@ -102,6 +121,7 @@ let per_conn state factory (_conn0 : Conn_view.conn) =
           | src :: _ ->
               remaining := List.filter (fun a -> not (Ip.equal a src)) !remaining;
               state.bs_failovers <- state.bs_failovers + 1;
+              incr performed;
               note_failover ();
               let dst =
                 Option.value config.backup_destination
@@ -111,7 +131,17 @@ let per_conn state factory (_conn0 : Conn_view.conn) =
               Pm_lib.create_subflow pm ~token ~src ~dst ();
               Pm_lib.remove_subflow pm ~token ~sub_id ())
   in
-  { Factory.null_events with Factory.on_timeout }
+  let on_sub_established _conn (sub : Conn_view.sub) =
+    (* a promoted backup came alive: put its source back on the shelf so a
+       later handover can fail over again (while the subflow lives, the
+       [in_use] filter keeps it off the candidate list) *)
+    let src = sub.Conn_view.sv_flow.Ip.src.Ip.addr in
+    if
+      List.exists (Ip.equal src) config.backup_sources
+      && not (List.exists (Ip.equal src) !remaining)
+    then remaining := !remaining @ [ src ]
+  in
+  { Factory.null_events with Factory.on_timeout; on_sub_established }
 
 let start pm config =
   let t_ref = ref None in
@@ -124,8 +154,32 @@ let start pm config =
         ()
   in
   let view = Conn_view.create pm ~extra_mask:Pm_msg.Mask.timeout ~on_event () in
-  let t = { view; config; failovers = 0; remaining = Hashtbl.create 7 } in
+  let t =
+    {
+      view;
+      config;
+      failovers = 0;
+      remaining = Hashtbl.create 7;
+      performed = Hashtbl.create 7;
+    }
+  in
   t_ref := Some t;
+  Conn_view.on_sub_established view (fun conn sub ->
+      (* a promoted backup came alive: put its source back on the shelf so
+         a later handover can fail over again (while the subflow lives, the
+         [in_use] filter keeps it off the candidate list) *)
+      let src = sub.Conn_view.sv_flow.Ip.src.Ip.addr in
+      if List.exists (Ip.equal src) t.config.backup_sources then begin
+        let token = conn.Conn_view.cv_token in
+        let avail =
+          match Hashtbl.find_opt t.remaining token with
+          | Some l -> l
+          | None -> t.config.backup_sources
+        in
+        if not (List.exists (Ip.equal src) avail) then
+          Hashtbl.replace t.remaining token (avail @ [ src ])
+      end);
   Conn_view.on_conn_closed view (fun conn ->
-      Hashtbl.remove t.remaining conn.Conn_view.cv_token);
+      Hashtbl.remove t.remaining conn.Conn_view.cv_token;
+      Hashtbl.remove t.performed conn.Conn_view.cv_token);
   t

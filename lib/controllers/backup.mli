@@ -22,6 +22,10 @@ type config = {
       (** local addresses to fail over to, in order of preference *)
   backup_destination : Ip.endpoint option;
       (** [None]: keep the initial destination *)
+  max_failovers : int;
+      (** per-connection cap on primary-to-backup switches (default 8): a
+          mobile client bouncing between radios must degrade into plain
+          TCP retries, not an unbounded create/remove storm *)
 }
 
 val default_config : backup_sources:Ip.t list -> unit -> config

@@ -64,12 +64,24 @@ let note_reconnect () =
   Smapp_obs.Metrics.incr m_reconnects;
   Smapp_obs.Trace.instant ~cat:"controller" "reconnect-scheduled"
 
+let m_stale_suppressed =
+  Smapp_obs.Metrics.counter
+    ~help:"reconnects suppressed because the source address was gone"
+    "ctrl_stale_reconnects_suppressed_total"
+
+let m_backoff_resets =
+  Smapp_obs.Metrics.counter
+    ~help:"reconnect budgets reset by a genuine subflow recovery"
+    "ctrl_backoff_resets_total"
+
 type t = {
   view : Conn_view.t;
   config : config;
   mutable locals : Ip.t list;
   mutable created : int;
   mutable reconnects : int;
+  mutable stale_suppressed : int;
+  mutable backoff_resets : int;
   (* (token, src, dst) pairs already requested, to keep the mesh idempotent;
      insertion-ordered so the teardown sweep below is deterministic *)
   requested : (int * int * int * int, int) Otable.t; (* -> reconnect attempts *)
@@ -78,6 +90,8 @@ type t = {
 let view t = t.view
 let subflows_created t = t.created
 let reconnects_scheduled t = t.reconnects
+let stale_reconnects_suppressed t = t.stale_suppressed
+let backoff_resets t = t.backoff_resets
 let local_addresses t = t.locals
 
 let key token src (dst : Ip.endpoint) =
@@ -103,36 +117,51 @@ let mesh t conn =
       (fun src -> List.iter (fun dst -> spawn t conn src dst) (remote_endpoints conn))
       t.locals
 
+let note_stale t =
+  t.stale_suppressed <- t.stale_suppressed + 1;
+  Smapp_obs.Metrics.incr m_stale_suppressed
+
 let schedule_reconnect t (conn : Conn_view.conn) (sub : Conn_view.sub) error =
   if error <> None then begin
     let flow = sub.Conn_view.sv_flow in
     let src = flow.Ip.src.Ip.addr and dst = flow.Ip.dst in
-    let k = key conn.Conn_view.cv_token src dst in
-    let attempts = match Otable.find t.requested k with Some n -> n | None -> 0 in
-    let delay = reconnect_delay t.config ~attempt:attempts error in
-    if attempts < t.config.max_reconnect_attempts then begin
-      Otable.add t.requested k (attempts + 1);
-      t.reconnects <- t.reconnects + 1;
-      note_reconnect ();
-      ignore
-        (Engine.after (Pm_lib.engine (Conn_view.pm t.view)) delay (fun () ->
-             (* only if the connection still exists and the pair is absent *)
-             match Conn_view.find t.view conn.Conn_view.cv_token with
-             | Some conn ->
-                 let already =
-                   List.exists
-                     (fun s ->
-                       Ip.equal s.Conn_view.sv_flow.Ip.src.Ip.addr src
-                       && Ip.equal_endpoint s.Conn_view.sv_flow.Ip.dst dst)
-                     conn.Conn_view.cv_subs
-                 in
-                 if (not already) && List.exists (Ip.equal src) t.locals then begin
-                   t.created <- t.created + 1;
-                   note_subflow_request ();
-                   Pm_lib.create_subflow (Conn_view.pm t.view)
-                     ~token:conn.Conn_view.cv_token ~src ~dst ()
-                 end
-             | None -> ()))
+    if not (List.exists (Ip.equal src) t.locals) then
+      (* the interface is gone (handover): reconnecting from a dead address
+         can only fail; the [New_local_addr] handler rebuilds the mesh if
+         and when the address returns *)
+      note_stale t
+    else begin
+      let k = key conn.Conn_view.cv_token src dst in
+      let attempts = match Otable.find t.requested k with Some n -> n | None -> 0 in
+      let delay = reconnect_delay t.config ~attempt:attempts error in
+      if attempts < t.config.max_reconnect_attempts then begin
+        Otable.add t.requested k (attempts + 1);
+        t.reconnects <- t.reconnects + 1;
+        note_reconnect ();
+        ignore
+          (Engine.after (Pm_lib.engine (Conn_view.pm t.view)) delay (fun () ->
+               (* only if the connection still exists and the pair is absent *)
+               match Conn_view.find t.view conn.Conn_view.cv_token with
+               | Some conn ->
+                   let already =
+                     List.exists
+                       (fun s ->
+                         Ip.equal s.Conn_view.sv_flow.Ip.src.Ip.addr src
+                         && Ip.equal_endpoint s.Conn_view.sv_flow.Ip.dst dst)
+                       conn.Conn_view.cv_subs
+                   in
+                   if already then ()
+                   else if not (List.exists (Ip.equal src) t.locals) then
+                     (* the address vanished while the timer was pending *)
+                     note_stale t
+                   else begin
+                     t.created <- t.created + 1;
+                     note_subflow_request ();
+                     Pm_lib.create_subflow (Conn_view.pm t.view)
+                       ~token:conn.Conn_view.cv_token ~src ~dst ()
+                   end
+               | None -> ()))
+      end
     end
   end
 
@@ -179,6 +208,15 @@ let per_conn state factory (conn0 : Conn_view.conn) =
     Otable.add requested (key flow.Ip.src.Ip.addr flow.Ip.dst) 0;
     mesh conn
   in
+  let on_sub_established _conn (sub : Conn_view.sub) =
+    (* genuine recovery resets the pair's backoff budget *)
+    let flow = sub.Conn_view.sv_flow in
+    let k = key flow.Ip.src.Ip.addr flow.Ip.dst in
+    (match Otable.find requested k with
+    | Some n when n > 0 -> Smapp_obs.Metrics.incr m_backoff_resets
+    | Some _ | None -> ());
+    Otable.add requested k 0
+  in
   let on_sub_closed _conn (sub : Conn_view.sub) error =
     if error <> None then begin
       let flow = sub.Conn_view.sv_flow in
@@ -213,7 +251,7 @@ let per_conn state factory (conn0 : Conn_view.conn) =
       end
     end
   in
-  { Factory.null_events with Factory.on_established; on_sub_closed }
+  { Factory.null_events with Factory.on_established; on_sub_established; on_sub_closed }
 
 let start pm config =
   let t_ref = ref None in
@@ -225,6 +263,28 @@ let start pm config =
         | Pm_msg.New_local_addr { addr; _ } ->
             if not (List.exists (Ip.equal addr) t.locals) then begin
               t.locals <- t.locals @ [ addr ];
+              (* handover return: forget request marks for pairs from this
+                 address that have no live subflow any more, so the mesh
+                 below rebuilds them with a fresh reconnect budget *)
+              let src_int = Ip.to_int addr in
+              Otable.iter
+                (fun ((tk, s, d, p) as k) _ ->
+                  if s = src_int then begin
+                    let live =
+                      match Conn_view.find t.view tk with
+                      | None -> false
+                      | Some conn ->
+                          List.exists
+                            (fun sub ->
+                              let f = sub.Conn_view.sv_flow in
+                              Ip.to_int f.Ip.src.Ip.addr = s
+                              && Ip.to_int f.Ip.dst.Ip.addr = d
+                              && f.Ip.dst.Ip.port = p)
+                            conn.Conn_view.cv_subs
+                    in
+                    if not live then Otable.remove t.requested k
+                  end)
+                t.requested;
               List.iter (mesh t) (Conn_view.conns t.view)
             end
         | Pm_msg.Del_local_addr { addr; _ } ->
@@ -249,6 +309,8 @@ let start pm config =
       locals = config.local_addresses;
       created = 0;
       reconnects = 0;
+      stale_suppressed = 0;
+      backoff_resets = 0;
       requested = Otable.create ~size:16 ();
     }
   in
@@ -260,6 +322,17 @@ let start pm config =
         (key conn.Conn_view.cv_token flow.Ip.src.Ip.addr flow.Ip.dst)
         0;
       mesh t conn);
+  Conn_view.on_sub_established view (fun conn sub ->
+      (* genuine recovery: the pair is live again, so its backoff budget
+         starts over (and pairs we never requested get marked as taken) *)
+      let flow = sub.Conn_view.sv_flow in
+      let k = key conn.Conn_view.cv_token flow.Ip.src.Ip.addr flow.Ip.dst in
+      (match Otable.find t.requested k with
+      | Some n when n > 0 ->
+          t.backoff_resets <- t.backoff_resets + 1;
+          Smapp_obs.Metrics.incr m_backoff_resets
+      | Some _ | None -> ());
+      Otable.add t.requested k 0);
   Conn_view.on_sub_closed view (fun conn sub error -> schedule_reconnect t conn sub error);
   Conn_view.on_conn_closed view (fun conn ->
       (* forget this connection's request marks *)

@@ -49,6 +49,18 @@ val view : t -> Conn_view.t
 
 val subflows_created : t -> int
 val reconnects_scheduled : t -> int
+
+val stale_reconnects_suppressed : t -> int
+(** Reconnects not even scheduled (or abandoned at fire time) because the
+    subflow's source address had left [local_addresses] — the handover
+    case: retrying from an address the host no longer owns is a storm, not
+    a recovery. *)
+
+val backoff_resets : t -> int
+(** Times a subflow's re-establishment zeroed its pair's reconnect-attempt
+    counter: after genuine recovery the next failure backs off from the
+    per-errno base again instead of continuing up the exponential curve. *)
+
 val local_addresses : t -> Ip.t list
 
 (** {2 Per-connection instantiation}

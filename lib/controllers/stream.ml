@@ -11,6 +11,7 @@ type config = {
   rto_limit : Time.span;
   spare_source : Ip.t;
   spare_destination : Ip.endpoint option;
+  max_spare_opens : int;
 }
 
 let default_config ~spare_source ?spare_destination () =
@@ -22,12 +23,14 @@ let default_config ~spare_source ?spare_destination () =
     rto_limit = Time.span_s 1;
     spare_source;
     spare_destination;
+    max_spare_opens = 4;
   }
 
 type conn_state = {
   token : int;
   mutable blocks_started : int;
   mutable spare_opened : bool;
+  mutable spare_opens : int;
   mutable timer : Engine.timer option;
 }
 
@@ -47,8 +50,9 @@ let checks_performed t = t.checks
 let pm t = Conn_view.pm t.view
 
 let open_spare t (conn : Conn_view.conn) st =
-  if not st.spare_opened then begin
+  if (not st.spare_opened) && st.spare_opens < t.config.max_spare_opens then begin
     st.spare_opened <- true;
+    st.spare_opens <- st.spare_opens + 1;
     t.opened <- t.opened + 1;
     let dst =
       Option.value t.config.spare_destination
@@ -77,7 +81,9 @@ let check_progress t st =
 let watch_connection t (conn : Conn_view.conn) =
   let token = conn.Conn_view.cv_token in
   if not (Hashtbl.mem t.states token) then begin
-    let st = { token; blocks_started = 0; spare_opened = false; timer = None } in
+    let st =
+      { token; blocks_started = 0; spare_opened = false; spare_opens = 0; timer = None }
+    in
     Hashtbl.replace t.states token st;
     (* block i starts at i * period (counting from establishment); check at
        start + check_after *)
@@ -100,12 +106,22 @@ let handle_timeout t token sub_id rto =
     | None -> ()
     | Some conn ->
         if Conn_view.find_sub conn sub_id <> None then begin
-          (* make sure the stream still has a path before cutting this one *)
-          (match Hashtbl.find_opt t.states token with
-          | Some st when List.length conn.Conn_view.cv_subs <= 1 -> open_spare t conn st
-          | Some _ | None -> ());
-          t.closed <- t.closed + 1;
-          Pm_lib.remove_subflow (pm t) ~token ~sub_id ()
+          (* make sure the stream still has a path before cutting this one:
+             with no alternative subflow, cut only if the spare budget still
+             allows opening a replacement — never leave the stream pathless *)
+          let have_alternative =
+            List.length conn.Conn_view.cv_subs > 1
+            ||
+            match Hashtbl.find_opt t.states token with
+            | Some st ->
+                open_spare t conn st;
+                st.spare_opened
+            | None -> false
+          in
+          if have_alternative then begin
+            t.closed <- t.closed + 1;
+            Pm_lib.remove_subflow (pm t) ~token ~sub_id ()
+          end
         end
   end
 
@@ -125,6 +141,17 @@ let start pm_lib config =
   in
   t_ref := Some t;
   Conn_view.on_conn_established view (fun conn -> watch_connection t conn);
+  Conn_view.on_sub_closed view (fun conn sub error ->
+      (* the spare itself died (e.g. its radio handed over): allow a fresh
+         one, within the [max_spare_opens] budget *)
+      if error <> None then
+        match Hashtbl.find_opt t.states conn.Conn_view.cv_token with
+        | Some st
+          when st.spare_opened
+               && Ip.equal sub.Conn_view.sv_flow.Ip.src.Ip.addr
+                    t.config.spare_source ->
+            st.spare_opened <- false
+        | Some _ | None -> ());
   Conn_view.on_conn_closed view (fun conn ->
       match Hashtbl.find_opt t.states conn.Conn_view.cv_token with
       | Some st ->

@@ -24,6 +24,10 @@ type config = {
   rto_limit : Time.span;  (** close a subflow whose RTO exceeds this, 1 s *)
   spare_source : Ip.t;  (** the other interface *)
   spare_destination : Ip.endpoint option;
+  max_spare_opens : int;
+      (** per-connection cap on spare establishments (default 4): the spare
+          may be re-opened after it dies with an error (handover churn),
+          but never unboundedly *)
 }
 
 val default_config :

@@ -59,6 +59,8 @@ let stop run =
 
 let attempts run = run.attempt
 
+let reset run = if not run.finished then run.attempt <- 0
+
 let rec arm run =
   if not run.finished then
     if run.attempt >= run.policy.max_attempts then begin

@@ -51,3 +51,9 @@ val stop : run -> unit
 
 val attempts : run -> int
 (** Attempts fired so far. *)
+
+val reset : run -> unit
+(** Signal partial success on a long-lived loop: the attempt counter goes
+    back to zero, so the next delay restarts from [base] and exhaustion is
+    pushed out by a full budget. The pending timer is left alone; a no-op
+    once the loop has finished. *)

@@ -197,3 +197,228 @@ let run_watchdog ?(seed = 42) ?(loss_at = 5.0) ?(duration = 15.0) () =
     w_bytes_at_loss = !bytes_at_loss;
     w_bytes_final = Connection.bytes_acked conn;
   }
+
+(* === data-plane chaos ======================================================== *)
+
+type dataplane_scenario = [ `Mobile | `Degrade | `Dualfade ]
+
+let dataplane_scenario_name = function
+  | `Mobile -> "mobile"
+  | `Degrade -> "degrade"
+  | `Dualfade -> "dualfade"
+
+type dataplane_result = {
+  dp_scenario : string;
+  dp_seed : int;
+  dp_bytes_sent : int;
+  dp_bytes_received : int;
+  dp_completed : bool;
+  dp_byte_exact : bool;
+  dp_completed_at_s : float option;
+  dp_handovers : int;
+  dp_failovers : int;
+  dp_subflow_requests : int;
+  dp_reconnects : int;
+  dp_stale_suppressed : int;
+  dp_cap_ok : bool;
+  dp_max_stall_s : float;
+  dp_stall_bound_s : float;
+  dp_live_ok : bool;
+  dp_link_drops : int;
+  dp_goodput_bps : float;
+}
+
+let dataplane_invariants_ok r =
+  r.dp_completed && r.dp_byte_exact && r.dp_live_ok && r.dp_cap_ok
+
+(* Graceful-degradation audit, shared by the three scenarios: a fixed bulk
+   transfer under a scripted storm of link modulation and handover, sampled
+   every 50 ms.
+
+   Invariants checked (per ISSUE 6):
+   - byte-exactness: the server receives exactly the bytes the client sent;
+   - liveness: whenever at least one path is usable (client NIC up, cable
+     up in both directions), app-level progress stalls no longer than the
+     scenario's bound — failover latency included;
+   - bounded churn: controller reconnects/failovers never exceed their
+     configured caps. *)
+let run_dataplane ?(scenario = `Mobile) ?(seed = 42) () =
+  let total, duration, stall_bound =
+    match scenario with
+    | `Mobile -> (12_000_000, 30.0, 3.0)
+    | `Degrade -> (8_000_000, 25.0, 5.0)
+    | `Dualfade -> (2_000_000, 25.0, 5.0)
+  in
+  let pair =
+    match scenario with
+    | `Mobile -> Harness.make_pair ~seed ()
+    | `Degrade ->
+        Harness.make_pair ~seed
+          ~rates_bps:[ 20_000_000.0; 10_000_000.0 ]
+          ~delays:[ Time.span_ms 10; Time.span_ms 30 ]
+          ()
+    | `Dualfade ->
+        Harness.make_pair ~seed ~rates_bps:[ 30_000_000.0; 30_000_000.0 ] ()
+  in
+  let engine = pair.Harness.engine in
+  let topo = pair.Harness.topo in
+  let cable i = (List.nth topo.Topology.paths i).Topology.cable in
+  let setup = Setup.attach pair.Harness.client_ep in
+  (* controller per scenario: the mesh controllers ride the handover churn,
+     break-before-make owns the dying primary *)
+  let fullmesh_config =
+    Fullmesh.default_config
+      ~local_addresses:[ Harness.client_addr pair 0; Harness.client_addr pair 1 ]
+      ()
+  in
+  let ctl =
+    match scenario with
+    | `Mobile | `Dualfade -> `F (Fullmesh.start setup.Setup.pm fullmesh_config)
+    | `Degrade ->
+        let config =
+          {
+            (Backup.default_config ~backup_sources:[ Harness.client_addr pair 1 ] ())
+            with
+            Backup.backup_destination = Some (Harness.server_endpoint pair 1 80);
+          }
+        in
+        `B (Backup.start setup.Setup.pm config)
+  in
+  (* scenario-specific data-plane storm *)
+  let mobility =
+    match scenario with
+    | `Mobile ->
+        ignore (Linkmodel.wifi engine (cable 0));
+        ignore (Linkmodel.lte engine (cable 1));
+        Some
+          (Linkmodel.Mobility.start engine
+             ~nics:(Host.nics topo.Topology.client)
+             {
+               Linkmodel.Mobility.first_handover = Time.span_s 1;
+               ho_period = Time.span_ms 1500;
+               break_for = Time.span_ms 250;
+               max_handovers = Some 4;
+             })
+    | `Degrade ->
+        (* primary fades in steps, then the cable is cut (in-flight packets
+           die with it) *)
+        ignore
+          (Linkmodel.play engine ~start:(Time.span_s 1) (cable 0)
+             [
+               Linkmodel.segment ~rate_bps:10_000_000.0 ~hold:(Time.span_s 1) ();
+               Linkmodel.segment ~rate_bps:4_000_000.0 ~loss:0.05
+                 ~hold:(Time.span_s 1) ();
+               Linkmodel.segment ~rate_bps:1_000_000.0 ~loss:0.15
+                 ~hold:(Time.span_s 1) ();
+             ]);
+        Netem.down_at engine (Time.add Time.zero (Time.span_s 4)) (cable 0);
+        None
+    | `Dualfade ->
+        (* one Gilbert-Elliott chain drives both cables: fully correlated
+           burst fades *)
+        ignore
+          (Linkmodel.burst_loss engine [ cable 0; cable 1 ] Linkmodel.default_ge);
+        None
+  in
+  (* bulk transfer client -> server; the server is a pure sink *)
+  let server_conn = ref None in
+  Endpoint.listen pair.Harness.server_ep ~port:80 (fun conn -> server_conn := Some conn);
+  let conn =
+    Endpoint.connect pair.Harness.client_ep
+      ~src:(Harness.client_addr pair 0)
+      ~dst:(Harness.server_endpoint pair 0 80)
+      ()
+  in
+  Connection.subscribe conn (function
+    | Connection.Established -> Connection.send conn total
+    | _ -> ());
+  (* liveness sampling *)
+  let path_usable i =
+    let p = List.nth topo.Topology.paths i in
+    List.exists (Ip.equal p.Topology.client_addr) (Host.addresses topo.Topology.client)
+    && Link.is_up p.Topology.cable.Topology.fwd
+    && Link.is_up p.Topology.cable.Topology.back
+  in
+  let sample_dt = 0.05 in
+  let last_bytes = ref 0 in
+  let stall = ref 0.0 in
+  let max_stall = ref 0.0 in
+  let completed_at = ref None in
+  ignore
+    (Engine.every engine (Time.span_ms 50) (fun () ->
+         (match !server_conn with
+         | Some sconn ->
+             let b = Connection.bytes_received sconn in
+             if !completed_at = None then
+               if b >= total then
+                 completed_at := Some (Time.to_float_s (Engine.now engine))
+               else if b > !last_bytes then begin
+                 last_bytes := b;
+                 stall := 0.0
+               end
+               else if path_usable 0 || path_usable 1 then begin
+                 (* a path is there and nothing moves: the clock on the
+                    controller's failover latency is running *)
+                 stall := !stall +. sample_dt;
+                 if !stall > !max_stall then max_stall := !stall
+               end
+               else stall := 0.0 (* total outage: nobody could make progress *)
+         | None -> ());
+         `Continue));
+  Harness.run_seconds engine duration;
+  let received =
+    match !server_conn with Some sconn -> Connection.bytes_received sconn | None -> 0
+  in
+  let handovers =
+    match mobility with Some m -> Linkmodel.Mobility.handovers m | None -> 0
+  in
+  let failovers, requests, reconnects, stale, cap_ok =
+    match ctl with
+    | `F f ->
+        (* pair budget: |locals| x |remote endpoints| = 2 x 2 *)
+        let cap = fullmesh_config.Fullmesh.max_reconnect_attempts * 4 in
+        ( 0,
+          Fullmesh.subflows_created f,
+          Fullmesh.reconnects_scheduled f,
+          Fullmesh.stale_reconnects_suppressed f,
+          Fullmesh.reconnects_scheduled f <= cap )
+    | `B b ->
+        let cap = (Backup.default_config ~backup_sources:[] ()).Backup.max_failovers in
+        (Backup.failovers b, 0, 0, 0, Backup.failovers b <= cap)
+  in
+  let link_drops =
+    List.fold_left
+      (fun acc i ->
+        acc
+        + (Link.stats (cable i).Topology.fwd).Link.dropped
+        + (Link.stats (cable i).Topology.back).Link.dropped)
+      0 [ 0; 1 ]
+  in
+  let elapsed = match !completed_at with Some t -> t | None -> duration in
+  {
+    dp_scenario = dataplane_scenario_name scenario;
+    dp_seed = seed;
+    dp_bytes_sent = total;
+    dp_bytes_received = received;
+    dp_completed = received >= total;
+    dp_byte_exact = received = total;
+    dp_completed_at_s = !completed_at;
+    dp_handovers = handovers;
+    dp_failovers = failovers;
+    dp_subflow_requests = requests;
+    dp_reconnects = reconnects;
+    dp_stale_suppressed = stale;
+    dp_cap_ok = cap_ok;
+    dp_max_stall_s = !max_stall;
+    dp_stall_bound_s = stall_bound;
+    dp_live_ok = !max_stall <= stall_bound;
+    dp_link_drops = link_drops;
+    dp_goodput_bps = float_of_int received *. 8.0 /. elapsed;
+  }
+
+let run_dataplane_grid ?pool ?(scenarios = [ `Mobile; `Degrade; `Dualfade ])
+    ?(seeds = Harness.seeds 3) () =
+  let cells =
+    List.concat_map (fun sc -> List.map (fun seed -> (sc, seed)) seeds) scenarios
+  in
+  Harness.sweep ?pool (fun (scenario, seed) -> run_dataplane ~scenario ~seed ()) cells

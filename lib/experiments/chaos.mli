@@ -73,3 +73,58 @@ val run_watchdog :
   ?seed:int -> ?loss_at:float -> ?duration:float -> unit -> watchdog_result
 (** Defaults: daemon lost at t = 5 s, run 15 s, 100 ms watchdog interval
     with threshold 3 and fullmesh fallback. *)
+
+(** {1 Data-plane chaos}
+
+    Where the scenarios above abuse the {e control} plane (a lossy Netlink
+    channel), these abuse the {e data} plane with {!Smapp_netsim.Linkmodel}:
+    time-varying wireless links, scheduled handover, burst loss and path
+    death — and audit graceful-degradation invariants. *)
+
+type dataplane_scenario =
+  [ `Mobile  (** WiFi+LTE client roaming on a handover schedule (fullmesh) *)
+  | `Degrade  (** primary fades in steps then the cable is cut (backup) *)
+  | `Dualfade  (** correlated Gilbert–Elliott fade on both paths (fullmesh) *)
+  ]
+
+val dataplane_scenario_name : dataplane_scenario -> string
+
+type dataplane_result = {
+  dp_scenario : string;
+  dp_seed : int;
+  dp_bytes_sent : int;  (** bytes the client committed to the stream *)
+  dp_bytes_received : int;  (** bytes the server's sink saw, in order *)
+  dp_completed : bool;
+  dp_byte_exact : bool;  (** received = sent exactly: nothing lost or duplicated *)
+  dp_completed_at_s : float option;
+  dp_handovers : int;  (** handovers the mobility schedule executed *)
+  dp_failovers : int;  (** backup-controller primary-to-backup switches *)
+  dp_subflow_requests : int;  (** mesh Create_subflow commands issued *)
+  dp_reconnects : int;  (** mesh reconnects scheduled after subflow errors *)
+  dp_stale_suppressed : int;  (** reconnects refused: source address was gone *)
+  dp_cap_ok : bool;  (** churn stayed within the controller's configured caps *)
+  dp_max_stall_s : float;
+      (** worst app-level progress stall observed while >= 1 path was
+          usable — the scenario's failover latency *)
+  dp_stall_bound_s : float;  (** the scenario's liveness bound *)
+  dp_live_ok : bool;  (** [dp_max_stall_s <= dp_stall_bound_s] *)
+  dp_link_drops : int;  (** queue overflows + down-link + in-flight kills *)
+  dp_goodput_bps : float;
+}
+
+val dataplane_invariants_ok : dataplane_result -> bool
+(** Completed, byte-exact, live within the stall bound, churn within caps. *)
+
+val run_dataplane :
+  ?scenario:dataplane_scenario -> ?seed:int -> unit -> dataplane_result
+(** One scenario at one seed. Deterministic: same scenario and seed, same
+    result, to the byte. *)
+
+val run_dataplane_grid :
+  ?pool:Smapp_par.Pool.t ->
+  ?scenarios:dataplane_scenario list ->
+  ?seeds:int list ->
+  unit ->
+  dataplane_result list
+(** Every scenario x seed cell (defaults: all three scenarios x 3 seeds),
+    across [pool]'s domains when given, results in grid order either way. *)

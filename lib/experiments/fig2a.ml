@@ -25,6 +25,7 @@ let run ?(seed = 42) ?(loss_after = 1.0) ?(loss = 0.30) ?(rto_threshold = 1.0)
       Smapp_controllers.Backup.rto_threshold = Time.span_of_float_s rto_threshold;
       backup_sources = [ Harness.client_addr pair 1 ];
       backup_destination = Some (Harness.server_endpoint pair 1 80);
+      max_failovers = 8;
     }
   in
   let controller = Smapp_controllers.Backup.start setup.Setup.pm controller_config in

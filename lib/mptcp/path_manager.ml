@@ -44,13 +44,20 @@ let mesh_sweep conn =
       (Host.addresses (Connection.host conn))
   end
 
-let fullmesh ?(subflows_per_pair = 1) () =
+(* With [remesh_on_error], a pair whose subflow dies with an error is
+   allowed this many re-creations before it is written off for good —
+   enough to ride out handover churn without turning a permanently dead
+   path into a join storm. *)
+let remesh_max_failures = 16
+
+let fullmesh ?(subflows_per_pair = 1) ?(remesh_on_error = false) () =
   let attach conn =
     if Connection.role conn = Connection.Client then begin
       let engine = Connection.engine conn in
       let delay = jittered engine in
       (* the set of (src, dst) pairs we already created or are creating *)
       let created = Hashtbl.create 7 in
+      let failures = Hashtbl.create 7 in
       let key src dst = (Ip.to_int src, Ip.to_int dst.Ip.addr, dst.Ip.port) in
       let mark src dst = Hashtbl.replace created (key src dst) () in
       let have src dst = Hashtbl.mem created (key src dst) in
@@ -83,8 +90,21 @@ let fullmesh ?(subflows_per_pair = 1) () =
       Connection.subscribe conn (function
         | Connection.Established -> mesh ()
         | Connection.Remote_add_addr (_, _) -> if Connection.established conn then mesh ()
+        | Connection.Subflow_closed (sf, err) ->
+            (* unmark errored pairs (bounded) so address churn can rebuild
+               them: the next mesh trigger recreates the subflow *)
+            if remesh_on_error && err <> None then begin
+              let f = Subflow.flow sf in
+              let k = key f.Ip.src.Ip.addr f.Ip.dst in
+              let n =
+                match Hashtbl.find_opt failures k with Some n -> n | None -> 0
+              in
+              if n < remesh_max_failures then begin
+                Hashtbl.replace failures k (n + 1);
+                Hashtbl.remove created k
+              end
+            end
         | Connection.Remote_rem_addr _ | Connection.Subflow_established _
-        | Connection.Subflow_closed (_, _)
         | Connection.Subflow_rto (_, _, _)
         | Connection.Data_received _ | Connection.Closed ->
             ());

@@ -15,10 +15,15 @@ type t
 
 val name : t -> string
 
-val fullmesh : ?subflows_per_pair:int -> unit -> t
+val fullmesh : ?subflows_per_pair:int -> ?remesh_on_error:bool -> unit -> t
 (** Create one subflow for every (local address x remote address) pair, as
     soon as the connection is established, the peer announces an address
-    (ADD_ADDR), or a local interface comes up. *)
+    (ADD_ADDR), or a local interface comes up. Like the kernel path
+    manager, a pair is normally created at most once per connection; with
+    [remesh_on_error] (default false), a pair whose subflow died with an
+    error becomes eligible again — bounded per pair — so handover churn
+    (address down, subflow times out, address returns) rebuilds the mesh
+    instead of leaving the connection on its surviving paths only. *)
 
 val ndiffports : n:int -> t
 (** Create [n] subflows (including the initial one) over the same address

@@ -20,6 +20,7 @@ type t = {
   mutable busy_until : Time.t;
   mutable dst : (Packet.t -> unit) option;
   mutable up : bool;
+  mutable gen : int;          (* bumped on every up->down transition *)
   stats : stats;
 }
 
@@ -39,6 +40,7 @@ let create engine ?(name = "link") ~rate_bps ~delay ?(loss = 0.0) ?(queue_capaci
     busy_until = Time.zero;
     dst = None;
     up = true;
+    gen = 0;
     stats = { sent = 0; delivered = 0; lost = 0; dropped = 0; bytes_delivered = 0 };
   }
 
@@ -67,12 +69,19 @@ let send t pkt =
         ignore
           (Engine.at t.engine tx_done (fun () -> t.queued <- t.queued - 1));
         if lost then t.stats.lost <- t.stats.lost + 1
-        else
+        else begin
+          (* A packet in flight when the link goes down is gone for good,
+             even if the link is back up by its nominal delivery time. *)
+          let gen = t.gen in
           ignore
             (Engine.at t.engine deliver_at (fun () ->
-                 t.stats.delivered <- t.stats.delivered + 1;
-                 t.stats.bytes_delivered <- t.stats.bytes_delivered + pkt.Packet.size;
-                 dst pkt))
+                 if t.gen <> gen then t.stats.dropped <- t.stats.dropped + 1
+                 else begin
+                   t.stats.delivered <- t.stats.delivered + 1;
+                   t.stats.bytes_delivered <- t.stats.bytes_delivered + pkt.Packet.size;
+                   dst pkt
+                 end))
+        end
       end
 
 let set_loss t loss =
@@ -84,7 +93,9 @@ let set_delay t delay = t.delay <- delay
 let delay t = t.delay
 let set_rate t rate = if rate <= 0.0 then invalid_arg "Link.set_rate" else t.rate_bps <- rate
 let rate_bps t = t.rate_bps
-let set_up t up = t.up <- up
+let set_up t up =
+  if t.up && not up then t.gen <- t.gen + 1;
+  t.up <- up
 let is_up t = t.up
 let stats t = t.stats
 let name t = t.name

@@ -41,6 +41,11 @@ val delay : t -> Time.span
 val set_rate : t -> float -> unit
 val rate_bps : t -> float
 val set_up : t -> bool -> unit
+(** [set_up t false] also kills every packet currently in flight: anything
+    queued or on the wire is deterministically discarded (counted in
+    [stats.dropped] at its nominal delivery time) and is not resurrected if
+    the link comes back up before that time — a cable pull, not a pause. *)
+
 val is_up : t -> bool
 val stats : t -> stats
 val name : t -> string

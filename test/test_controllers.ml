@@ -105,6 +105,67 @@ let test_fullmesh_tracks_interfaces () =
   checki "two local addrs known" 2 (List.length (C.Fullmesh.local_addresses ctl));
   checki "second subflow created" 2 (List.length (Connection.subflows conn))
 
+(* Handover churn: a subflow dies with an error while its source address is
+   still present, so a reconnect is scheduled — but the interface goes away
+   before the timer fires. The controller must not dial from a dead address;
+   when the address returns, the mesh is rebuilt with a fresh budget. *)
+let test_fullmesh_suppresses_stale_reconnect () =
+  let engine, topo, client_ep, _, accepted, setup = make () in
+  let ctl = C.Fullmesh.start setup.Setup.pm (fullmesh_config topo) in
+  let conn = connect topo client_ep in
+  let nic1 = List.nth (Host.nics topo.Topology.client) 1 in
+  (* t=3 s: the server resets the addr-1 subflow -> reconnect due at ~4 s *)
+  ignore
+    (Engine.after engine (Time.span_s 3) (fun () ->
+         match !accepted with
+         | Some sconn -> (
+             match
+               List.find_opt
+                 (fun sf -> not sf.Subflow.is_initial)
+                 (Connection.subflows sconn)
+             with
+             | Some sf -> Connection.remove_subflow sconn sf
+             | None -> Alcotest.fail "no subflow to reset")
+         | None -> Alcotest.fail "no server conn"));
+  (* t=3.5 s: handover — the interface (and its address) disappears *)
+  ignore
+    (Engine.at engine
+       (Time.add Time.zero (Time.span_ms 3500))
+       (fun () -> Host.set_nic_up nic1 false));
+  (* t=6 s: the interface returns *)
+  ignore
+    (Engine.at engine
+       (Time.add Time.zero (Time.span_s 6))
+       (fun () -> Host.set_nic_up nic1 true));
+  run engine 8000;
+  checki "reconnect was scheduled before the handover" 1
+    (C.Fullmesh.reconnects_scheduled ctl);
+  checki "and suppressed when it fired on a dead address" 1
+    (C.Fullmesh.stale_reconnects_suppressed ctl);
+  checki "mesh rebuilt once the address returned" 2
+    (List.length (Connection.subflows conn))
+
+let test_fullmesh_backoff_reset_on_recovery () =
+  let engine, topo, client_ep, _, accepted, setup = make () in
+  let ctl = C.Fullmesh.start setup.Setup.pm (fullmesh_config topo) in
+  let conn = connect topo client_ep in
+  ignore
+    (Engine.after engine (Time.span_s 3) (fun () ->
+         match !accepted with
+         | Some sconn -> (
+             match
+               List.find_opt
+                 (fun sf -> not sf.Subflow.is_initial)
+                 (Connection.subflows sconn)
+             with
+             | Some sf -> Connection.remove_subflow sconn sf
+             | None -> Alcotest.fail "no subflow to reset")
+         | None -> Alcotest.fail "no server conn"));
+  run engine 6000;
+  checki "mesh restored" 2 (List.length (Connection.subflows conn));
+  (* the reconnected pair came alive, so its backoff budget restarted *)
+  checki "backoff reset on genuine recovery" 1 (C.Fullmesh.backoff_resets ctl)
+
 (* --- backup --------------------------------------------------------------------- *)
 
 let test_backup_fails_over_on_rto () =
@@ -115,6 +176,7 @@ let test_backup_fails_over_on_rto () =
         C.Backup.rto_threshold = Time.span_s 1;
         backup_sources = [ addr topo 1 ];
         backup_destination = Some (Ip.endpoint (saddr topo 1) 80);
+        max_failovers = 8;
       }
   in
   let conn = connect topo client_ep in
@@ -144,6 +206,7 @@ let test_backup_ignores_short_rtos () =
         C.Backup.rto_threshold = Time.span_s 30 (* absurdly high: never trips *);
         backup_sources = [ addr topo 1 ];
         backup_destination = None;
+        max_failovers = 8;
       }
   in
   let conn = connect topo client_ep in
@@ -155,6 +218,75 @@ let test_backup_ignores_short_rtos () =
   Engine.run ~until:(Time.add Time.zero (Time.span_s 15)) engine;
   checki "no failover below threshold" 0 (C.Backup.failovers ctl);
   checki "still one subflow" 1 (List.length (Connection.subflows conn))
+
+(* Repeated handover: paths die one after another; each established backup
+   puts its source back on the shelf, so the controller can keep roaming. *)
+let make3 () =
+  let engine = Engine.create ~seed:77 () in
+  let topo = Topology.parallel_paths engine ~n:3 () in
+  let client_ep = Endpoint.of_host topo.Topology.client in
+  let server_ep = Endpoint.of_host topo.Topology.server in
+  let accepted = ref None in
+  Endpoint.listen server_ep ~port:80 (fun conn -> accepted := Some conn);
+  let setup = Setup.attach client_ep in
+  (engine, topo, client_ep, setup)
+
+(* Kill only the client->server direction: data on the path is lost (so the
+   sender's RTO grows), but the reverse links stay routable — like a radio
+   that can still hear the tower it can no longer reach. *)
+let kill_path engine topo i at_s =
+  ignore
+    (Engine.at engine
+       (Time.add Time.zero (Time.span_s at_s))
+       (fun () ->
+         Link.set_loss (List.nth topo.Topology.paths i).Topology.cable.Topology.fwd 1.0))
+
+let test_backup_roams_across_handovers () =
+  let engine, topo, client_ep, setup = make3 () in
+  let ctl =
+    C.Backup.start setup.Setup.pm
+      {
+        C.Backup.rto_threshold = Time.span_s 1;
+        backup_sources = [ addr topo 1; addr topo 2 ];
+        backup_destination = None;
+        max_failovers = 8;
+      }
+  in
+  let conn = connect topo client_ep in
+  Connection.subscribe conn (function
+    | Connection.Established -> Connection.send conn 50_000_000
+    | _ -> ());
+  kill_path engine topo 0 1;
+  kill_path engine topo 1 8;
+  kill_path engine topo 2 15;
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 21)) engine;
+  (* the third failover needs addr 1 back on the shelf: replenished when its
+     subflow established after failover #1 *)
+  checkb "kept roaming across successive path deaths" true
+    (C.Backup.failovers ctl >= 3);
+  checkb "never stormed past the cap" true (C.Backup.failovers ctl <= 8)
+
+let test_backup_failover_cap () =
+  let engine, topo, client_ep, setup = make3 () in
+  let ctl =
+    C.Backup.start setup.Setup.pm
+      {
+        C.Backup.rto_threshold = Time.span_s 1;
+        backup_sources = [ addr topo 1; addr topo 2 ];
+        backup_destination = None;
+        max_failovers = 2;
+      }
+  in
+  let conn = connect topo client_ep in
+  Connection.subscribe conn (function
+    | Connection.Established -> Connection.send conn 50_000_000
+    | _ -> ());
+  kill_path engine topo 0 1;
+  kill_path engine topo 1 8;
+  kill_path engine topo 2 15;
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 25)) engine;
+  (* timeouts keep firing after every path is dead, but the budget holds *)
+  checki "stops exactly at the cap" 2 (C.Backup.failovers ctl)
 
 (* --- stream --------------------------------------------------------------------- *)
 
@@ -204,6 +336,70 @@ let test_stream_closes_high_rto_subflow () =
       checkb "stream kept flowing" true (Connection.bytes_received sconn > 20 * 64 * 1024)
   | None -> Alcotest.fail "no server conn"
 
+(* The spare's own radio hands over: the spare subflow dies with an error,
+   and the controller is allowed to open a replacement — within its budget. *)
+let test_stream_reopens_spare_after_error () =
+  let engine, topo, client_ep, _, accepted, setup = make ~losses:[ 0.30; 0.0 ] () in
+  let ctl =
+    (* rto_limit out of the way: these tests isolate the progress-check path *)
+    C.Stream.start setup.Setup.pm
+      { (stream_config topo) with C.Stream.rto_limit = Time.span_s 60 }
+  in
+  let conn = connect topo client_ep in
+  Connection.subscribe conn (function
+    | Connection.Established ->
+        ignore (Smapp_apps.Stream_app.sender conn ~blocks:30 ())
+    | _ -> ());
+  (* t=10 s: the spare (the only non-initial subflow) dies with a reset *)
+  ignore
+    (Engine.after engine (Time.span_s 10) (fun () ->
+         match !accepted with
+         | Some sconn -> (
+             match
+               List.find_opt
+                 (fun sf -> not sf.Subflow.is_initial)
+                 (Connection.subflows sconn)
+             with
+             | Some sf -> Connection.remove_subflow sconn sf
+             | None -> Alcotest.fail "spare was never opened")
+         | None -> Alcotest.fail "no server conn"));
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 20)) engine;
+  checkb "spare re-opened after its radio died" true
+    (C.Stream.second_subflows_opened ctl >= 2);
+  checkb "within the budget" true (C.Stream.second_subflows_opened ctl <= 4)
+
+let test_stream_spare_open_cap () =
+  let engine, topo, client_ep, _, accepted, setup = make ~losses:[ 0.30; 0.0 ] () in
+  let ctl =
+    C.Stream.start setup.Setup.pm
+      {
+        (stream_config topo) with
+        C.Stream.max_spare_opens = 1;
+        rto_limit = Time.span_s 60;
+      }
+  in
+  let conn = connect topo client_ep in
+  Connection.subscribe conn (function
+    | Connection.Established ->
+        ignore (Smapp_apps.Stream_app.sender conn ~blocks:30 ())
+    | _ -> ());
+  ignore
+    (Engine.after engine (Time.span_s 10) (fun () ->
+         match !accepted with
+         | Some sconn -> (
+             match
+               List.find_opt
+                 (fun sf -> not sf.Subflow.is_initial)
+                 (Connection.subflows sconn)
+             with
+             | Some sf -> Connection.remove_subflow sconn sf
+             | None -> Alcotest.fail "spare was never opened")
+         | None -> Alcotest.fail "no server conn"));
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 20)) engine;
+  (* the stream stays behind for the rest of the run, but the budget is spent *)
+  checki "no reopen past the cap" 1 (C.Stream.second_subflows_opened ctl);
+  checki "back to a single path" 1 (List.length (Connection.subflows conn))
+
 (* --- refresh -------------------------------------------------------------------- *)
 
 let test_refresh_replaces_slowest () =
@@ -232,17 +428,27 @@ let () =
           Alcotest.test_case "builds mesh" `Quick test_fullmesh_builds_mesh;
           Alcotest.test_case "reconnects after rst" `Quick test_fullmesh_reconnects_after_rst;
           Alcotest.test_case "tracks interfaces" `Quick test_fullmesh_tracks_interfaces;
+          Alcotest.test_case "suppresses stale reconnect" `Quick
+            test_fullmesh_suppresses_stale_reconnect;
+          Alcotest.test_case "backoff reset on recovery" `Quick
+            test_fullmesh_backoff_reset_on_recovery;
         ] );
       ( "backup",
         [
           Alcotest.test_case "fails over on rto" `Quick test_backup_fails_over_on_rto;
           Alcotest.test_case "respects threshold" `Quick test_backup_ignores_short_rtos;
+          Alcotest.test_case "roams across handovers" `Quick
+            test_backup_roams_across_handovers;
+          Alcotest.test_case "failover cap" `Quick test_backup_failover_cap;
         ] );
       ( "stream",
         [
           Alcotest.test_case "opens spare when behind" `Quick test_stream_opens_spare_when_behind;
           Alcotest.test_case "single path when clean" `Quick test_stream_stays_single_path_when_clean;
           Alcotest.test_case "closes high-rto subflow" `Quick test_stream_closes_high_rto_subflow;
+          Alcotest.test_case "reopens spare after error" `Quick
+            test_stream_reopens_spare_after_error;
+          Alcotest.test_case "spare open cap" `Quick test_stream_spare_open_cap;
         ] );
       ("refresh", [ Alcotest.test_case "replaces slowest" `Quick test_refresh_replaces_slowest ]);
     ]

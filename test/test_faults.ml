@@ -97,6 +97,89 @@ let test_retry_loop_exhausts () =
   Alcotest.(check (list int)) "three attempts" [ 2; 1; 0 ] !fired;
   checkb "exhausted fired" true !dead
 
+let test_retry_loop_cap_respected () =
+  let engine = Engine.create ~seed:1 () in
+  let p =
+    {
+      Retry.base = Time.span_ms 10;
+      factor = 2.0;
+      max_delay = Time.span_ms 40;
+      max_attempts = 6;
+      jitter = 0.0;
+    }
+  in
+  let times = ref [] in
+  let _run =
+    Retry.start engine p
+      ~body:(fun ~attempt:_ ->
+        times := Time.to_float_s (Engine.now engine) :: !times)
+      ~exhausted:(fun () -> ())
+      ()
+  in
+  run engine 1000;
+  let ts = List.rev !times in
+  checki "six attempts" 6 (List.length ts);
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b -. a) :: gaps rest
+    | _ -> []
+  in
+  (* once the schedule hits max_delay, every inter-attempt gap stays there *)
+  List.iter
+    (fun g -> checkb "gap never exceeds the cap" true (g <= 0.040 +. 1e-9))
+    (gaps ts)
+
+let test_retry_jitter_deterministic () =
+  let p =
+    {
+      Retry.base = Time.span_ms 100;
+      factor = 2.0;
+      max_delay = Time.span_s 1;
+      max_attempts = 6;
+      jitter = 0.2;
+    }
+  in
+  let delays seed =
+    let rng = Rng.of_int seed in
+    List.init 6 (fun a -> Time.span_to_float_s (Retry.delay_for ~rng p ~attempt:a))
+  in
+  checkb "same seed, same schedule" true (delays 7 = delays 7);
+  checkb "different seed, different schedule" true (delays 7 <> delays 8)
+
+let test_retry_reset_on_success () =
+  let engine = Engine.create ~seed:1 () in
+  let p =
+    {
+      Retry.base = Time.span_ms 10;
+      factor = 2.0;
+      max_delay = Time.span_ms 40;
+      max_attempts = 3;
+      jitter = 0.0;
+    }
+  in
+  let fires = ref 0 in
+  let dead = ref false in
+  let run_ref = ref None in
+  let r =
+    Retry.start engine p
+      ~body:(fun ~attempt:_ ->
+        incr fires;
+        if !fires = 3 then (
+          (* partial success: the loop keeps running but its budget refills *)
+          match !run_ref with
+          | Some r ->
+              Retry.reset r;
+              checki "counter back to zero" 0 (Retry.attempts r)
+          | None -> ())
+        else if !fires = 6 then
+          match !run_ref with Some r -> Retry.stop r | None -> ())
+      ~exhausted:(fun () -> dead := true)
+      ()
+  in
+  run_ref := Some r;
+  run engine 1000;
+  checki "reset bought a fresh budget" 6 !fires;
+  checkb "never exhausted" false !dead
+
 (* --- channel faults ---------------------------------------------------------- *)
 
 let test_buffer_overflow_enobufs () =
@@ -296,6 +379,12 @@ let () =
           Alcotest.test_case "growth and cap" `Quick test_retry_growth_and_cap;
           Alcotest.test_case "jitter band" `Quick test_retry_jitter_band;
           Alcotest.test_case "loop exhausts" `Quick test_retry_loop_exhausts;
+          Alcotest.test_case "loop cap respected" `Quick
+            test_retry_loop_cap_respected;
+          Alcotest.test_case "jitter deterministic" `Quick
+            test_retry_jitter_deterministic;
+          Alcotest.test_case "reset on success" `Quick
+            test_retry_reset_on_success;
         ] );
       ( "channel",
         [

@@ -83,6 +83,21 @@ let test_fig2c_refresh_beats_ndiffports () =
         (Stats.Cdf.quantile cr q <= Stats.Cdf.quantile cn q))
     [ 0.90; 1.0 ]
 
+(* === mobility chaos: handover churn stays graceful ========================== *)
+
+let test_mobile_handover_golden () =
+  let r = E.Chaos.run_dataplane ~scenario:`Mobile ~seed:42 () in
+  checkb "all degradation invariants hold" true (E.Chaos.dataplane_invariants_ok r);
+  checki "handover count" 4 r.E.Chaos.dp_handovers;
+  checki "byte-exact delivery" 12_000_000 r.E.Chaos.dp_bytes_received;
+  (* worst progress stall across four handovers — the failover latency *)
+  checkf 1e-6 "failover latency" 1.50 r.E.Chaos.dp_max_stall_s;
+  match r.E.Chaos.dp_completed_at_s with
+  | None -> Alcotest.fail "transfer did not complete"
+  | Some t ->
+      checkf 1e-3 "completion time" 10.15 t;
+      checkf 1e4 "final goodput" 9.46e6 r.E.Chaos.dp_goodput_bps
+
 (* === sequential vs pooled: bit-identical results ============================ *)
 
 let with_pool4 f =
@@ -113,6 +128,11 @@ let test_fig2b_pool_identical () =
       in
       checkb "fig2b: seq = pool" true (run () = run ~pool ()))
 
+let test_dataplane_pool_identical () =
+  with_pool4 (fun pool ->
+      let run ?pool () = E.Chaos.run_dataplane_grid ?pool () in
+      checkb "dataplane grid: seq = pool" true (run () = run ~pool ()))
+
 let () =
   Alcotest.run "smapp_golden"
     [
@@ -122,11 +142,15 @@ let () =
           Alcotest.test_case "fig3 userspace delta" `Quick test_fig3_delta;
           Alcotest.test_case "fig2c refresh beats ndiffports" `Quick
             test_fig2c_refresh_beats_ndiffports;
+          Alcotest.test_case "mobile handover chaos" `Quick
+            test_mobile_handover_golden;
         ] );
       ( "seq-vs-pool",
         [
           Alcotest.test_case "fig2c identical" `Quick test_fig2c_pool_identical;
           Alcotest.test_case "fig3 identical" `Quick test_fig3_pool_identical;
           Alcotest.test_case "fig2b identical" `Quick test_fig2b_pool_identical;
+          Alcotest.test_case "dataplane grid identical" `Quick
+            test_dataplane_pool_identical;
         ] );
     ]

@@ -118,6 +118,36 @@ let test_link_down_drops () =
   Engine.run e;
   checki "nothing delivered" 0 !count
 
+let test_link_down_kills_in_flight () =
+  let e = Engine.create () in
+  let link = Link.create e ~rate_bps:1e6 ~delay:(Time.span_ms 1) () in
+  let count = ref 0 in
+  Link.set_dst link (fun _ -> incr count);
+  (* 1000 B at 1 Mbit/s = 8 ms tx + 1 ms prop: the cable is pulled at 5 ms,
+     mid-transmission *)
+  Link.send link (raw_packet ());
+  ignore (Engine.at e (Time.of_ns 5_000_000) (fun () -> Link.set_up link false));
+  Engine.run e;
+  checki "nothing delivered" 0 !count;
+  checki "counted as dropped" 1 (Link.stats link).Link.dropped;
+  checki "not counted as delivered" 0 (Link.stats link).Link.delivered
+
+let test_link_up_again_does_not_resurrect () =
+  let e = Engine.create () in
+  let link = Link.create e ~rate_bps:1e6 ~delay:(Time.span_ms 1) () in
+  let count = ref 0 in
+  Link.set_dst link (fun _ -> incr count);
+  Link.send link (raw_packet ());
+  (* a down/up blip strictly inside the packet's flight window: the packet
+     died with the link and must not come back with it *)
+  ignore (Engine.at e (Time.of_ns 5_000_000) (fun () -> Link.set_up link false));
+  ignore (Engine.at e (Time.of_ns 6_000_000) (fun () -> Link.set_up link true));
+  (* a packet sent after recovery flows normally *)
+  ignore (Engine.at e (Time.of_ns 7_000_000) (fun () -> Link.send link (raw_packet ())));
+  Engine.run e;
+  checki "only the post-recovery packet arrives" 1 !count;
+  checki "the in-flight one was dropped" 1 (Link.stats link).Link.dropped
+
 (* --- Host ---------------------------------------------------------------------- *)
 
 let test_host_routes_by_source () =
@@ -269,6 +299,152 @@ let test_netem_flap () =
   Engine.run e;
   checkb "up again" true (Host.nic_up nic)
 
+let test_netem_flap_every () =
+  let e = Engine.create () in
+  let host = Host.create e "h" in
+  let nic = Host.add_nic host ~name:"eth0" ~addr:(Ip.v4 192 168 0 1) in
+  Netem.flap_nic_every e nic ~first_down:(Time.of_ns 5_000_000)
+    ~down_for:(Time.span_ms 2) ~period:(Time.span_ms 10) ~count:2 ();
+  Engine.run ~until:(Time.of_ns 6_000_000) e;
+  checkb "cycle 1: down" false (Host.nic_up nic);
+  Engine.run ~until:(Time.of_ns 8_000_000) e;
+  checkb "cycle 1: recovered" true (Host.nic_up nic);
+  Engine.run ~until:(Time.of_ns 16_000_000) e;
+  checkb "cycle 2: down" false (Host.nic_up nic);
+  Engine.run ~until:(Time.of_ns 18_000_000) e;
+  checkb "cycle 2: recovered" true (Host.nic_up nic);
+  (* count=2: no third cycle *)
+  Engine.run e;
+  checkb "stays up" true (Host.nic_up nic)
+
+(* --- Linkmodel ------------------------------------------------------------------ *)
+
+let one_cable seed =
+  let e = Engine.create ~seed () in
+  let p = Topology.parallel_paths e ~n:1 () in
+  (e, (List.hd p.Topology.paths).Topology.cable)
+
+let test_linkmodel_play () =
+  let e, cable = one_cable 1 in
+  ignore
+    (Linkmodel.play e cable
+       [
+         Linkmodel.segment ~rate_bps:5e6 ~hold:(Time.span_ms 10) ();
+         Linkmodel.segment ~rate_bps:1e6 ~loss:0.2 ~hold:(Time.span_ms 10) ();
+       ]);
+  Engine.run ~until:(Time.of_ns 5_000_000) e;
+  Alcotest.(check (float 1e-6)) "segment 1 rate" 5e6 (Link.rate_bps cable.Topology.fwd);
+  Alcotest.(check (float 1e-6)) "segment 1 loss untouched" 0.0
+    (Link.loss cable.Topology.fwd);
+  Engine.run ~until:(Time.of_ns 15_000_000) e;
+  Alcotest.(check (float 1e-6)) "segment 2 rate" 1e6 (Link.rate_bps cable.Topology.fwd);
+  Alcotest.(check (float 1e-6)) "segment 2 loss" 0.2 (Link.loss cable.Topology.back);
+  Engine.run e;
+  (* trace over (no repeat): last values stick *)
+  Alcotest.(check (float 1e-6)) "final rate" 1e6 (Link.rate_bps cable.Topology.fwd)
+
+let test_linkmodel_play_repeat () =
+  let e, cable = one_cable 1 in
+  let h =
+    Linkmodel.play e ~repeat:true cable
+      [
+        Linkmodel.segment ~rate_bps:5e6 ~hold:(Time.span_ms 10) ();
+        Linkmodel.segment ~rate_bps:1e6 ~hold:(Time.span_ms 10) ();
+      ]
+  in
+  Engine.run ~until:(Time.of_ns 25_000_000) e;
+  Alcotest.(check (float 1e-6)) "looped back to segment 1" 5e6
+    (Link.rate_bps cable.Topology.fwd);
+  Linkmodel.stop h;
+  Engine.run ~until:(Time.of_ns 60_000_000) e;
+  Alcotest.(check (float 1e-6)) "stopped: value frozen" 5e6
+    (Link.rate_bps cable.Topology.fwd)
+
+let ge_samples seed =
+  let e, cable = one_cable seed in
+  let ge =
+    { Linkmodel.default_ge with Linkmodel.p_good_to_bad = 0.3; ge_step = Time.span_ms 10 }
+  in
+  ignore (Linkmodel.burst_loss e [ cable ] ge);
+  let samples = ref [] in
+  ignore
+    (Engine.every e (Time.span_ms 10) (fun () ->
+         samples := Link.loss cable.Topology.fwd :: !samples;
+         `Continue));
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 1)) e;
+  List.rev !samples
+
+let test_linkmodel_ge_deterministic () =
+  let a = ge_samples 9 and b = ge_samples 9 in
+  checkb "same seed, same loss history" true (a = b);
+  checkb "visits the Bad state" true
+    (List.exists (fun l -> l > 0.39 && l < 0.41) a);
+  checkb "visits the Good state" true (List.exists (fun l -> l < 0.01) a)
+
+let test_linkmodel_ge_correlated () =
+  let e = Engine.create ~seed:9 () in
+  let p = Topology.parallel_paths e ~n:2 () in
+  let c0 = (List.nth p.Topology.paths 0).Topology.cable
+  and c1 = (List.nth p.Topology.paths 1).Topology.cable in
+  let ge =
+    { Linkmodel.default_ge with Linkmodel.p_good_to_bad = 0.3; ge_step = Time.span_ms 10 }
+  in
+  ignore (Linkmodel.burst_loss e [ c0; c1 ] ge);
+  ignore
+    (Engine.every e (Time.span_ms 10) (fun () ->
+         checkb "one chain drives both cables" true
+           (Link.loss c0.Topology.fwd = Link.loss c1.Topology.fwd
+           && Link.loss c0.Topology.back = Link.loss c1.Topology.back);
+         `Continue));
+  Engine.run ~until:(Time.add Time.zero (Time.span_s 1)) e
+
+let test_linkmodel_wifi_deterministic () =
+  let samples seed =
+    let e, cable = one_cable seed in
+    ignore (Linkmodel.wifi e cable);
+    let out = ref [] in
+    ignore
+      (Engine.every e (Time.span_ms 100) (fun () ->
+           out := Link.rate_bps cable.Topology.fwd :: !out;
+           `Continue));
+    Engine.run ~until:(Time.add Time.zero (Time.span_s 3)) e;
+    List.rev !out
+  in
+  let a = samples 11 in
+  checkb "same seed, same trajectory" true (a = samples 11);
+  List.iter
+    (fun r -> checkb "rate within the MCS ladder" true (r >= 6.5e6 && r <= 65e6))
+    a;
+  checkb "rate actually varies" true (List.length (List.sort_uniq compare a) > 1)
+
+let test_linkmodel_mobility () =
+  let e = Engine.create () in
+  let host = Host.create e "h" in
+  let nic0 = Host.add_nic host ~name:"wlan0" ~addr:(Ip.v4 10 0 0 1) in
+  let nic1 = Host.add_nic host ~name:"lte0" ~addr:(Ip.v4 10 0 1 1) in
+  let m =
+    Linkmodel.Mobility.start e ~nics:[ nic0; nic1 ]
+      {
+        Linkmodel.Mobility.first_handover = Time.span_ms 10;
+        ho_period = Time.span_ms 20;
+        break_for = Time.span_ms 5;
+        max_handovers = Some 3;
+      }
+  in
+  checkb "starts on nic0" true (Host.nic_up nic0);
+  checkb "nic1 parked" false (Host.nic_up nic1);
+  Engine.run ~until:(Time.of_ns 12_000_000) e;
+  checkb "break-before-make: nic0 down" false (Host.nic_up nic0);
+  checkb "break-before-make: nic1 not yet up" false (Host.nic_up nic1);
+  Engine.run ~until:(Time.of_ns 16_000_000) e;
+  checkb "nic1 took over" true (Host.nic_up nic1);
+  checkb "nic0 still down" false (Host.nic_up nic0);
+  Engine.run ~until:(Time.of_ns 36_000_000) e;
+  checkb "handover 2: back on nic0" true (Host.nic_up nic0);
+  checkb "handover 2: nic1 down again" false (Host.nic_up nic1);
+  Engine.run e;
+  checki "three handovers executed" 3 (Linkmodel.Mobility.handovers m)
+
 let () =
   Alcotest.run "netsim"
     [
@@ -287,6 +463,10 @@ let () =
           Alcotest.test_case "queue overflow" `Quick test_link_queue_overflow;
           Alcotest.test_case "loss rate" `Quick test_link_loss_rate;
           Alcotest.test_case "down drops" `Quick test_link_down_drops;
+          Alcotest.test_case "down kills in flight" `Quick
+            test_link_down_kills_in_flight;
+          Alcotest.test_case "re-up does not resurrect" `Quick
+            test_link_up_again_does_not_resurrect;
         ] );
       ( "host",
         [
@@ -306,5 +486,19 @@ let () =
         [
           Alcotest.test_case "loss at" `Quick test_netem_loss_at;
           Alcotest.test_case "nic flap" `Quick test_netem_flap;
+          Alcotest.test_case "periodic flap" `Quick test_netem_flap_every;
+        ] );
+      ( "linkmodel",
+        [
+          Alcotest.test_case "trace playback" `Quick test_linkmodel_play;
+          Alcotest.test_case "trace repeat and stop" `Quick
+            test_linkmodel_play_repeat;
+          Alcotest.test_case "gilbert-elliott deterministic" `Quick
+            test_linkmodel_ge_deterministic;
+          Alcotest.test_case "gilbert-elliott correlated" `Quick
+            test_linkmodel_ge_correlated;
+          Alcotest.test_case "wifi deterministic" `Quick
+            test_linkmodel_wifi_deterministic;
+          Alcotest.test_case "mobility handover" `Quick test_linkmodel_mobility;
         ] );
     ]
