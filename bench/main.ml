@@ -333,7 +333,7 @@ let chaos () =
 
   subbanner "data-plane chaos: time-varying links, handover churn";
   Printf.printf
-    "three scenarios x three seeds; every cell must deliver byte-exactly,\n\
+    "four scenarios x three seeds; every cell must deliver byte-exactly,\n\
      stay live within its stall bound while a path is up, and keep its\n\
      controller churn inside the configured caps.\n\n";
   let grid = E.Chaos.run_dataplane_grid ?pool () in
@@ -364,7 +364,7 @@ let chaos () =
             (name ^ "_goodput_mbps")
             (List.fold_left (fun s r -> s +. r.E.Chaos.dp_goodput_bps) 0.0 rs
             /. (1e6 *. float_of_int (List.length rs))))
-    [ "mobile"; "degrade"; "dualfade" ];
+    [ "mobile"; "degrade"; "dualfade"; "regionfail" ];
   metric "dataplane_cells" (float_of_int (List.length grid));
   metric "dataplane_invariants_ok"
     (if List.for_all E.Chaos.dataplane_invariants_ok grid then 1.0 else 0.0)
@@ -456,6 +456,87 @@ let workload () =
       let cdf = Stats.Cdf.of_samples samples in
       metric "fct_p50_s" (Stats.Cdf.quantile cdf 0.5);
       metric "fct_p90_s" (Stats.Cdf.quantile cdf 0.9))
+
+(* ------------------------------------------------------------ sharding *)
+
+(* The same scenario on several engines: the workload above at shards
+   1/2/4 under the conservative-window executor, windows across parallel
+   lanes when the host has the cores. Identity is the acceptance gate —
+   every sharded digest must equal the sequential one bit-for-bit; the
+   wall columns show what the windows cost (barriers every lookahead) or
+   buy (lanes on real cores). Wall times here are wall-clock
+   ([Workload.wall_s] is process CPU, which double-counts parallel
+   lanes). The regionfail comparison extends the same gate to a chaos
+   scenario with live faults. *)
+let shard_bench () =
+  banner "Sharded engine — conservative windows, one scenario, N engines";
+  let open Smapp_workload in
+  let conns = scale ~q:500 ~d:2000 ~f:4000 in
+  let config =
+    {
+      Workload.default_config with
+      Workload.conns;
+      arrival_rate = float_of_int conns;
+      flow_dist = Workload.Fixed 200_000;
+    }
+  in
+  let available = Domain.recommended_domain_count () in
+  Printf.printf
+    "%d conns on the workload fabric at shards 1/2/4; lanes use min(shards,\n\
+     %d) domains. Every digest must match shards=1 exactly.\n\n"
+    conns available;
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let base, base_wall = timed (fun () -> Workload.run config) in
+  let base_digest = Workload.digest base in
+  Printf.printf "shards 1: %6.2f s wall, %8.0f events/s  (digest %s)\n" base_wall
+    (float_of_int base.Workload.engine_events /. base_wall)
+    base_digest;
+  metric "conns" (float_of_int conns);
+  metric "domains_available" (float_of_int available);
+  metric "shard1_wall_s" base_wall;
+  metric "shard1_events_per_sec"
+    (float_of_int base.Workload.engine_events /. base_wall);
+  let all_identical = ref true in
+  List.iter
+    (fun shards ->
+      let cfg = { config with Workload.shards } in
+      let lanes_domains = min shards available in
+      let r, wall =
+        timed (fun () ->
+            if lanes_domains > 1 then begin
+              let lanes = Smapp_par.Lanes.create ~domains:lanes_domains in
+              Fun.protect
+                ~finally:(fun () -> Smapp_par.Lanes.shutdown lanes)
+                (fun () -> Workload.run ~lanes cfg)
+            end
+            else Workload.run cfg)
+      in
+      let identical = Workload.digest r = base_digest in
+      if not identical then all_identical := false;
+      Printf.printf "shards %d: %6.2f s wall, %8.0f events/s  -> %s\n" shards wall
+        (float_of_int r.Workload.engine_events /. wall)
+        (if identical then "identical" else "DIVERGED");
+      metric (Printf.sprintf "shard%d_wall_s" shards) wall;
+      metric
+        (Printf.sprintf "shard%d_events_per_sec" shards)
+        (float_of_int r.Workload.engine_events /. wall);
+      metric
+        (Printf.sprintf "shard%d_identical" shards)
+        (if identical then 1.0 else 0.0))
+    [ 2; 4 ];
+  (* the chaos-under-shards gate: live NIC faults, sharded, still exact *)
+  let rf1 = E.Chaos.run_dataplane ~scenario:`Regionfail ~seed:42 () in
+  let rf4 = E.Chaos.run_dataplane ~scenario:`Regionfail ~seed:42 ~shards:4 () in
+  let rf_identical = rf1 = rf4 in
+  if not rf_identical then all_identical := false;
+  Printf.printf "regionfail chaos, shards 4 vs 1: %s\n"
+    (if rf_identical then "identical" else "DIVERGED");
+  metric "regionfail_shard_identical" (if rf_identical then 1.0 else 0.0);
+  metric "identical" (if !all_identical then 1.0 else 0.0)
 
 (* ---------------------------------------------------- parallel sweeps *)
 
@@ -703,6 +784,7 @@ let () =
   section "fullmesh" fullmesh;
   section "chaos" chaos;
   section "workload" workload;
+  section "shard" shard_bench;
   section "par" par_bench;
   section "check" check_overhead;
   section "obs" obs_overhead;

@@ -291,14 +291,23 @@ let pp_dataplane r =
     (r.E.Chaos.dp_goodput_bps /. 1e6)
     (if E.Chaos.dataplane_invariants_ok r then "ok" else "INVARIANT VIOLATION")
 
-let run_chaos scenario seed drop grid jobs trace =
+let run_chaos scenario seed drop grid shards jobs trace =
   with_pool ~tracing:(trace <> None) jobs @@ fun pool ->
+  if shards < 1 then invalid_arg "--shards expects a positive count";
   let dataplane scenarios =
     Printf.printf
       "Data-plane chaos: time-varying links, handover churn, degradation audit\n";
+    if shards > 1 then
+      Printf.printf
+        "note: --shards %d applies to regionfail; the cable-modulation \
+         scenarios are single-engine by construction\n"
+        shards;
     let results =
-      if grid then E.Chaos.run_dataplane_grid ?pool ~scenarios ()
-      else List.map (fun scenario -> E.Chaos.run_dataplane ~scenario ~seed ()) scenarios
+      if grid then E.Chaos.run_dataplane_grid ?pool ~scenarios ~shards ()
+      else
+        List.map
+          (fun scenario -> E.Chaos.run_dataplane ~scenario ~seed ~shards ())
+          scenarios
     in
     List.iter pp_dataplane results;
     if not (List.for_all E.Chaos.dataplane_invariants_ok results) then begin
@@ -311,7 +320,8 @@ let run_chaos scenario seed drop grid jobs trace =
     | `Mobile -> dataplane [ `Mobile ]
     | `Degrade -> dataplane [ `Degrade ]
     | `Dualfade -> dataplane [ `Dualfade ]
-    | `Dataplane -> dataplane [ `Mobile; `Degrade; `Dualfade ]
+    | `Regionfail -> dataplane [ `Regionfail ]
+    | `Dataplane -> dataplane [ `Mobile; `Degrade; `Dualfade; `Regionfail ]
     | `Control ->
         Printf.printf
           "Chaos: fullmesh controller over a lossy Netlink channel + daemon restart\n";
@@ -362,6 +372,7 @@ let chaos_cmd =
                ("mobile", `Mobile);
                ("degrade", `Degrade);
                ("dualfade", `Dualfade);
+               ("regionfail", `Regionfail);
                ("dataplane", `Dataplane);
              ])
           `Control
@@ -369,14 +380,25 @@ let chaos_cmd =
           ~doc:
             "One of control (lossy Netlink + daemon restart), mobile (WiFi/LTE \
              handover roaming), degrade (primary fades then dies), dualfade \
-             (correlated burst loss on both paths), dataplane (all three \
+             (correlated burst loss on both paths), regionfail (half the \
+             workload clients lose a NIC; shardable), dataplane (all four \
              data-plane scenarios). Data-plane runs exit non-zero if a \
              graceful-degradation invariant is violated.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run shardable data-plane scenarios across $(docv) engines \
+             (conservative windows); results are byte-identical to --shards 1.")
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Fault injection: control-plane convergence and data-plane degradation")
-    Term.(const run_chaos $ scenario $ seed $ drop $ grid $ jobs_arg $ trace_arg)
+    Term.(
+      const run_chaos $ scenario $ seed $ drop $ grid $ shards $ jobs_arg
+      $ trace_arg)
 
 (* --- workload ----------------------------------------------------------------- *)
 
@@ -414,10 +436,20 @@ let flow_dist_conv =
 let controller_conv =
   Arg.enum [ ("none", `None); ("fullmesh", `Fullmesh); ("backup", `Backup) ]
 
-let run_workload conns arrival_rate flow_dist controller clients servers paths seed runs
-    jobs trace =
+let run_workload conns arrival_rate flow_dist controller clients servers paths shards
+    seed runs jobs trace =
   with_pool ~tracing:(trace <> None) jobs @@ fun pool ->
   let open Smapp_workload in
+  if shards < 1 then invalid_arg "--shards expects a positive count";
+  let shards =
+    if shards > 1 && trace <> None then begin
+      (* each shard traces into its private scope, invisible to the
+         exported buffer — same reason --trace forces --jobs 1 *)
+      Printf.printf "note: --trace forces --shards 1\n";
+      1
+    end
+    else shards
+  in
   let config =
     {
       Workload.default_config with
@@ -429,17 +461,30 @@ let run_workload conns arrival_rate flow_dist controller clients servers paths s
       servers;
       paths;
       seed;
+      shards;
     }
   in
   if runs < 1 then invalid_arg "--runs expects a positive count";
   Printf.printf
-    "workload: %d conns at %g/s, %d clients x %d servers x %d paths, seed %d%s\n"
+    "workload: %d conns at %g/s, %d clients x %d servers x %d paths, seed %d%s%s\n"
     conns arrival_rate clients servers paths seed
+    (if shards > 1 then Printf.sprintf ", %d shards" shards else "")
     (if runs > 1 then Printf.sprintf " (x%d runs)" runs else "");
   let seeds = List.init runs (fun i -> seed + i) in
   let run_all () =
     let rs =
-      if runs = 1 then [ Workload.run config ]
+      if runs = 1 then begin
+        (* window lanes across domains: the in-scenario parallelism; with
+           multiple runs the pool parallelises whole seeds instead *)
+        let lanes_domains = min shards jobs in
+        if shards > 1 && lanes_domains > 1 then begin
+          let lanes = Smapp_par.Lanes.create ~domains:lanes_domains in
+          Fun.protect
+            ~finally:(fun () -> Smapp_par.Lanes.shutdown lanes)
+            (fun () -> [ Workload.run ~lanes config ])
+        end
+        else [ Workload.run config ]
+      end
       else Workload.run_many ?pool ~seeds config
     in
     (match trace with Some out -> write_trace out | None -> ());
@@ -456,7 +501,10 @@ let run_workload conns arrival_rate flow_dist controller clients servers paths s
         r.Workload.subflows_created r.Workload.failovers;
       Printf.printf "simulated %.2f s in %.2f s wall; %d events -> %.0f events/s\n"
         r.Workload.sim_duration_s r.Workload.wall_s r.Workload.engine_events
-        r.Workload.events_per_sec)
+        r.Workload.events_per_sec;
+      (* every deterministic field, bit-exactly: the byte-identity gate
+         for sequential-vs-sharded runs compares this line *)
+      Printf.printf "digest %s\n" (Workload.digest r))
     seeds rs;
   (match List.concat_map (fun r -> r.Workload.fcts) rs with
   | [] -> ()
@@ -489,6 +537,16 @@ let workload_cmd =
   let clients = Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Client hosts.") in
   let servers = Arg.(value & opt int 4 & info [ "servers" ] ~doc:"Server hosts.") in
   let paths = Arg.(value & opt int 2 & info [ "paths" ] ~doc:"Disjoint paths.") in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the scenario across $(docv) engines under the \
+             conservative-window protocol; results are byte-identical to \
+             --shards 1. With --runs 1, windows execute across min(N, \
+             --jobs) domains.")
+  in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
   let runs =
     Arg.(
@@ -500,7 +558,7 @@ let workload_cmd =
        ~doc:"Scale-out traffic: many connections under per-connection controllers")
     Term.(
       const run_workload $ conns $ arrival_rate $ flow_dist $ controller $ clients
-      $ servers $ paths $ seed $ runs $ jobs_arg $ trace_arg)
+      $ servers $ paths $ shards $ seed $ runs $ jobs_arg $ trace_arg)
 
 (* --- check: the correctness tooling ----------------------------------------- *)
 

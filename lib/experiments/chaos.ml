@@ -8,6 +8,7 @@ module Channel = Smapp_netlink.Channel
 module Fullmesh = Smapp_controllers.Fullmesh
 module Backup = Smapp_controllers.Backup
 module Conn_view = Smapp_controllers.Conn_view
+module Workload = Smapp_workload.Workload
 
 type controller = [ `Fullmesh | `Backup ]
 
@@ -200,12 +201,13 @@ let run_watchdog ?(seed = 42) ?(loss_at = 5.0) ?(duration = 15.0) () =
 
 (* === data-plane chaos ======================================================== *)
 
-type dataplane_scenario = [ `Mobile | `Degrade | `Dualfade ]
+type dataplane_scenario = [ `Mobile | `Degrade | `Dualfade | `Regionfail ]
 
 let dataplane_scenario_name = function
   | `Mobile -> "mobile"
   | `Degrade -> "degrade"
   | `Dualfade -> "dualfade"
+  | `Regionfail -> "regionfail"
 
 type dataplane_result = {
   dp_scenario : string;
@@ -242,7 +244,7 @@ let dataplane_invariants_ok r =
      scenario's bound — failover latency included;
    - bounded churn: controller reconnects/failovers never exceed their
      configured caps. *)
-let run_dataplane ?(scenario = `Mobile) ?(seed = 42) () =
+let run_dataplane_classic ~scenario ~seed =
   let total, duration, stall_bound =
     match scenario with
     | `Mobile -> (12_000_000, 30.0, 3.0)
@@ -416,9 +418,96 @@ let run_dataplane ?(scenario = `Mobile) ?(seed = 42) () =
     dp_goodput_bps = float_of_int received *. 8.0 /. elapsed;
   }
 
-let run_dataplane_grid ?pool ?(scenarios = [ `Mobile; `Degrade; `Dualfade ])
-    ?(seeds = Harness.seeds 3) () =
+(* Region outage over the many-connection workload fabric — the one
+   data-plane scenario whose faults are host-local (NIC up/down observed
+   by [Host.deliver] on the destination shard), so it runs under any
+   shard count and is the non-vacuous subject of the chaos-under-shards
+   byte-identity gate. The first half of the clients — a "region", a
+   pure function of the config, not of the partition — lose their path-0
+   NIC from 0.3 s to 1.8 s; every connection's break-before-make backup
+   controller must fail over to path 1 and the transfer set must still
+   complete exactly. *)
+let run_regionfail ~shards ~seed =
+  let conns = 16 and flow_bytes = 250_000 in
+  let stall_bound = 8.0 in
+  let config =
+    {
+      Workload.default_config with
+      Workload.conns;
+      arrival_rate = 40.0;
+      flow_dist = Workload.Fixed flow_bytes;
+      controller = `Backup;
+      clients = 4;
+      servers = 2;
+      paths = 2;
+      seed;
+      shards;
+    }
+  in
+  let outage_start = Time.add Time.zero (Time.span_ms 300) in
+  let outage_end = Time.add Time.zero (Time.span_ms 1800) in
+  let perturb (fabric : Topology.fabric) =
+    let n = Array.length fabric.Topology.mm_clients in
+    Array.iteri
+      (fun i host ->
+        if i < n / 2 then begin
+          let engine = Host.engine host in
+          let set up () =
+            match Host.find_nic host fabric.Topology.mm_client_addrs.(i).(0) with
+            | Some nic -> Host.set_nic_up nic up
+            | None -> ()
+          in
+          ignore (Engine.at engine outage_start (set false));
+          ignore (Engine.at engine outage_end (set true))
+        end)
+      fabric.Topology.mm_clients
+  in
+  let r = Workload.run ~perturb config in
+  let sent = conns * flow_bytes in
+  let received = r.Workload.bytes_total in
+  let completed = r.Workload.completed = r.Workload.launched in
+  let max_fct = List.fold_left max 0.0 r.Workload.fcts in
+  let elapsed = r.Workload.sim_duration_s in
+  (* per-connection break-before-make cap (Backup.default_config) *)
+  let cap = conns * 8 in
+  {
+    dp_scenario = "regionfail";
+    dp_seed = seed;
+    dp_bytes_sent = sent;
+    dp_bytes_received = received;
+    dp_completed = completed;
+    dp_byte_exact = received = sent;
+    dp_completed_at_s = (if completed then Some elapsed else None);
+    dp_handovers = 0;
+    dp_failovers = r.Workload.failovers;
+    dp_subflow_requests = 0;
+    dp_reconnects = 0;
+    dp_stale_suppressed = 0;
+    (* the fault must actually bite: at least one failover, and churn
+       bounded by the controllers' per-connection caps *)
+    dp_cap_ok = r.Workload.failovers >= 1 && r.Workload.failovers <= cap;
+    dp_max_stall_s = max_fct;
+    dp_stall_bound_s = stall_bound;
+    dp_live_ok = max_fct <= stall_bound;
+    dp_link_drops = 0;
+    dp_goodput_bps =
+      (if elapsed > 0.0 then float_of_int received *. 8.0 /. elapsed else 0.0);
+  }
+
+let run_dataplane ?(scenario = `Mobile) ?(seed = 42) ?(shards = 1) () =
+  match scenario with
+  | `Regionfail -> run_regionfail ~shards ~seed
+  | (`Mobile | `Degrade | `Dualfade) as scenario ->
+      (* duplex-spanning link modulation and in-flight kills make these
+         single-engine by construction; [shards] is ignored *)
+      run_dataplane_classic ~scenario ~seed
+
+let run_dataplane_grid ?pool
+    ?(scenarios = [ `Mobile; `Degrade; `Dualfade; `Regionfail ])
+    ?(seeds = Harness.seeds 3) ?(shards = 1) () =
   let cells =
     List.concat_map (fun sc -> List.map (fun seed -> (sc, seed)) seeds) scenarios
   in
-  Harness.sweep ?pool (fun (scenario, seed) -> run_dataplane ~scenario ~seed ()) cells
+  Harness.sweep ?pool
+    (fun (scenario, seed) -> run_dataplane ~scenario ~seed ~shards ())
+    cells

@@ -85,6 +85,13 @@ type dataplane_scenario =
   [ `Mobile  (** WiFi+LTE client roaming on a handover schedule (fullmesh) *)
   | `Degrade  (** primary fades in steps then the cable is cut (backup) *)
   | `Dualfade  (** correlated Gilbert–Elliott fade on both paths (fullmesh) *)
+  | `Regionfail
+    (** half the clients of a many-connection workload fabric lose their
+        path-0 NIC for 1.5 s; per-connection backup controllers must fail
+        over and the transfer set must still complete exactly. The one
+        scenario whose faults are host-local, hence runnable under any
+        shard count ({!Smapp_sim.Shard}) with byte-identical results;
+        [dp_max_stall_s] reports the worst flow-completion time. *)
   ]
 
 val dataplane_scenario_name : dataplane_scenario -> string
@@ -116,15 +123,25 @@ val dataplane_invariants_ok : dataplane_result -> bool
 (** Completed, byte-exact, live within the stall bound, churn within caps. *)
 
 val run_dataplane :
-  ?scenario:dataplane_scenario -> ?seed:int -> unit -> dataplane_result
+  ?scenario:dataplane_scenario ->
+  ?seed:int ->
+  ?shards:int ->
+  unit ->
+  dataplane_result
 (** One scenario at one seed. Deterministic: same scenario and seed, same
-    result, to the byte. *)
+    result, to the byte — including under any [shards] count (default 1).
+    Only [`Regionfail] actually shards; the other scenarios modulate both
+    directions of shared cables and kill packets in flight, which is
+    single-engine by construction, so they ignore [shards] (the
+    single-shard fallback). *)
 
 val run_dataplane_grid :
   ?pool:Smapp_par.Pool.t ->
   ?scenarios:dataplane_scenario list ->
   ?seeds:int list ->
+  ?shards:int ->
   unit ->
   dataplane_result list
-(** Every scenario x seed cell (defaults: all three scenarios x 3 seeds),
-    across [pool]'s domains when given, results in grid order either way. *)
+(** Every scenario x seed cell (defaults: all four scenarios x 3 seeds),
+    across [pool]'s domains when given, results in grid order either way.
+    [shards] forwards to each {!run_dataplane} cell. *)

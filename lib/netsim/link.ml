@@ -11,6 +11,7 @@ type stats = {
 type t = {
   engine : Engine.t;
   name : string;
+  uid : int; (* construction-order id, the tie-rank key for deliveries *)
   rng : Rng.t;
   mutable rate_bps : float;
   mutable delay : Time.span;
@@ -19,6 +20,10 @@ type t = {
   mutable queued : int;       (* packets waiting for or in transmission *)
   mutable busy_until : Time.t;
   mutable dst : (Packet.t -> unit) option;
+  (* Cross-shard trunk mode: delivery is committed at transmit time
+     through this mailbox post instead of a local engine timer. *)
+  mutable remote :
+    (time:Time.t -> rank:int * int * int -> (unit -> unit) -> unit) option;
   mutable up : bool;
   mutable gen : int;          (* bumped on every up->down transition *)
   stats : stats;
@@ -31,6 +36,7 @@ let create engine ?(name = "link") ~rate_bps ~delay ?(loss = 0.0) ?(queue_capaci
   {
     engine;
     name;
+    uid = Engine.fresh_uid engine;
     rng = Engine.split_rng engine;
     rate_bps;
     delay;
@@ -39,12 +45,14 @@ let create engine ?(name = "link") ~rate_bps ~delay ?(loss = 0.0) ?(queue_capaci
     queued = 0;
     busy_until = Time.zero;
     dst = None;
+    remote = None;
     up = true;
     gen = 0;
     stats = { sent = 0; delivered = 0; lost = 0; dropped = 0; bytes_delivered = 0 };
   }
 
 let set_dst t dst = t.dst <- Some dst
+let set_remote t post = t.remote <- Some post
 
 let tx_span t size =
   Time.span_of_float_s (float_of_int (size * 8) /. t.rate_bps)
@@ -66,22 +74,39 @@ let send t pkt =
            bandwidth either way, like a packet corrupted on the wire. *)
         let lost = Rng.bernoulli t.rng t.loss in
         let deliver_at = Time.add tx_done t.delay in
+        (* Same-instant deliveries at the receiver order by this canonical
+           key — send time, then construction order, then per-link serial —
+           a pure function of simulation state, identical whether the
+           delivery is scheduled locally or merged in from another shard's
+           mailbox. *)
+        let rank = (Time.to_ns now, t.uid, t.stats.sent) in
         ignore
           (Engine.at t.engine tx_done (fun () -> t.queued <- t.queued - 1));
         if lost then t.stats.lost <- t.stats.lost + 1
-        else begin
-          (* A packet in flight when the link goes down is gone for good,
-             even if the link is back up by its nominal delivery time. *)
-          let gen = t.gen in
-          ignore
-            (Engine.at t.engine deliver_at (fun () ->
-                 if t.gen <> gen then t.stats.dropped <- t.stats.dropped + 1
-                 else begin
-                   t.stats.delivered <- t.stats.delivered + 1;
-                   t.stats.bytes_delivered <- t.stats.bytes_delivered + pkt.Packet.size;
-                   dst pkt
-                 end))
-        end
+        else
+          match t.remote with
+          | Some post ->
+              (* Cross-shard trunk: the delivery is committed now — it is
+                 already past this shard's causal horizon, so a later
+                 [set_up false] cannot recall it (unlike a local link's
+                 kill-in-flight), and the stats count it at commit time.
+                 The destination shard runs [dst pkt] at [deliver_at]. *)
+              t.stats.delivered <- t.stats.delivered + 1;
+              t.stats.bytes_delivered <- t.stats.bytes_delivered + pkt.Packet.size;
+              post ~time:deliver_at ~rank (fun () -> dst pkt)
+          | None ->
+              (* A packet in flight when the link goes down is gone for
+                 good, even if the link is back up by its nominal delivery
+                 time. *)
+              let gen = t.gen in
+              ignore
+                (Engine.at ~rank t.engine deliver_at (fun () ->
+                     if t.gen <> gen then t.stats.dropped <- t.stats.dropped + 1
+                     else begin
+                       t.stats.delivered <- t.stats.delivered + 1;
+                       t.stats.bytes_delivered <- t.stats.bytes_delivered + pkt.Packet.size;
+                       dst pkt
+                     end))
       end
 
 let set_loss t loss =

@@ -29,6 +29,18 @@ val create :
 val set_dst : t -> (Packet.t -> unit) -> unit
 (** Where delivered packets go. Must be called before any [send]. *)
 
+val set_remote :
+  t -> (time:Time.t -> rank:int * int * int -> (unit -> unit) -> unit) -> unit
+(** Mark the link as a cross-shard trunk: instead of a local engine timer,
+    each delivery is committed at transmit time by posting a thunk (which
+    runs [dst pkt] on the destination shard) through the given mailbox at
+    the computed delivery timestamp. Queueing, rate shaping, random loss
+    and the up/down check at send time behave exactly as locally; the one
+    semantic difference is that [set_up t false] cannot kill a packet
+    already committed to the trunk — it has left this shard's causal
+    horizon. [Topology] wires this up via {!Smapp_sim.Shard.post} for
+    cables whose endpoints were partitioned onto different shards. *)
+
 val send : t -> Packet.t -> unit
 (** Queue a packet for transmission. Silently drops on a full queue, random
     loss, or a downed link: the transport layer sees only the absence of an

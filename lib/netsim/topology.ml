@@ -107,14 +107,47 @@ type fabric = {
   mm_server_addrs : Ip.t array array;
 }
 
+(* --- sharded placement -------------------------------------------------------- *)
+
+type placement = {
+  pl_shards : int;
+  pl_client : int -> int;
+  pl_server : int -> int;
+  pl_router : int -> int;
+}
+
+(* Hosts partition into contiguous index blocks — the "region" reading:
+   clients [0, C/S) are region 0, and region locality survives a change
+   in population. Routers (one per path, shared by everyone) round-robin
+   so no single shard carries the whole switching load. *)
+let partition ~shards ~clients ~servers ~paths =
+  if shards < 1 then invalid_arg "Topology.partition: shards must be >= 1";
+  if clients < 1 || servers < 1 || paths < 1 then
+    invalid_arg "Topology.partition: clients, servers, paths must be >= 1";
+  {
+    pl_shards = shards;
+    pl_client = (fun i -> i * shards / clients);
+    pl_server = (fun j -> j * shards / servers);
+    pl_router = (fun p -> p mod shards);
+  }
+
 (* N clients x M servers, [paths] disjoint fabrics. Each fabric is one
    router every host hangs off through its own access cable, so a host's
    per-path capacity is its access rate, independent of population size.
    Every router knows all of a host's addresses: a subflow from a client's
    path-q address to a server's path-p address travels fabric q out and
    fabric p back — asymmetric, like policy routing on a multihomed host,
-   but never blackholed. *)
-let many_to_many engine ?(rates_bps = [ 10_000_000.0 ])
+   but never blackholed.
+
+   Under a multi-shard group, each component lives on its placed shard's
+   engine; the two simplex links of an access cable split between the
+   host's and the router's shards, and any link whose sender and receiver
+   landed on different shards becomes a mailbox edge
+   ([Link.set_remote] + [Shard.register_cross]). Construction runs on the
+   caller's domain in one fixed program order, and every member engine
+   shares one construction RNG root, so component streams are identical
+   for every shard count. *)
+let many_to_many_sharded group ?placement ?(rates_bps = [ 10_000_000.0 ])
     ?(delays = [ Time.span_ms 10 ]) ?(losses = [ 0.0 ]) ?(queue_capacity = 128)
     ~clients ~servers ~paths () =
   if clients < 1 || servers < 1 || paths < 1 then
@@ -122,38 +155,70 @@ let many_to_many engine ?(rates_bps = [ 10_000_000.0 ])
   if clients > 65_536 || servers > 65_536 then
     invalid_arg "Topology.many_to_many: at most 65536 hosts per side";
   if paths > 245 then invalid_arg "Topology.many_to_many: at most 245 paths";
-  let routers =
-    Array.init paths (fun p -> Router.create engine ~salt:p (Printf.sprintf "fab%d" p))
+  let placement =
+    match placement with
+    | Some p -> p
+    | None -> partition ~shards:(Shard.shards group) ~clients ~servers ~paths
   in
-  let wire host side idx =
+  if placement.pl_shards <> Shard.shards group then
+    invalid_arg "Topology.many_to_many_sharded: placement does not match group";
+  let engine_of s = Shard.engine group s in
+  let cross_link link ~src ~dst =
+    Link.set_remote link (fun ~time ~rank thunk ->
+        Shard.post group ~src ~dst ~time ~rank thunk);
+    Shard.register_cross group ~src ~dst (fun () -> Link.delay link)
+  in
+  let routers =
+    Array.init paths (fun p ->
+        Router.create (engine_of (placement.pl_router p)) ~salt:p
+          (Printf.sprintf "fab%d" p))
+  in
+  let wire host hshard side idx =
     let addrs =
       Array.init paths (fun p -> Ip.v4 (10 + p) side (idx / 256) (idx mod 256))
     in
     Array.iteri
       (fun p addr ->
         let nic = Host.add_nic host ~name:(Printf.sprintf "eth%d" p) ~addr in
-        let cable =
-          duplex engine
-            ~name:(Printf.sprintf "%s.p%d" (Host.name host) p)
-            ~rate_bps:(pick rates_bps p) ~delay:(pick delays p) ~loss:(pick losses p)
-            ~queue_capacity ()
+        let rshard = placement.pl_router p in
+        let name = Printf.sprintf "%s.p%d" (Host.name host) p in
+        let mk e n =
+          Link.create e ~name:n ~rate_bps:(pick rates_bps p)
+            ~delay:(pick delays p) ~loss:(pick losses p) ~queue_capacity ()
         in
-        Host.attach nic cable.fwd;
-        Link.set_dst cable.fwd (Router.deliver routers.(p));
-        Link.set_dst cable.back (Host.deliver host);
-        Array.iter (fun a -> Router.add_route routers.(p) a [ cable.back ]) addrs)
+        let fwd = mk (engine_of hshard) (name ^ ".fwd") in
+        let back = mk (engine_of rshard) (name ^ ".back") in
+        Host.attach nic fwd;
+        Link.set_dst fwd (Router.deliver routers.(p));
+        Link.set_dst back (Host.deliver host);
+        if hshard <> rshard then begin
+          cross_link fwd ~src:hshard ~dst:rshard;
+          cross_link back ~src:rshard ~dst:hshard
+        end;
+        Array.iter (fun a -> Router.add_route routers.(p) a [ back ]) addrs)
       addrs;
     addrs
   in
   let mm_clients =
-    Array.init clients (fun i -> Host.create engine (Printf.sprintf "c%d" i))
+    Array.init clients (fun i ->
+        Host.create (engine_of (placement.pl_client i)) (Printf.sprintf "c%d" i))
   in
   let mm_servers =
-    Array.init servers (fun j -> Host.create engine (Printf.sprintf "s%d" j))
+    Array.init servers (fun j ->
+        Host.create (engine_of (placement.pl_server j)) (Printf.sprintf "s%d" j))
   in
-  let mm_client_addrs = Array.mapi (fun i h -> wire h 1 i) mm_clients in
-  let mm_server_addrs = Array.mapi (fun j h -> wire h 2 j) mm_servers in
+  let mm_client_addrs =
+    Array.mapi (fun i h -> wire h (placement.pl_client i) 1 i) mm_clients
+  in
+  let mm_server_addrs =
+    Array.mapi (fun j h -> wire h (placement.pl_server j) 2 j) mm_servers
+  in
   { mm_clients; mm_servers; mm_routers = routers; mm_client_addrs; mm_server_addrs }
+
+let many_to_many engine ?rates_bps ?delays ?losses ?queue_capacity ~clients
+    ~servers ~paths () =
+  many_to_many_sharded (Shard.single engine) ?rates_bps ?delays ?losses
+    ?queue_capacity ~clients ~servers ~paths ()
 
 type direct = { client : Host.t; server : Host.t; cable : duplex }
 

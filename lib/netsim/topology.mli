@@ -100,7 +100,44 @@ val many_to_many :
   fabric
 (** Per-path parameter lists pad by repeating their last element, as in
     {!parallel_paths}; defaults: 10 Mbps, 10 ms, 0 loss, 128-packet access
-    queues. *)
+    queues. Equivalent to {!many_to_many_sharded} on
+    [Shard.single engine]. *)
+
+type placement = {
+  pl_shards : int;
+  pl_client : int -> int;  (** client index to shard *)
+  pl_server : int -> int;
+  pl_router : int -> int;  (** path (= fabric router) index to shard *)
+}
+(** Where each fabric component lives in a {!Smapp_sim.Shard.group}. *)
+
+val partition :
+  shards:int -> clients:int -> servers:int -> paths:int -> placement
+(** The default region partition: clients and servers split into
+    contiguous index blocks ([host i] goes to shard [i * shards / count]),
+    fabric routers round-robin over shards. *)
+
+val many_to_many_sharded :
+  Smapp_sim.Shard.group ->
+  ?placement:placement ->
+  ?rates_bps:float list ->
+  ?delays:Time.span list ->
+  ?losses:float list ->
+  ?queue_capacity:int ->
+  clients:int ->
+  servers:int ->
+  paths:int ->
+  unit ->
+  fabric
+(** {!many_to_many} with each host and router constructed on its placed
+    shard's engine (default placement: {!partition}). An access cable's
+    two simplex links split between the host's and the router's shards;
+    links crossing shards become mailbox edges: deliveries commit at
+    transmit time through {!Smapp_sim.Shard.post} (see
+    {!Link.set_remote}), and each such link registers its propagation
+    delay as a lookahead bound via {!Smapp_sim.Shard.register_cross}. On a
+    single-shard group no link crosses and the wiring is exactly
+    {!many_to_many}. *)
 
 type direct = {
   client : Host.t;

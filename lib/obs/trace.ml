@@ -59,6 +59,7 @@ end
 (* --- clock -------------------------------------------------------------------- *)
 
 let set_clock f = (Scope.current ()).Scope.s_clock <- f
+let current_clock () = (Scope.current ()).Scope.s_clock
 let now_ns () = (Scope.current ()).Scope.s_clock ()
 
 (* --- ring --------------------------------------------------------------------- *)

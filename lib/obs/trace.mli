@@ -47,6 +47,11 @@ val set_clock : (unit -> int) -> unit
 (** Install the virtual-time source (nanoseconds) into the current scope.
     The default clock returns 0. *)
 
+val current_clock : unit -> unit -> int
+(** The clock currently installed in the calling domain's scope. Lets a
+    clock owner (an engine) save the previous binding and restore it on
+    teardown instead of leaving a dangling closure installed. *)
+
 val now_ns : unit -> int
 
 val set_capacity : int -> unit

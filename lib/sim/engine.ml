@@ -12,11 +12,15 @@ type timer = { engine : t; mutable current : event option }
 and t = {
   mutable clock : Time.t;
   queue : event Timer_wheel.t;
-  root_rng : Rng.t;
+  mutable root_rng : Rng.t; (* swapped once by [Shard.seal] on sharded runs *)
+  mutable uids : int ref; (* construction-order ids; shared across a group *)
   mutable next_seq : int;
   mutable live : int; (* queued events not yet cancelled *)
   mutable executed : int; (* callbacks run over the engine's lifetime *)
+  mutable last_dispatch : Time.t; (* time of the latest executed callback *)
   mutable tie_break : tie_break;
+  clock_fn : unit -> int; (* the trace-clock closure [create] installed *)
+  prev_clock : unit -> int; (* the scope's clock before [create] ran *)
 }
 
 and tie_break = Fifo | Shuffle of Rng.t
@@ -37,22 +41,35 @@ let m_horizon =
     ~help:"ns between scheduling an event and its deadline" "sim_schedule_horizon_ns"
 
 let create ?(seed = 42) () =
-  let t =
+  let rec t =
     {
       clock = Time.zero;
       queue = Timer_wheel.create ();
       root_rng = Rng.of_int seed;
+      uids = ref 0;
       next_seq = 0;
       live = 0;
       executed = 0;
+      last_dispatch = Time.zero;
       tie_break = Fifo;
+      clock_fn = (fun () -> Time.to_ns t.clock);
+      prev_clock = Smapp_obs.Trace.current_clock ();
     }
   in
-  (* Traces are stamped with this engine's virtual time; with several live
-     engines the most recently created one wins, which matches how the
-     experiments and tests use engines (one per run). *)
-  Smapp_obs.Trace.set_clock (fun () -> Time.to_ns t.clock);
+  (* Traces are stamped with this engine's virtual time. The binding is
+     scoped: it replaces the current {!Smapp_obs.Trace.Scope}'s clock and
+     remembers the previous one, so [retire] (or creating each engine
+     inside its own scope, as [Shard] does) keeps several live engines
+     from clobbering each other. *)
+  Smapp_obs.Trace.set_clock t.clock_fn;
   t
+
+(* If this engine's clock is still the one installed in the current scope,
+   put the previous binding back; if another engine has since taken over,
+   leave it alone. *)
+let retire t =
+  if Smapp_obs.Trace.current_clock () == t.clock_fn then
+    Smapp_obs.Trace.set_clock t.prev_clock
 
 let set_tie_break t policy = t.tie_break <- policy
 
@@ -60,22 +77,44 @@ let now t = t.clock
 let rng t = t.root_rng
 let split_rng t = Rng.split t.root_rng
 
-let schedule_event t when_ f =
+(* Sharding support: [Shard] points every member engine at one shared
+   construction root, then seals each with a private runtime root. *)
+let adopt_rng t rng = t.root_rng <- rng
+
+(* Construction-order component ids, used as deterministic tie-rank keys
+   (e.g. one per link). [Shard] aliases every member engine to shard 0's
+   counter, so ids follow the one program-order construction sequence and
+   are identical for every shard count. *)
+let fresh_uid t =
+  let r = t.uids in
+  incr r;
+  !r
+
+let adopt_uids t ~from = t.uids <- from.uids
+
+let next_event_time t =
+  match Timer_wheel.peek t.queue with
+  | None -> None
+  | Some (time, _) -> Some (Time.of_ns time)
+
+let last_event_time t = t.last_dispatch
+
+let schedule_event ?rank t when_ f =
   if Time.(when_ < t.clock) then
     invalid_arg
       (Format.asprintf "Engine.at: %a is before now (%a)" Time.pp when_ Time.pp t.clock);
   let ev = { time = when_; seq = t.next_seq; callback = Some f } in
   t.next_seq <- t.next_seq + 1;
-  Timer_wheel.add t.queue ~time:(Time.to_ns when_) ev;
+  Timer_wheel.add t.queue ~time:(Time.to_ns when_) ?rank ev;
   t.live <- t.live + 1;
   Smapp_obs.Metrics.observe m_horizon
     (float_of_int (Time.to_ns when_ - Time.to_ns t.clock));
   ev
 
-let at t when_ f =
+let at ?rank t when_ f =
   let timer = { engine = t; current = None } in
   let ev =
-    schedule_event t when_ (fun () ->
+    schedule_event ?rank t when_ (fun () ->
         timer.current <- None;
         f ())
   in
@@ -172,6 +211,7 @@ let run ?until ?(max_events = max_int) t =
                     ev.callback <- None;
                     t.live <- t.live - 1;
                     t.clock <- ev.time;
+                    t.last_dispatch <- ev.time;
                     incr executed;
                     t.executed <- t.executed + 1;
                     Smapp_obs.Metrics.incr m_dispatched;

@@ -19,10 +19,46 @@ type tie_break =
 
 val create : ?seed:int -> unit -> t
 (** Fresh engine with clock at {!Time.zero}. [seed] (default 42) seeds the
-    root RNG from which component streams are split. *)
+    root RNG from which component streams are split. Installs the engine's
+    virtual clock as the current {!Smapp_obs.Trace.Scope}'s time source,
+    remembering the previous binding (see {!retire}). *)
+
+val retire : t -> unit
+(** Restore the trace clock that was installed before [create] ran — but
+    only if this engine's clock is still the current one, so retiring an
+    engine never clobbers a newer engine's binding. Idempotent. *)
 
 val now : t -> Time.t
 val rng : t -> Rng.t
+
+val adopt_rng : t -> Rng.t -> unit
+(** Replace the engine's root RNG. [Shard] uses this to point every member
+    engine of a group at one shared construction-time root (so topology
+    construction draws the same stream regardless of shard count) and then
+    to seal each shard with a private runtime root. Not for general use:
+    swapping roots mid-run forfeits the reproducibility argument unless
+    done identically on every run. *)
+
+val fresh_uid : t -> int
+(** Next id (1, 2, ...) from the engine's construction-order counter —
+    the per-component key used in deterministic tie ranks (see {!at}).
+    Draw at construction time only: the counter is shared across a
+    {!Shard} group (see {!adopt_uids}), so runtime draws from parallel
+    lanes would race. *)
+
+val adopt_uids : t -> from:t -> unit
+(** Alias this engine's uid counter to [from]'s, so one program-order
+    construction sequence numbers components identically for every shard
+    count. [Shard.create] applies it to every member engine. *)
+
+val next_event_time : t -> Time.t option
+(** Timestamp of the earliest queued event (which may already be
+    cancelled), or [None] when the queue is empty. *)
+
+val last_event_time : t -> Time.t
+(** Time of the most recently executed callback ({!Time.zero} before any
+    ran). Unlike [now] this is not bumped by [run ~until]'s clock
+    fast-forward, so it reports when the simulation last did work. *)
 
 val set_tie_break : t -> tie_break -> unit
 (** Choose how simultaneous events are ordered from now on. [Fifo] keeps the
@@ -32,9 +68,18 @@ val set_tie_break : t -> tie_break -> unit
 val split_rng : t -> Rng.t
 (** An independent RNG stream for one component. *)
 
-val at : t -> Time.t -> (unit -> unit) -> timer
+val at : ?rank:int * int * int -> t -> Time.t -> (unit -> unit) -> timer
 (** [at t when_ f] schedules [f] at absolute time [when_]. Scheduling in the
-    past raises [Invalid_argument]. *)
+    past raises [Invalid_argument].
+
+    [rank] orders events scheduled for the same instant: lexicographic
+    rank first, then scheduling order; the default rank [(0, 0, 0)]
+    sorts before any explicit one. {!Smapp_netsim.Link} ranks packet
+    deliveries by (transmit-time ns, link uid, per-link serial) — a key
+    computable identically under sequential and sharded execution — so
+    equal-instant delivery order never depends on the order the
+    scheduling calls happened to run in. Everything else keeps the
+    default and the documented pure-FIFO tie order. *)
 
 val after : t -> Time.span -> (unit -> unit) -> timer
 (** [after t d f] schedules [f] at [now t + d]. Negative [d] is clamped

@@ -1,0 +1,101 @@
+(** Sharded deterministic execution: several engines advancing one scenario.
+
+    A {e group} is a set of member engines ("shards"), each with its own
+    clock, timer wheel, sequence counter and RNG root, plus per-pair
+    ordered mailboxes for cross-shard events. {!run} drives the group with
+    a conservative synchronous-window protocol (the classic
+    Chandy–Misra–Bryant lookahead argument, in its barrier form):
+
+    - the next window starts at [T], the minimum next-event time across
+      all shards, and extends for the {e lookahead} [L] = the minimum
+      latency of any registered cross-shard edge (re-read every window, so
+      live reconfiguration is honoured);
+    - every shard independently executes its events in [[T, T+L)] — no
+      cross-shard event posted during the window can land inside it,
+      because an edge's latency is at least [L];
+    - at the barrier, mailboxes drain in [(time, rank, src-shard, seq)]
+      order into the destination engines, which makes the merge a pure
+      function of the posted set — independent of lane scheduling, so a
+      parallel run of the lanes is byte-identical to a sequential one.
+
+    Determinism contract: each posted event carries the sender's
+    canonical tie rank (see [Engine.at ?rank] — for link deliveries,
+    (transmit-time ns, link uid, per-link serial), computable identically
+    under any execution mode), and injection passes the rank through to
+    the destination engine. Same-instant events therefore order by
+    (rank, local scheduling order) everywhere: unranked local events keep
+    the engine's documented FIFO semantics, and ranked deliveries order
+    canonically whether they were scheduled locally or merged in at a
+    barrier. This is what makes a sharded run bit-identical to the
+    sequential one even on exact-nanosecond coincidences between causally
+    independent chains.
+
+    RNG discipline: all member engines share one construction-time root,
+    so building a topology draws the same stream in the same order
+    regardless of shard count; the first {!run} {e seals} the group,
+    giving each shard a private runtime root split from the shared one.
+
+    Each shard (in groups of 2+) owns a private
+    {!Smapp_obs.Metrics.Scope}/{!Smapp_obs.Trace.Scope} capsule, installed
+    around its window execution, so observability state never races across
+    lanes and every engine's trace clock stays bound to its own scope. *)
+
+type group
+
+val single : Engine.t -> group
+(** Wrap an existing engine as a one-shard group. Construction and
+    execution are exactly the plain engine ({!run} is {!Engine.run}, no
+    sealing, no scopes, ambient observability): the single-shard fallback
+    is the current engine, unchanged. *)
+
+val create : ?seed:int -> shards:int -> unit -> group
+(** A fresh group of [shards] engines (all seeded from [seed], default
+    42, via the shared construction root). [shards = 1] is
+    [single (Engine.create ~seed ())]. Raises [Invalid_argument] if
+    [shards < 1]. *)
+
+val shards : group -> int
+val engine : group -> int -> Engine.t
+
+val register_cross : group -> src:int -> dst:int -> (unit -> Time.span) -> unit
+(** Declare a cross-shard edge for the lookahead computation. The thunk
+    returns the edge's current minimum latency and is re-read at every
+    window. Latencies must stay positive — {!run} raises {!Bug.Bug} on a
+    non-positive lookahead, which would otherwise deadlock progress. *)
+
+val post :
+  group ->
+  src:int ->
+  dst:int ->
+  time:Time.t ->
+  rank:int * int * int ->
+  (unit -> unit) ->
+  unit
+(** Mailbox a thunk for execution at [time] on shard [dst]'s engine, with
+    the sender's canonical tie rank (forwarded to [Engine.at ?rank] at
+    injection). Must be called from shard [src]'s lane while a window
+    executes, with [time] strictly past the window's limit (guaranteed by
+    construction when the posting edge was registered with its true
+    minimum latency); violations raise {!Bug.Bug}. *)
+
+val seal : group -> unit
+(** Switch from the shared construction root to per-shard runtime RNG
+    roots (shard [i] gets split [i] of the shared root). Called by the
+    first {!run}; idempotent; a no-op on {!single} groups. *)
+
+val run :
+  ?until:Time.t -> ?lanes:((int -> unit) -> unit) -> group -> unit
+(** Advance the whole group until every queue (and mailbox) is drained, or
+    the clock would pass [until] — same contract as {!Engine.run}.
+    [lanes] executes one window: it must invoke its callback exactly once
+    for every shard index in [[0, shards)], in any order or in parallel
+    (the default runs them sequentially in index order); results are
+    identical either way. With no registered cross edges the shards are
+    causally decoupled and free-run without barriers. *)
+
+val events_executed : group -> int
+(** Sum of {!Engine.events_executed} over the members. *)
+
+val last_event_time : group -> Time.t
+(** Latest {!Engine.last_event_time} over the members: when the scenario
+    last did work, unaffected by [run ~until] clock fast-forwards. *)

@@ -19,11 +19,19 @@ let slots = 1 lsl slot_bits (* 32 *)
 let slot_mask = slots - 1
 let levels = 8 (* horizon: 2^(5*8) ns *)
 
-type 'a entry = { e_time : int; e_seq : int; e_value : 'a }
+type 'a entry = {
+  e_time : int;
+  e_rank : int * int * int;
+  e_seq : int;
+  e_value : 'a;
+}
 
 let compare_entry a b =
   let c = Int.compare a.e_time b.e_time in
-  if c <> 0 then c else Int.compare a.e_seq b.e_seq
+  if c <> 0 then c
+  else
+    let c = compare a.e_rank b.e_rank in
+    if c <> 0 then c else Int.compare a.e_seq b.e_seq
 
 type 'a t = {
   wheel : 'a entry Queue.t array array; (* [level].[slot] *)
@@ -68,9 +76,11 @@ let place t entry =
       t.masks.(k) <- t.masks.(k) lor (1 lsl idx)
     end
 
-let add t ~time value =
+let default_rank = (0, 0, 0)
+
+let add t ~time ?(rank = default_rank) value =
   if time < 0 then invalid_arg "Timer_wheel.add: negative time";
-  let entry = { e_time = time; e_seq = t.next_seq; e_value = value } in
+  let entry = { e_time = time; e_rank = rank; e_seq = t.next_seq; e_value = value } in
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
   place t entry
@@ -95,6 +105,30 @@ let cascade t k idx =
   Queue.iter (fun entry -> place t entry) q;
   Queue.clear q
 
+(* A level-0 slot holds one key value, but ranked ties must pop in
+   (rank, seq) order rather than insertion order, so the head of a slot
+   is its [compare_entry]-minimal element (a linear scan; same-instant
+   groups are small). *)
+let queue_min q =
+  Queue.fold
+    (fun acc e ->
+      match acc with
+      | Some m when compare_entry m e <= 0 -> acc
+      | _ -> Some e)
+    None q
+
+(* Remove the (physically) given element, preserving the order of the
+   rest. *)
+let queue_remove q target =
+  let keep = Queue.create () in
+  let removed = ref false in
+  Queue.iter
+    (fun x ->
+      if (not !removed) && x == target then removed := true else Queue.push x keep)
+    q;
+  Queue.clear q;
+  Queue.transfer keep q
+
 (* The level-0 slot holding the earliest wheel entry, cascading as needed. *)
 let rec wheel_front t =
   let rec find k = if k >= levels then None else
@@ -104,7 +138,11 @@ let rec wheel_front t =
   in
   match find 0 with
   | None -> None
-  | Some (0, idx) -> Some (Queue.peek t.wheel.(0).(idx), idx)
+  | Some (0, idx) -> (
+      match queue_min t.wheel.(0).(idx) with
+      | Some e -> Some (e, idx)
+      | None ->
+          Bug.fail "Timer_wheel: occupancy bit set on empty level-0 slot %d" idx)
   | Some (k, idx) ->
       cascade t k idx;
       wheel_front t
@@ -129,9 +167,9 @@ let pop t =
       ignore (Heap.pop t.overflow);
       t.size <- t.size - 1;
       Some (e.e_time, e.e_value)
-  | Some (_, `Wheel idx) ->
+  | Some (e, `Wheel idx) ->
       let q = t.wheel.(0).(idx) in
-      let e = Queue.pop q in
+      if Queue.length q = 1 then ignore (Queue.pop q) else queue_remove q e;
       if Queue.is_empty q then t.masks.(0) <- t.masks.(0) land lnot (1 lsl idx);
       t.size <- t.size - 1;
       Some (e.e_time, e.e_value)

@@ -4,20 +4,28 @@
     near future (up to ~18 simulated minutes ahead) is O(1); keys beyond
     the wheel horizon, or behind the wheel's internal base, overflow to a
     binary-heap tier and cost O(log n) — far timers are the rare case in
-    a busy simulation. Elements with equal keys pop in insertion order
-    (the wheel is stable), so the engine's FIFO tie-breaking is
-    preserved exactly. *)
+    a busy simulation. Elements with equal keys pop in ([rank],
+    insertion) order — with the default rank that is plain insertion
+    order, so the engine's FIFO tie-breaking is preserved exactly. *)
 
 type 'a t
 
 val create : unit -> 'a t
 (** An empty wheel based at time 0. *)
 
-val add : 'a t -> time:int -> 'a -> unit
+val add : 'a t -> time:int -> ?rank:int * int * int -> 'a -> unit
 (** [add t ~time v] inserts [v] with key [time] (>= 0; raises
     [Invalid_argument] otherwise). Keys may be in any order; keys below
     the wheel's advanced base are still served correctly, via the
-    overflow tier. *)
+    overflow tier.
+
+    [rank] (default [(0, 0, 0)]) orders elements within one timestamp:
+    lexicographic rank first, insertion order among equal ranks. The
+    engine gives network deliveries a canonical rank (transmit time,
+    link id, per-link serial) so that equal-instant delivery order is a
+    pure function of simulation state rather than of scheduling-call
+    order — the property that makes sharded runs
+    ({!Smapp_sim.Shard}) bit-identical to sequential ones. *)
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
@@ -27,5 +35,5 @@ val peek : 'a t -> (int * 'a) option
     the wheel (amortised O(1)). *)
 
 val pop : 'a t -> (int * 'a) option
-(** Remove and return the earliest element; equal keys pop in insertion
-    order. *)
+(** Remove and return the earliest element; equal keys pop in
+    (rank, insertion) order. *)

@@ -26,6 +26,7 @@ type config = {
   access_delay : Time.span;
   seed : int;
   port : int;
+  shards : int;
 }
 
 let default_config =
@@ -41,6 +42,7 @@ let default_config =
     access_delay = Time.span_ms 5;
     seed = 42;
     port = 8080;
+    shards = 1;
   }
 
 type result = {
@@ -103,16 +105,44 @@ let make_client config (fabric : Topology.fabric) i =
   in
   { cl_endpoint = endpoint; cl_addrs = addrs; cl_mesh; cl_backup }
 
-let run config =
+(* Peak concurrency by a post-hoc sweep over the merged (start, close)
+   events — launch times are known up front and close times are recorded
+   per flow, so the peak is a pure function of per-flow data, independent
+   of the execution mode (sequential or sharded). Closes sort before
+   starts at equal instants. *)
+let peak_of ~start_ns ~close_ns =
+  let events = ref [] in
+  Array.iteri (fun _ t -> events := (t, 1) :: !events) start_ns;
+  Array.iter (fun t -> if t >= 0 then events := (t, -1) :: !events) close_ns;
+  let sorted =
+    List.sort
+      (fun (ta, da) (tb, db) ->
+        let c = compare ta tb in
+        if c <> 0 then c else compare da db)
+      !events
+  in
+  let live = ref 0 and peak = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      live := !live + d;
+      if !live > !peak then peak := !live)
+    sorted;
+  !peak
+
+let run ?lanes ?perturb config =
   if config.conns < 1 then invalid_arg "Workload.run: conns must be >= 1";
   if config.arrival_rate <= 0.0 then
     invalid_arg "Workload.run: arrival rate must be positive";
   if config.controller = `Backup && config.paths < 2 then
     invalid_arg "Workload.run: backup controller needs at least 2 paths";
+  if config.shards < 1 then invalid_arg "Workload.run: shards must be >= 1";
   let wall_start = Sys.time () in
-  let engine = Engine.create ~seed:config.seed () in
+  let group =
+    if config.shards = 1 then Shard.single (Engine.create ~seed:config.seed ())
+    else Shard.create ~seed:config.seed ~shards:config.shards ()
+  in
   let fabric =
-    Topology.many_to_many engine
+    Topology.many_to_many_sharded group
       ~rates_bps:[ config.access_rate_bps ]
       ~delays:[ config.access_delay ] ~clients:config.clients
       ~servers:config.servers ~paths:config.paths ()
@@ -125,64 +155,90 @@ let run config =
           Connection.set_receive conn (fun _len -> ())))
     fabric.Topology.mm_servers;
   let clients = Array.init config.clients (make_client config fabric) in
-  (* independent streams so changing one knob never shifts another's draws *)
-  let arrival_rng = Engine.split_rng engine in
-  let size_rng = Engine.split_rng engine in
-  let place_rng = Engine.split_rng engine in
-  let completed = ref 0 in
-  let bytes_total = ref 0 in
-  let fcts = ref [] in
-  let goodputs = ref [] in
-  let live = ref 0 in
-  let peak = ref 0 in
+  (* independent streams so changing one knob never shifts another's
+     draws; split from the shared construction root, so the schedule is
+     the same for every shard count *)
+  let root = Shard.engine group 0 in
+  let arrival_rng = Engine.split_rng root in
+  let size_rng = Engine.split_rng root in
+  let place_rng = Engine.split_rng root in
+  (* The whole open-loop Poisson schedule is drawn up front (identical
+     per-stream draw sequences to scheduling it incrementally) and each
+     launch lands on its client's own engine. *)
   let mean_gap_s = 1.0 /. config.arrival_rate in
-  let launch () =
-    let cl = clients.(Rng.int place_rng config.clients) in
-    let j = Rng.int place_rng config.servers in
-    let bytes = sample_size config.flow_dist size_rng in
+  let start_ns = Array.make config.conns 0 in
+  let t = ref Time.zero in
+  for k = 0 to config.conns - 1 do
+    t := Time.add !t (Time.span_of_float_s (Rng.exponential arrival_rng mean_gap_s));
+    start_ns.(k) <- Time.to_ns !t
+  done;
+  let flow_client = Array.make config.conns 0 in
+  let flow_server = Array.make config.conns 0 in
+  let flow_bytes = Array.make config.conns 0 in
+  for k = 0 to config.conns - 1 do
+    flow_client.(k) <- Rng.int place_rng config.clients;
+    flow_server.(k) <- Rng.int place_rng config.servers;
+    flow_bytes.(k) <- sample_size config.flow_dist size_rng
+  done;
+  (* per-flow close stamps: flow k is driven entirely by its client's
+     shard, so under parallel lanes each cell has exactly one writer *)
+  let close_ns = Array.make config.conns (-1) in
+  let launch k =
+    let c = flow_client.(k) in
+    let cl = clients.(c) in
+    let engine = Host.engine fabric.Topology.mm_clients.(c) in
     let src = cl.cl_addrs.(0) in
     let dst =
-      { Ip.addr = fabric.Topology.mm_server_addrs.(j).(0); Ip.port = config.port }
+      {
+        Ip.addr = fabric.Topology.mm_server_addrs.(flow_server.(k)).(0);
+        Ip.port = config.port;
+      }
     in
     let conn = Endpoint.connect cl.cl_endpoint ~src ~dst () in
-    let started = Engine.now engine in
-    incr live;
-    if !live > !peak then peak := !live;
     Connection.subscribe conn (function
-      | Connection.Closed ->
-          decr live;
-          incr completed;
-          bytes_total := !bytes_total + bytes;
-          let fct = Time.span_to_float_s (Time.diff (Engine.now engine) started) in
-          fcts := fct :: !fcts;
-          if fct > 0.0 then
-            goodputs := (float_of_int (bytes * 8) /. fct) :: !goodputs
+      | Connection.Closed -> close_ns.(k) <- Time.to_ns (Engine.now engine)
       | _ -> ());
-    Bulk.sender conn ~bytes
+    Bulk.sender conn ~bytes:flow_bytes.(k)
   in
-  (* open-loop Poisson arrivals: the next connection is scheduled regardless
-     of how the previous ones are faring *)
-  let rec arrival remaining =
-    if remaining > 0 then begin
-      launch ();
-      let gap = Time.span_of_float_s (Rng.exponential arrival_rng mean_gap_s) in
-      ignore (Engine.after engine gap (fun () -> arrival (remaining - 1)))
-    end
+  for k = 0 to config.conns - 1 do
+    let engine = Host.engine fabric.Topology.mm_clients.(flow_client.(k)) in
+    ignore (Engine.at engine (Time.of_ns start_ns.(k)) (fun () -> launch k))
+  done;
+  (match perturb with None -> () | Some f -> f fabric);
+  let lanes =
+    match lanes with
+    | Some pool when Shard.shards group > 1 ->
+        Some (fun f -> Smapp_par.Lanes.run pool ~shards:(Shard.shards group) f)
+    | _ -> None
   in
-  ignore
-    (Engine.after engine
-       (Time.span_of_float_s (Rng.exponential arrival_rng mean_gap_s))
-       (fun () -> arrival config.conns));
-  Engine.run engine;
+  Shard.run ?lanes group;
   let wall_s = Sys.time () -. wall_start in
-  let engine_events = Engine.events_executed engine in
+  let engine_events = Shard.events_executed group in
+  (* completion order = (close time, launch index): well-defined and
+     identical in every execution mode *)
+  let order =
+    List.sort
+      (fun a b ->
+        let c = compare close_ns.(a) close_ns.(b) in
+        if c <> 0 then c else compare a b)
+      (List.filter
+         (fun k -> close_ns.(k) >= 0)
+         (List.init config.conns (fun k -> k)))
+  in
+  let fct k = float_of_int (close_ns.(k) - start_ns.(k)) *. 1e-9 in
   {
     launched = config.conns;
-    completed = !completed;
-    peak_concurrent = !peak;
-    bytes_total = !bytes_total;
-    fcts = List.rev !fcts;
-    goodputs = List.rev !goodputs;
+    completed = List.length order;
+    peak_concurrent = peak_of ~start_ns ~close_ns;
+    bytes_total = List.fold_left (fun acc k -> acc + flow_bytes.(k)) 0 order;
+    fcts = List.map fct order;
+    goodputs =
+      List.filter_map
+        (fun k ->
+          let fct = fct k in
+          if fct > 0.0 then Some (float_of_int (flow_bytes.(k) * 8) /. fct)
+          else None)
+        order;
     subflows_created =
       Array.fold_left
         (fun acc cl ->
@@ -197,15 +253,31 @@ let run config =
           acc
           + (match cl.cl_backup with Some s -> Backup.backup_failovers s | None -> 0))
         0 clients;
-    sim_duration_s = Time.span_to_float_s (Time.diff (Engine.now engine) Time.zero);
+    sim_duration_s =
+      Time.span_to_float_s (Time.diff (Shard.last_event_time group) Time.zero);
     wall_s;
     engine_events;
     events_per_sec =
       (if wall_s > 0.0 then float_of_int engine_events /. wall_s else 0.0);
   }
 
+(* Every deterministic field, with floats rendered by their exact bit
+   patterns; wall_s / events_per_sec are measurements and excluded. *)
+let digest r =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "launched=%d;completed=%d;peak=%d;bytes=%d;" r.launched
+    r.completed r.peak_concurrent r.bytes_total;
+  Printf.bprintf b "subflows=%d;failovers=%d;events=%d;sim=%Lx;fcts="
+    r.subflows_created r.failovers r.engine_events
+    (Int64.bits_of_float r.sim_duration_s);
+  List.iter (fun f -> Printf.bprintf b "%Lx," (Int64.bits_of_float f)) r.fcts;
+  Buffer.add_string b ";goodputs=";
+  List.iter (fun f -> Printf.bprintf b "%Lx," (Int64.bits_of_float f)) r.goodputs;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* Multi-seed replication: the same workload re-run under each seed —
    independent simulations, so they parallelise like any experiment sweep.
-   Results come back in seed order. *)
+   Results come back in seed order. (Window lanes stay sequential inside
+   pooled jobs: one layer of domains at a time.) *)
 let run_many ?pool ~seeds config =
   Smapp_par.Sweep.map ?pool (fun seed -> run { config with seed }) seeds

@@ -33,12 +33,19 @@ type config = {
   access_delay : Time.span;
   seed : int;
   port : int;
+  shards : int;
+      (** engines advancing the scenario under the conservative-window
+          protocol ({!Smapp_sim.Shard}); 1 = the plain single engine.
+          Hosts partition by region ({!Smapp_netsim.Topology.partition})
+          and the lookahead is the access-cable delay. Results are
+          byte-identical for every shard count (the bench's [shard]
+          section and the CI gate verify it). *)
 }
 
 val default_config : config
 (** 1000 connections at 500/s, Pareto(10 kB, 1.5) sizes capped at 10 MB,
     fullmesh controllers, 8 clients x 4 servers x 2 paths, 20 Mbps / 5 ms
-    access, seed 42. *)
+    access, seed 42, 1 shard. *)
 
 type result = {
   launched : int;
@@ -55,10 +62,29 @@ type result = {
   events_per_sec : float;  (** [engine_events /. wall_s] *)
 }
 
-val run : config -> result
+val run :
+  ?lanes:Smapp_par.Lanes.t ->
+  ?perturb:(Smapp_netsim.Topology.fabric -> unit) ->
+  config ->
+  result
 (** Deterministic for a given [config] (all randomness derives from [seed]);
     returns once every launched connection has closed and the event queue
-    drained. *)
+    drained.
+
+    The arrival schedule (times, placements, sizes) is drawn up front from
+    the construction RNG root, so it is identical for every [shards]
+    value; each launch then runs on its client's shard. [lanes] executes
+    the windows of a multi-shard run across a persistent domain pool
+    (ignored when [shards = 1]); results are byte-identical with or
+    without it. [perturb] runs after construction and before the
+    simulation — chaos scenarios use it to schedule host-local faults
+    (e.g. NIC outages) on the fabric. *)
+
+val digest : result -> string
+(** Hex digest over every deterministic field (completion counts, peak,
+    bytes, FCT and goodput lists bit-exactly, sim duration, engine event
+    count) — the byte-identity gate for sequential-vs-sharded runs.
+    [wall_s] and [events_per_sec] are measurements and excluded. *)
 
 val run_many : ?pool:Smapp_par.Pool.t -> seeds:int list -> config -> result list
 (** One {!run} per seed (the config's own [seed] field is replaced),
