@@ -613,7 +613,29 @@ let check_overhead () =
     (Smapp_check.Fsm.transitions_seen ());
   metric "events_per_sec_hooks_off" off.Workload.events_per_sec;
   metric "events_per_sec_hooks_on" on_.Workload.events_per_sec;
-  metric "overhead_ratio" ratio
+  metric "overhead_ratio" ratio;
+  (* the typed analyzer is part of the same correctness budget: record how
+     long a full pass over the compiled tree takes so a rule that goes
+     quadratic shows up here before it shows up in CI wall time *)
+  match Smapp_check.Analysis.default_root () with
+  | None -> Printf.printf "analysis: no .cmt artifacts here; skipped\n"
+  | Some root ->
+      let allowlist =
+        match Smapp_check.Analysis.load_allowlist "analysis-allowlist.txt" with
+        | Ok a -> a
+        | Error _ -> Smapp_check.Analysis.empty_allowlist
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Smapp_check.Analysis.run ~allowlist ~root () in
+      let wall = Unix.gettimeofday () -. t0 in
+      Printf.printf "analysis: %d units in %.3f s (%d findings, %d allowlisted)\n"
+        r.Smapp_check.Analysis.r_units wall
+        (List.length r.Smapp_check.Analysis.r_findings)
+        (List.length r.Smapp_check.Analysis.r_allowlisted);
+      metric "analysis_wall_s" wall;
+      metric "analysis_units" (float_of_int r.Smapp_check.Analysis.r_units);
+      metric "analysis_findings"
+        (float_of_int (List.length r.Smapp_check.Analysis.r_findings))
 
 (* ---------------------------------------------------- observability cost *)
 
@@ -636,22 +658,23 @@ let obs_overhead () =
       flow_dist = Workload.Fixed 100_000;
     }
   in
-  let saved_m = !Smapp_obs.Metrics.enabled and saved_t = !Smapp_obs.Trace.enabled in
+  let saved_m = Atomic.get Smapp_obs.Metrics.enabled
+  and saved_t = Atomic.get Smapp_obs.Trace.enabled in
   let run () = Workload.run config in
   let finally () =
-    Smapp_obs.Metrics.enabled := saved_m;
-    Smapp_obs.Trace.enabled := saved_t
+    Atomic.set Smapp_obs.Metrics.enabled saved_m;
+    Atomic.set Smapp_obs.Trace.enabled saved_t
   in
   let baseline, disabled, enabled_r =
     Fun.protect ~finally (fun () ->
-        Smapp_obs.Metrics.enabled := false;
-        Smapp_obs.Trace.enabled := false;
+        Atomic.set Smapp_obs.Metrics.enabled false;
+        Atomic.set Smapp_obs.Trace.enabled false;
         let baseline = run () in
         let disabled = run () in
         Smapp_obs.Metrics.clear ();
         Smapp_obs.Trace.clear ();
-        Smapp_obs.Metrics.enabled := true;
-        Smapp_obs.Trace.enabled := true;
+        Atomic.set Smapp_obs.Metrics.enabled true;
+        Atomic.set Smapp_obs.Trace.enabled true;
         let enabled_r = run () in
         (baseline, disabled, enabled_r))
   in

@@ -9,15 +9,16 @@ module Obs = Smapp_obs
 (* Run [f] with metrics + tracing on (cleared first), restoring the flags
    afterwards. The recorded data stays available for export. *)
 let with_obs f =
-  let saved_m = !Obs.Metrics.enabled and saved_t = !Obs.Trace.enabled in
-  Obs.Metrics.enabled := true;
-  Obs.Trace.enabled := true;
+  let saved_m = Atomic.get Obs.Metrics.enabled
+  and saved_t = Atomic.get Obs.Trace.enabled in
+  Atomic.set Obs.Metrics.enabled true;
+  Atomic.set Obs.Trace.enabled true;
   Obs.Metrics.clear ();
   Obs.Trace.clear ();
   Fun.protect
     ~finally:(fun () ->
-      Obs.Metrics.enabled := saved_m;
-      Obs.Trace.enabled := saved_t)
+      Atomic.set Obs.Metrics.enabled saved_m;
+      Atomic.set Obs.Trace.enabled saved_t)
     f
 
 (* -j N / --jobs N: run the experiment's independent sweeps across N domains
@@ -626,6 +627,140 @@ let check_cmd =
           tie-order race exploration")
     Term.(const run_check $ quick $ permutations)
 
+(* --- analyze: typed domain-safety & determinism pass -------------------------- *)
+
+let run_analyze root allowlist_file baseline_file json_file =
+  let module A = Smapp_check.Analysis in
+  let root =
+    match root with
+    | Some r -> r
+    | None -> (
+        match A.default_root () with
+        | Some r -> r
+        | None ->
+            prerr_endline
+              "smapp analyze: no .cmt artifacts found (run `dune build` first)";
+            exit 2)
+  in
+  let allowlist_file =
+    match allowlist_file with
+    | Some f -> Some f
+    | None ->
+        if Sys.file_exists "analysis-allowlist.txt" then
+          Some "analysis-allowlist.txt"
+        else None
+  in
+  let allowlist =
+    match allowlist_file with
+    | None -> A.empty_allowlist
+    | Some f -> (
+        match A.load_allowlist f with
+        | Ok a -> a
+        | Error e ->
+            prerr_endline ("smapp analyze: bad allowlist: " ^ e);
+            exit 2)
+  in
+  let report = A.run ~allowlist ~root () in
+  let gate =
+    match baseline_file with
+    | None -> report.A.r_findings
+    | Some f -> A.regressions ~baseline:(A.load_baseline f) report
+  in
+  List.iter (fun f -> Format.printf "%a@." A.pp_finding f) report.A.r_findings;
+  List.iter
+    (fun k -> Format.printf "smapp analyze: stale allowlist entry: %s@." k)
+    report.A.r_stale_allow;
+  (match json_file with
+  | None -> ()
+  | Some path ->
+      let open Smapp_stats.Json in
+      let finding_json f =
+        Obj
+          [
+            ("rule", String (A.rule_id f.A.a_rule));
+            ("file", String f.A.a_file);
+            ("line", Int f.A.a_line);
+            ("col", Int f.A.a_col);
+            ("module", String f.A.a_module);
+            ("symbol", String f.A.a_symbol);
+            ("key", String (A.key f));
+            ("message", String f.A.a_message);
+          ]
+      in
+      to_file path
+        (Obj
+           [
+             ("units", Int report.A.r_units);
+             ("findings", List (List.map finding_json report.A.r_findings));
+             ( "allowlisted",
+               List
+                 (List.map
+                    (fun (f, just) ->
+                      Obj
+                        [
+                          ("key", String (A.key f));
+                          ("justification", String just);
+                        ])
+                    report.A.r_allowlisted) );
+             ( "stale_allowlist",
+               List (List.map (fun k -> String k) report.A.r_stale_allow) );
+             ("new_vs_baseline", List (List.map finding_json gate));
+           ]));
+  Printf.printf
+    "analysis: %d units, %d findings, %d allowlisted, %d stale allowlist \
+     entries%s\n"
+    report.A.r_units
+    (List.length report.A.r_findings)
+    (List.length report.A.r_allowlisted)
+    (List.length report.A.r_stale_allow)
+    (match baseline_file with
+    | None -> ""
+    | Some _ -> Printf.sprintf ", %d new vs baseline" (List.length gate));
+  if gate <> [] then exit 1
+
+let analyze_cmd =
+  let root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Directory scanned (recursively) for .cmt artifacts. Defaults to \
+             _build/default/lib, then lib.")
+  in
+  let allowlist =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "allowlist" ] ~docv:"FILE"
+          ~doc:
+            "Reviewed suppressions ('<rule-id> <Module.symbol> -- \
+             justification' per line). Defaults to analysis-allowlist.txt \
+             when present.")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Accepted finding keys, one per line; with this, only findings \
+             absent from the file fail the run.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the full report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Typed domain-safety and determinism analysis over the compiled \
+          tree: mutable globals, nondeterminism sources, and hot-path \
+          allocations, gated by an allowlist with mandatory justifications")
+    Term.(const run_analyze $ root $ allowlist $ baseline $ json)
+
 (* --- trace / metrics: the observability front door --------------------------- *)
 
 let exp_conv =
@@ -704,11 +839,11 @@ let trace_cmd =
     Term.(const run_trace $ exp $ out $ seed $ requests $ width)
 
 let run_metrics exp seed =
-  let saved = !Obs.Metrics.enabled in
-  Obs.Metrics.enabled := true;
+  let saved = Atomic.get Obs.Metrics.enabled in
+  Atomic.set Obs.Metrics.enabled true;
   Obs.Metrics.clear ();
   Fun.protect
-    ~finally:(fun () -> Obs.Metrics.enabled := saved)
+    ~finally:(fun () -> Atomic.set Obs.Metrics.enabled saved)
     (fun () -> run_small exp seed);
   print_string (Obs.Metrics.to_prometheus ())
 
@@ -740,6 +875,7 @@ let main_cmd =
       chaos_cmd;
       workload_cmd;
       check_cmd;
+      analyze_cmd;
       trace_cmd;
       metrics_cmd;
     ]

@@ -1,0 +1,138 @@
+(** A typed domain-safety & determinism analysis over the compiled tree.
+
+    Where {!Lint} parses source text (no typing), this pass loads the
+    [.cmt] typedtree artifacts dune already produces ([-bin-annot] is on
+    for every build) and reasons about *types*: a variable merely typed
+    [Seq32.t], an aliased [module H = Hashtbl], or a record whose
+    declaration has [mutable] fields are all visible here and invisible
+    to the parsetree. The repo's byte-identical parallel-execution
+    guarantee (DESIGN.md §11/§13) rests on two global invariants this
+    pass checks statically instead of only by runtime digest comparison:
+
+    - {b mutable-global}: every top-level binding whose type is mutable —
+      [ref], [Hashtbl.t], [Buffer.t], [Queue.t], [Stack.t], [array],
+      [bytes], [Random.State.t], or a record declared with [mutable] (or
+      container) fields — is shared state reachable from every domain.
+      Bindings typed [Atomic.t], [Mutex.t]/[Condition.t]/[Semaphore.*],
+      or [Domain.DLS.key] classify as safe; everything else is a hazard
+      unless a reviewed allowlist entry justifies it (e.g. the
+      mutex-guarded [Metrics] registry).
+    - {b nondet-random} / {b nondet-wallclock} / {b nondet-domain-id}:
+      uses of the global [Stdlib.Random] state ([Random.State] is exempt:
+      explicit state is how [Engine.split_rng] plumbs determinism),
+      wall-clock reads ([Unix.gettimeofday], [Unix.time], [Sys.time]),
+      and [Domain.self] used as data — each a nondeterminism source that
+      must not influence simulation results.
+    - {b hashtbl-order}: [Hashtbl.iter]/[fold] detected by *resolved
+      path*, so aliases and [open] are caught and same-named non-stdlib
+      modules are not — this is the typed upgrade of {!Lint}'s syntactic
+      rule.
+    - {b poly-compare-seq}: a polymorphic comparison whose operand is
+      *typed* [Seq32.t] — the typed upgrade of {!Lint}'s
+      mentions-[Seq32]-syntactically heuristic.
+    - {b hot-alloc}: inside functions marked [[@@smapp.hot]] (engine
+      dispatch, timer-wheel advance, link delivery), closure and record
+      allocations are flagged — the per-event allocation inventory behind
+      ROADMAP item 2.
+
+    Findings carry both a source location and a {!key} that is a pure
+    function of (rule, module path, symbol) — stable under reformatting
+    and module reordering — which is what the allowlist and the CI
+    baseline match on. *)
+
+type rule =
+  | Mutable_global
+  | Nondet_random
+  | Nondet_wallclock
+  | Nondet_domain
+  | Hashtbl_order
+  | Poly_compare_seq
+  | Hot_alloc
+
+val rule_id : rule -> string
+(** ["mutable-global"], ["nondet-random"], ["nondet-wallclock"],
+    ["nondet-domain-id"], ["hashtbl-order"], ["poly-compare-seq"],
+    ["hot-alloc"]. *)
+
+type finding = {
+  a_rule : rule;
+  a_file : string;  (** source path as recorded in the cmt, e.g. [lib/obs/log.ml] *)
+  a_line : int;  (** 1-based *)
+  a_col : int;  (** 0-based *)
+  a_module : string;  (** normalized unit + submodule path, e.g. [Smapp_obs.Metrics.Scope] is spelled [Smapp_obs.Metrics] with symbol [Scope.key] *)
+  a_symbol : string;  (** value name; expression findings append [:Used.path], hot-alloc appends [:closure]/[:record] *)
+  a_message : string;
+}
+
+val key : finding -> string
+(** [rule-id Module.symbol] — location-independent identity used by the
+    allowlist and baseline. Repeated occurrences inside one symbol share
+    a key and are merged into one finding. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line:col: [rule-id] Module.symbol: message] — editor-clickable. *)
+
+(** {1 Allowlist} *)
+
+type allowlist
+(** Reviewed suppressions: finding {!key} → written justification. *)
+
+val empty_allowlist : allowlist
+
+val allowlist_of_entries : (string * string) list -> allowlist
+(** [(key, justification)] pairs; later entries win. *)
+
+val load_allowlist : string -> (allowlist, string) result
+(** Parse an allowlist file. One entry per line:
+    [<rule-id> <Module.symbol> -- <justification>]; blank lines and [#]
+    comments are skipped. A missing or empty justification is a parse
+    error — every suppression must say why. *)
+
+(** {1 Running} *)
+
+type report = {
+  r_findings : finding list;  (** unsuppressed, sorted by (file, line, col) *)
+  r_allowlisted : (finding * string) list;  (** suppressed, with justification *)
+  r_stale_allow : string list;  (** allowlist keys that matched nothing *)
+  r_units : int;  (** compilation units analyzed *)
+}
+
+val run_files : ?allowlist:allowlist -> string list -> report
+(** Analyze an explicit list of [.cmt] files. Unreadable files and
+    non-implementation artifacts are skipped. The resulting report is a
+    pure function of the file {e set}: input order does not matter. *)
+
+val scan : root:string -> string list
+(** All [.cmt] files under [root], recursively (including dune's hidden
+    [.objs] directories), in sorted order. *)
+
+val run : ?allowlist:allowlist -> root:string -> unit -> report
+(** [run_files (scan ~root)]. *)
+
+val default_root : unit -> string option
+(** Where the current working directory keeps its [.cmt] artifacts:
+    [_build/default/lib] from a repo checkout, [lib] from inside a dune
+    action (cwd [_build/default]); [None] when neither holds any. *)
+
+(** {1 Baseline gating} *)
+
+val keys : report -> string list
+(** Sorted unsuppressed finding keys, for writing a baseline file. *)
+
+val load_baseline : string -> string list
+(** One key per line; blank lines and [#] comments skipped. A missing
+    file is an empty baseline. *)
+
+val regressions : baseline:string list -> report -> finding list
+(** Unsuppressed findings whose key is not in the baseline — the CI
+    gate fails on any. *)
+
+(** {1 Lint delegation} *)
+
+val lint_delegate : dir:string -> (string, finding list) Hashtbl.t option
+(** Typed findings for the two rules {!Lint} delegates (hashtbl-order
+    and poly-compare-seq), keyed by source path exactly as the cmt
+    records it. Every analyzed unit gets an entry (possibly [[]]), so
+    the presence of a key tells {!Lint} the typed pass covered that file
+    and its syntactic fallback should stand down. [None] when no [.cmt]
+    artifacts exist under [_build/default/<dir>] or [<dir>]. *)

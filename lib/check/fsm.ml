@@ -129,10 +129,13 @@ let self_check () =
 
 let trace_depth = 32
 
-(* entity key -> newest-first bounded event trace *)
+(* entity key -> newest-first bounded event trace. The table itself is
+   analyzer-allowlisted: conformance runs are single-domain by design
+   (install/uninstall bracket one sequential scenario). The counters are
+   Atomic anyway so a stray parallel reader sees coherent values. *)
 let traces : (string, string list ref) Hashtbl.t = Hashtbl.create 64
-let seen = ref 0
-let is_installed = ref false
+let seen = Atomic.make 0
+let is_installed = Atomic.make false
 
 let record key event =
   let tr =
@@ -170,20 +173,20 @@ let on_tcb_transition ~flow prev next =
     Tcp_info.state_to_string prev ^ " -> " ^ Tcp_info.state_to_string next
   in
   record key edge;
-  incr seen;
+  Atomic.incr seen;
   if not (tcp_legal prev next) then violation key edge
 
 let on_phase_change ~id prev next =
   let key = Printf.sprintf "connection #%d" id in
   let edge = Connection.phase_name prev ^ " -> " ^ Connection.phase_name next in
   record key edge;
-  incr seen;
+  Atomic.incr seen;
   if not (phase_legal prev next) then violation key edge
 
 let on_subflow_open ~id phase =
   let key = Printf.sprintf "connection #%d" id in
   record key ("subflow registered at " ^ Connection.phase_name phase);
-  incr seen;
+  Atomic.incr seen;
   match phase with
   | Connection.P_finning | Connection.P_closed ->
       violation key
@@ -192,22 +195,22 @@ let on_subflow_open ~id phase =
 
 let install () =
   Hashtbl.reset traces;
-  seen := 0;
-  Tcb.transition_hook := on_tcb_transition;
-  Connection.phase_hook := on_phase_change;
-  Connection.subflow_open_hook := on_subflow_open;
-  Tcb.checks_enabled := true;
-  Connection.checks_enabled := true;
-  is_installed := true
+  Atomic.set seen 0;
+  Atomic.set Tcb.transition_hook on_tcb_transition;
+  Atomic.set Connection.phase_hook on_phase_change;
+  Atomic.set Connection.subflow_open_hook on_subflow_open;
+  Atomic.set Tcb.checks_enabled true;
+  Atomic.set Connection.checks_enabled true;
+  Atomic.set is_installed true
 
 let uninstall () =
-  Tcb.checks_enabled := false;
-  Connection.checks_enabled := false;
-  Tcb.transition_hook := (fun ~flow:_ _ _ -> ());
-  Connection.phase_hook := (fun ~id:_ _ _ -> ());
-  Connection.subflow_open_hook := (fun ~id:_ _ -> ());
+  Atomic.set Tcb.checks_enabled false;
+  Atomic.set Connection.checks_enabled false;
+  Atomic.set Tcb.transition_hook (fun ~flow:_ _ _ -> ());
+  Atomic.set Connection.phase_hook (fun ~id:_ _ _ -> ());
+  Atomic.set Connection.subflow_open_hook (fun ~id:_ _ -> ());
   Hashtbl.reset traces;
-  is_installed := false
+  Atomic.set is_installed false
 
-let installed () = !is_installed
-let transitions_seen () = !seen
+let installed () = Atomic.get is_installed
+let transitions_seen () = Atomic.get seen

@@ -51,8 +51,9 @@ let last_component = function
 
 (* Does [e] syntactically mention a sequence number: a [Seq32.x] value path,
    a [(x : Seq32.t)] constraint, or a record field named like one? A
-   sub-iterator with an early-out flag — purely syntactic, so a variable
-   merely *typed* Seq32.t elsewhere is not caught (that would need typing). *)
+   sub-iterator with an early-out flag. This is the *fallback* detector:
+   when .cmt artifacts are present, [run] delegates this rule to
+   [Analysis], which sees the operands' actual types. *)
 let mentions_seq (e : Parsetree.expression) =
   let found = ref false in
   let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
@@ -195,9 +196,57 @@ let suppressed markers f =
   in
   probe f.f_line suppression_reach
 
+(* --- typed delegation ---------------------------------------------------------
+
+   hashtbl-order and poly-compare-seq are really *type* questions; the
+   parsetree rules above are approximations (an aliased [module H =
+   Hashtbl] escapes them, a variable merely typed [Seq32.t] is missed).
+   When the caller supplies typed findings for a file — produced by
+   [Analysis] from its .cmt — those replace the syntactic findings for
+   the two delegated rules; the in-source `smapp-lint: allow` markers
+   apply to both alike since typed findings carry real locations. *)
+
+let delegated_rule = function
+  | Analysis.Hashtbl_order -> Some Hashtbl_order
+  | Analysis.Poly_compare_seq -> Some Poly_compare_seq
+  | _ -> None
+
+let of_typed (af : Analysis.finding) =
+  Option.map
+    (fun rule ->
+      {
+        f_rule = rule;
+        f_file = af.Analysis.a_file;
+        f_line = af.Analysis.a_line;
+        f_col = af.Analysis.a_col;
+        f_message = af.Analysis.a_message;
+      })
+    (delegated_rule af.Analysis.a_rule)
+
+let merge_typed typed findings =
+  match typed with
+  | None -> findings
+  | Some typed_findings ->
+      let syntactic =
+        List.filter
+          (fun f ->
+            match f.f_rule with
+            | Hashtbl_order | Poly_compare_seq -> false
+            | Naked_failwith | Naked_print | Parse_error -> true)
+          findings
+      in
+      List.sort
+        (fun a b ->
+          let c = Int.compare a.f_line b.f_line in
+          if c <> 0 then c
+          else
+            let c = Int.compare a.f_col b.f_col in
+            if c <> 0 then c else String.compare (rule_id a.f_rule) (rule_id b.f_rule))
+        (syntactic @ List.filter_map of_typed typed_findings)
+
 (* --- entry points ------------------------------------------------------------- *)
 
-let lint_string ~file source =
+let lint_string ?typed ~file source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf file;
   match Parse.implementation lexbuf with
@@ -213,7 +262,7 @@ let lint_string ~file source =
       in
       { r_findings = [ f ]; r_suppressed = 0; r_files = 1 }
   | structure ->
-      let all = collect ~file structure in
+      let all = merge_typed typed (collect ~file structure) in
       let lines = Array.of_list (String.split_on_char '\n' source) in
       let markers = markers_of_lines lines in
       let live, dead = List.partition (fun f -> not (suppressed markers f)) all in
@@ -225,7 +274,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_file path = lint_string ~file:path (read_file path)
+let lint_file ?typed path = lint_string ?typed ~file:path (read_file path)
 
 let rec ml_files dir =
   Sys.readdir dir |> Array.to_list |> List.sort String.compare
@@ -237,9 +286,19 @@ let rec ml_files dir =
          else [])
 
 let run ~dir =
+  (* One typed index for the whole tree; a file with an entry (even an
+     empty one) was covered by the typed pass, so its syntactic
+     hashtbl-order/poly-compare-seq findings stand down. Files without
+     .cmt coverage keep the parsetree fallback. *)
+  let typed_index = Analysis.lint_delegate ~dir in
   List.fold_left
     (fun acc path ->
-      let r = lint_file path in
+      let typed =
+        match typed_index with
+        | None -> None
+        | Some tbl -> Hashtbl.find_opt tbl path
+      in
+      let r = lint_file ?typed path in
       {
         r_findings = acc.r_findings @ r.r_findings;
         r_suppressed = acc.r_suppressed + r.r_suppressed;

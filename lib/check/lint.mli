@@ -13,6 +13,13 @@
       order is unspecified and has repeatedly escaped into behaviour
       (retry order on daemon restart, teardown sweep order). Use
       [Otable], the insertion-ordered table, or sort the bindings first.
+
+    These two rules are really type questions, so when [.cmt] typedtree
+    artifacts exist for the linted tree, {!run} delegates them to
+    {!Analysis} — which resolves aliases and sees operands' actual types
+    — and the syntactic detectors above serve only as the fallback for
+    files without [.cmt] coverage.
+
     - {b naked-failwith}: [failwith] or [assert false]. Internal-invariant
       violations must raise {!Smapp_sim.Bug.Bug} with a message naming the
       invariant ([Bug.fail]); [Failure] is reserved for
@@ -64,13 +71,17 @@ type report = {
   r_files : int;
 }
 
-val lint_string : file:string -> string -> report
+val lint_string : ?typed:Analysis.finding list -> file:string -> string -> report
 (** Lint source text directly; [file] is used in locations. Unparseable
-    input yields a single [Parse_error] finding rather than an exception. *)
+    input yields a single [Parse_error] finding rather than an exception.
+    When [typed] is given (this file's findings from {!Analysis}), the
+    typed results replace the syntactic hashtbl-order/poly-compare-seq
+    findings; in-source suppression markers apply to both alike. *)
 
-val lint_file : string -> report
+val lint_file : ?typed:Analysis.finding list -> string -> report
 
 val run : dir:string -> report
 (** Lint every [*.ml] under [dir] recursively, skipping [_build]-style
     (underscore- or dot-prefixed) directories. Reports merge in path
-    order. *)
+    order. When [.cmt] artifacts exist ({!Analysis.lint_delegate}), the
+    two delegated rules come from the typed pass for every covered file. *)

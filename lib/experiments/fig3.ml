@@ -84,16 +84,17 @@ let starts_with ~prefix s =
   && String.sub s 0 (String.length prefix) = prefix
 
 let traced_breakdown ?(seed = 42) ?(requests = 300) () =
-  let saved_m = !Smapp_obs.Metrics.enabled and saved_t = !Smapp_obs.Trace.enabled in
-  Smapp_obs.Metrics.enabled := false;
-  Smapp_obs.Trace.enabled := false;
+  let saved_m = Atomic.get Smapp_obs.Metrics.enabled
+  and saved_t = Atomic.get Smapp_obs.Trace.enabled in
+  Atomic.set Smapp_obs.Metrics.enabled false;
+  Atomic.set Smapp_obs.Trace.enabled false;
   let kernel = run ~seed ~requests ~variant:Kernel () in
   Smapp_obs.Trace.clear ();
-  Smapp_obs.Trace.enabled := true;
-  Smapp_obs.Metrics.enabled := true;
+  Atomic.set Smapp_obs.Trace.enabled true;
+  Atomic.set Smapp_obs.Metrics.enabled true;
   let user = run ~seed ~requests ~variant:Userspace () in
-  Smapp_obs.Metrics.enabled := saved_m;
-  Smapp_obs.Trace.enabled := saved_t;
+  Atomic.set Smapp_obs.Metrics.enabled saved_m;
+  Atomic.set Smapp_obs.Trace.enabled saved_t;
   (* the trace buffer keeps the userspace run for the caller to export *)
   let extra_us = (mean_of user.delays -. mean_of kernel.delays) *. 1e6 in
   let crossing name =

@@ -93,11 +93,13 @@ let phase_name = function
 
 (* --- conformance instrumentation: see Tcb for the cost contract ----------- *)
 
-let checks_enabled = ref false
+let checks_enabled = Atomic.make false
 
-let phase_hook : (id:int -> phase -> phase -> unit) ref = ref (fun ~id:_ _ _ -> ())
+let phase_hook : (id:int -> phase -> phase -> unit) Atomic.t =
+  Atomic.make (fun ~id:_ _ _ -> ())
 
-let subflow_open_hook : (id:int -> phase -> unit) ref = ref (fun ~id:_ _ -> ())
+let subflow_open_hook : (id:int -> phase -> unit) Atomic.t =
+  Atomic.make (fun ~id:_ _ -> ())
 
 let phase t =
   if t.is_closed then P_closed
@@ -112,10 +114,12 @@ let note_phase t =
   if next <> t.last_phase then begin
     let prev = t.last_phase in
     t.last_phase <- next;
-    if !checks_enabled then !phase_hook ~id:t.id prev next
+    if Atomic.get checks_enabled then (Atomic.get phase_hook) ~id:t.id prev next
   end
 
-let next_conn_id = ref 0
+(* Atomic: connections are constructed from parallel sweep lanes; ids only
+   need to be unique, not dense, so fetch_and_add is enough. *)
+let next_conn_id = Atomic.make 0
 
 let role t = t.role
 let id t = t.id
@@ -438,7 +442,7 @@ let register_subflow t tcb ~addr_id ~initial =
     }
   in
   t.next_subflow_id <- t.next_subflow_id + 1;
-  if !checks_enabled then !subflow_open_hook ~id:t.id (phase t);
+  if Atomic.get checks_enabled then (Atomic.get subflow_open_hook) ~id:t.id (phase t);
   t.subflow_list <- t.subflow_list @ [ sf ];
   Cc.set_sibling_probe (Tcb.cc tcb) (lia_probe t);
   sf
@@ -538,11 +542,10 @@ let abort t = abort_internal t ~notify_peer:true
 (* --- constructors --------------------------------------------------------------------- *)
 
 let make deps ~scheduler ~role ~initial_flow =
-  incr next_conn_id;
   {
     deps;
     role;
-    id = !next_conn_id;
+    id = 1 + Atomic.fetch_and_add next_conn_id 1;
     sched = scheduler;
     local_key = Crypto.generate_key deps.dep_rng;
     remote_key = None;

@@ -70,12 +70,14 @@ type phase = P_init | P_established | P_draining | P_finning | P_closed
 
 val phase : t -> phase
 val phase_name : phase -> string
-val checks_enabled : bool ref
+val checks_enabled : bool Atomic.t
 
-val phase_hook : (id:int -> phase -> phase -> unit) ref
-(** Fired on every phase change with the connection id. *)
+val phase_hook : (id:int -> phase -> phase -> unit) Atomic.t
+(** Fired on every phase change with the connection id. Atomic (as are
+    [checks_enabled] and [subflow_open_hook]) so conformance tooling can
+    install/remove hooks from the main domain safely. *)
 
-val subflow_open_hook : (id:int -> phase -> unit) ref
+val subflow_open_hook : (id:int -> phase -> unit) Atomic.t
 (** Fired when a subflow is registered, with the phase it was registered
     in — a subflow appearing at [P_finning] or later is the post-FIN
     subflow-leak bug class. *)

@@ -108,6 +108,7 @@ let send t pkt =
                        dst pkt
                      end))
       end
+[@@smapp.hot]
 
 let set_loss t loss =
   if loss < 0.0 || loss > 1.0 then invalid_arg "Link.set_loss: out of [0,1]";

@@ -3,9 +3,11 @@ type level = Debug | Info | Warn | Error
 let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
 let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
 
-let threshold = ref Warn
-let set_level l = threshold := l
-let level () = !threshold
+(* Atomic: worker domains read the threshold on every thunked call while
+   the main domain may adjust it between phases. *)
+let threshold = Atomic.make Warn
+let set_level l = Atomic.set threshold l
+let level () = Atomic.get threshold
 
 (* Atomic: sweep worker domains may emit concurrently. *)
 let emitted_count = Atomic.make 0
@@ -19,16 +21,16 @@ let default_sink l s =
      points everyone else at; this is the single egress to stderr *)
   Printf.eprintf "[smapp %-5s] %s\n%!" (level_name l) s
 
-let sink = ref default_sink
-let set_sink f = sink := f
-let reset_sink () = sink := default_sink
+let sink = Atomic.make default_sink
+let set_sink f = Atomic.set sink f
+let reset_sink () = Atomic.set sink default_sink
 
-let enabled_for l = severity l >= severity !threshold
+let enabled_for l = severity l >= severity (Atomic.get threshold)
 
 let msg l s =
   if enabled_for l then begin
     Atomic.incr emitted_count;
-    !sink l s
+    (Atomic.get sink) l s
   end
 
 (* Thunked variants: the message string is only built when the level is

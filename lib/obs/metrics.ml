@@ -18,7 +18,7 @@
 
 type labels = (string * string) list
 
-let enabled = ref false
+let enabled = Atomic.make false
 
 type counter = { c_name : string; c_labels : labels; c_slot : int }
 type gauge = { g_name : string; g_labels : labels; g_slot : int }
@@ -176,19 +176,19 @@ let hist_cell scope h =
 (* --- updates: one load and a branch when disabled --------------------------- *)
 
 let incr c =
-  if !enabled then begin
+  if Atomic.get enabled then begin
     let cc = counter_cell (Scope.current ()) c in
     cc.cc_value <- cc.cc_value + 1
   end
 
 let add c n =
-  if !enabled then begin
+  if Atomic.get enabled then begin
     let cc = counter_cell (Scope.current ()) c in
     cc.cc_value <- cc.cc_value + n
   end
 
 let set g v =
-  if !enabled then begin
+  if Atomic.get enabled then begin
     let cg = gauge_cell (Scope.current ()) g in
     cg.cg_value <- v
   end
@@ -199,7 +199,7 @@ let bucket_index h v =
   go 0
 
 let observe h v =
-  if !enabled then begin
+  if Atomic.get enabled then begin
     let ch = hist_cell (Scope.current ()) h in
     let i = bucket_index h v in
     ch.ch_counts.(i) <- ch.ch_counts.(i) + 1;

@@ -19,8 +19,10 @@
 type labels = (string * string) list
 (** Static label pairs, fixed at registration. *)
 
-val enabled : bool ref
-(** Master switch for all metric updates. Default [false]. *)
+val enabled : bool Atomic.t
+(** Master switch for all metric updates. Default [false]. Atomic: worker
+    domains read it on every update while the main domain toggles it
+    between phases. *)
 
 type counter
 type gauge

@@ -15,7 +15,7 @@ type event = {
   ev_kind : kind;
 }
 
-let enabled = ref false
+let enabled = Atomic.make false
 
 (* --- scopes: clock + ring ----------------------------------------------------- *)
 
@@ -99,7 +99,7 @@ let events () =
 (* --- recording ---------------------------------------------------------------- *)
 
 let instant ?(args = []) ~cat name =
-  if !enabled then
+  if Atomic.get enabled then
     push
       {
         ev_ts_ns = now_ns ();
@@ -111,7 +111,7 @@ let instant ?(args = []) ~cat name =
       }
 
 let complete ?(args = []) ~cat ~start_ns ?end_ns name =
-  if !enabled then begin
+  if Atomic.get enabled then begin
     let end_ns = match end_ns with Some e -> e | None -> now_ns () in
     push
       {
@@ -125,7 +125,7 @@ let complete ?(args = []) ~cat ~start_ns ?end_ns name =
   end
 
 let with_span ?args ~cat name f =
-  if !enabled then begin
+  if Atomic.get enabled then begin
     let start_ns = now_ns () in
     let finally () = complete ?args ~cat ~start_ns name in
     Fun.protect ~finally f

@@ -21,8 +21,10 @@ type event = {
   ev_kind : kind;
 }
 
-val enabled : bool ref
-(** Master switch for recording. Default [false]. *)
+val enabled : bool Atomic.t
+(** Master switch for recording. Default [false]. Atomic: worker domains
+    read it on every span/instant while the main domain toggles it
+    between phases. *)
 
 module Scope : sig
   type t

@@ -110,6 +110,7 @@ let schedule_event ?rank t when_ f =
   Smapp_obs.Metrics.observe m_horizon
     (float_of_int (Time.to_ns when_ - Time.to_ns t.clock));
   ev
+[@@smapp.hot]
 
 let at ?rank t when_ f =
   let timer = { engine = t; current = None } in
@@ -120,6 +121,7 @@ let at ?rank t when_ f =
   in
   timer.current <- Some ev;
   timer
+[@@smapp.hot]
 
 let after t d f =
   let d = Time.span_max d Time.span_zero in
@@ -221,6 +223,7 @@ let run ?until ?(max_events = max_int) t =
   match until with
   | Some limit when Timer_wheel.is_empty t.queue && Time.(t.clock < limit) -> t.clock <- limit
   | _ -> ()
+[@@smapp.hot]
 
 let pending t = t.live
 let events_executed t = t.executed

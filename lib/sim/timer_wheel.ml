@@ -84,6 +84,7 @@ let add t ~time ?(rank = default_rank) value =
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
   place t entry
+[@@smapp.hot]
 
 let lowest_bit_index m =
   let rec go i v = if v land 1 = 1 then i else go (i + 1) (v lsr 1) in
@@ -104,6 +105,7 @@ let cascade t k idx =
   t.masks.(k) <- t.masks.(k) land lnot (1 lsl idx);
   Queue.iter (fun entry -> place t entry) q;
   Queue.clear q
+[@@smapp.hot]
 
 (* A level-0 slot holds one key value, but ranked ties must pop in
    (rank, seq) order rather than insertion order, so the head of a slot
@@ -173,3 +175,4 @@ let pop t =
       if Queue.is_empty q then t.masks.(0) <- t.masks.(0) land lnot (1 lsl idx);
       t.size <- t.size - 1;
       Some (e.e_time, e.e_value)
+[@@smapp.hot]

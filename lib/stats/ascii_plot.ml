@@ -1,4 +1,6 @@
-let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+(* A string, not an array: this is a constant lookup table and strings are
+   immutable, so it classifies as domain-safe. *)
+let glyphs = "*+ox#@%&"
 
 let render ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") ~x_min ~x_max
     ~y_min ~y_max series =
@@ -13,12 +15,12 @@ let render ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") ~x_min ~
       grid.(height - 1 - row).(col) <- glyph
   in
   List.iteri
-    (fun i (_, points) -> List.iter (plot glyphs.(i mod Array.length glyphs)) points)
+    (fun i (_, points) -> List.iter (plot glyphs.[i mod String.length glyphs]) points)
     series;
   List.iteri
     (fun i (name, _) ->
       Buffer.add_string buf
-        (Printf.sprintf "  %c %s\n" glyphs.(i mod Array.length glyphs) name))
+        (Printf.sprintf "  %c %s\n" glyphs.[i mod String.length glyphs] name))
     series;
   if y_label <> "" then Buffer.add_string buf (Printf.sprintf "  y: %s\n" y_label);
   Buffer.add_string buf (Printf.sprintf "%8.3g +\n" y_max);

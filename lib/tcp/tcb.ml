@@ -122,10 +122,10 @@ let state t = t.state
    [Smapp_check.Fsm] flips it on to validate observed transitions against
    the explicit RFC 793 table and fail loudly with a trace. *)
 
-let checks_enabled = ref false
+let checks_enabled = Atomic.make false
 
-let transition_hook : (flow:Ip.flow -> Tcp_info.state -> Tcp_info.state -> unit) ref =
-  ref (fun ~flow:_ _ _ -> ())
+let transition_hook : (flow:Ip.flow -> Tcp_info.state -> Tcp_info.state -> unit) Atomic.t =
+  Atomic.make (fun ~flow:_ _ _ -> ())
 
 (* Observability handles, same load-and-branch cost model as the
    conformance hook above. Cwnd is sampled in bytes on each
@@ -144,7 +144,8 @@ let set_state t next =
   let prev = t.state in
   if prev <> next then begin
     t.state <- next;
-    if !checks_enabled then !transition_hook ~flow:t.flow prev next
+    if Atomic.get checks_enabled then
+      (Atomic.get transition_hook) ~flow:t.flow prev next
   end
 let established t = t.state = Tcp_info.Established
 let set_backup t b = t.backup <- b

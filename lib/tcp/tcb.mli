@@ -92,11 +92,13 @@ val state : t -> Tcp_info.state
     configuration) the cost is a single load-and-branch per transition —
     the bench's [check] section guards that this stays in the noise. *)
 
-val checks_enabled : bool ref
+val checks_enabled : bool Atomic.t
 
 (* Called with the subflow's four-tuple and the (old, new) states; install
-   via [Smapp_check.Fsm.install] rather than directly. *)
-val transition_hook : (flow:Ip.flow -> Tcp_info.state -> Tcp_info.state -> unit) ref
+   via [Smapp_check.Fsm.install] rather than directly. Atomic (as is
+   [checks_enabled]) so toggling from the main domain is safe while worker
+   domains run simulations. *)
+val transition_hook : (flow:Ip.flow -> Tcp_info.state -> Tcp_info.state -> unit) Atomic.t
 val established : t -> bool
 val info : t -> Tcp_info.t
 

@@ -1,0 +1,6 @@
+(* One genuine hazard, suppressed by the allowlist the test supplies —
+   exercises allowlist matching, justification threading, and stale-entry
+   detection. *)
+
+let scratch = Buffer.create 64
+let remember s = Buffer.add_string scratch s

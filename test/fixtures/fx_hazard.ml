@@ -1,0 +1,27 @@
+(* Deliberately hazardous: every binding below exists to trip exactly one
+   analyzer rule, and test_analysis asserts the exact finding keys. The
+   functions are never called; module initialization only allocates the
+   (empty) toplevel containers. *)
+
+type cell = { mutable v : int }
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+let counter = ref 0
+let cell = { v = 0 }
+let roll () = Random.int 10
+let stamp () = Sys.time ()
+let domain_tag () = (Domain.self () :> int)
+
+(* the alias must not hide Hashtbl.iter from the typed pass *)
+module H = Hashtbl
+
+let iter_all f = H.iter f table
+let seq_leaks (a : Smapp_tcp.Seq32.t) b = a = b
+
+type pair = { left : int; right : int }
+
+let spin x =
+  let f y = x + y in
+  let p = { left = x; right = x + 1 } in
+  f p.left + p.right
+[@@smapp.hot]

@@ -1,0 +1,14 @@
+(* The sanctioned patterns: every binding here must classify clean —
+   test_analysis asserts this module contributes zero findings. *)
+
+let flag = Atomic.make false
+let lock = Mutex.create ()
+let scope : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+type point = { x : int; y : int }
+
+let origin = { x = 0; y = 0 }
+let shift p dx = { p with x = p.x + dx }
+
+(* explicit-state randomness is the plumbed idiom, not a nondet source *)
+let seeded_roll st = Random.State.int st 10

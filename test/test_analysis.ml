@@ -1,0 +1,194 @@
+(* The typed analyzer (Smapp_check.Analysis) run over the fixture library
+   in test/fixtures: exact finding keys for the known-hazard module, zero
+   findings for the sanctioned-pattern module, allowlist and baseline
+   mechanics, and stability of the classifier under module reordering.
+
+   The fixtures are analyzed from their .cmt artifacts, which dune puts
+   under fixtures/.analysis_fixtures.objs/ relative to the test's cwd
+   (_build/default/test); linking the fixture library into this binary is
+   what guarantees they are built. *)
+
+module Analysis = Smapp_check.Analysis
+
+(* "fixtures" when run by dune runtest (cwd _build/default/test); the
+   full build path when the binary is exec'd from the checkout root *)
+let fixture_roots =
+  [ "fixtures"; Filename.concat "_build" "default/test/fixtures" ]
+
+let locate_fixtures () =
+  List.find_map
+    (fun r ->
+      match Analysis.scan ~root:r with [] -> None | files -> Some files)
+    fixture_roots
+
+let fixture_files () =
+  match locate_fixtures () with
+  | Some files -> files
+  | None ->
+      Alcotest.failf
+        "no .cmt fixtures under %s (cwd %s); was the fixture library built?"
+        (String.concat " or " fixture_roots)
+        (Sys.getcwd ())
+
+(* Every hazard planted in fx_hazard.ml / fx_allowlisted.ml, and nothing
+   else — fx_safe.ml and the library wrapper must contribute zero keys. *)
+let expected_keys =
+  List.sort String.compare
+    [
+      "mutable-global Analysis_fixtures.Fx_hazard.table";
+      "mutable-global Analysis_fixtures.Fx_hazard.counter";
+      "mutable-global Analysis_fixtures.Fx_hazard.cell";
+      "mutable-global Analysis_fixtures.Fx_allowlisted.scratch";
+      "nondet-random Analysis_fixtures.Fx_hazard.roll:Random.int";
+      "nondet-wallclock Analysis_fixtures.Fx_hazard.stamp:Sys.time";
+      "nondet-domain-id Analysis_fixtures.Fx_hazard.domain_tag:Domain.self";
+      "hashtbl-order Analysis_fixtures.Fx_hazard.iter_all:Hashtbl.iter";
+      "poly-compare-seq Analysis_fixtures.Fx_hazard.seq_leaks:=";
+      "hot-alloc Analysis_fixtures.Fx_hazard.spin:closure";
+      "hot-alloc Analysis_fixtures.Fx_hazard.spin:record";
+    ]
+
+let test_exact_findings () =
+  let r = Analysis.run_files (fixture_files ()) in
+  Alcotest.(check (list string))
+    "exact finding keys" expected_keys (Analysis.keys r);
+  Alcotest.(check int)
+    "nothing allowlisted without an allowlist" 0
+    (List.length r.Analysis.r_allowlisted);
+  Alcotest.(check (list string)) "no stale entries" [] r.Analysis.r_stale_allow;
+  Alcotest.(check bool)
+    "all fixture units loaded" true
+    (r.Analysis.r_units >= 3)
+
+let has_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_safe_clean () =
+  let r = Analysis.run_files (fixture_files ()) in
+  List.iter
+    (fun k ->
+      if has_sub ~sub:"Fx_safe" k then
+        Alcotest.failf "sanctioned pattern flagged: %s" k)
+    (Analysis.keys r)
+
+let scratch_key = "mutable-global Analysis_fixtures.Fx_allowlisted.scratch"
+
+let test_allowlist () =
+  let allow =
+    Analysis.allowlist_of_entries
+      [
+        (scratch_key, "test scratch buffer, single-domain");
+        ("mutable-global Analysis_fixtures.Fx_missing.gone", "stale on purpose");
+      ]
+  in
+  let r = Analysis.run_files ~allowlist:allow (fixture_files ()) in
+  Alcotest.(check bool)
+    "suppressed key absent from findings" false
+    (List.mem scratch_key (Analysis.keys r));
+  (match
+     List.find_opt
+       (fun (f, _) -> Analysis.key f = scratch_key)
+       r.Analysis.r_allowlisted
+   with
+  | Some (_, just) ->
+      Alcotest.(check string)
+        "justification threaded through" "test scratch buffer, single-domain"
+        just
+  | None -> Alcotest.fail "suppressed finding not reported as allowlisted");
+  Alcotest.(check (list string))
+    "unmatched entry reported stale"
+    [ "mutable-global Analysis_fixtures.Fx_missing.gone" ]
+    r.Analysis.r_stale_allow
+
+let write_temp content =
+  let path = Filename.temp_file "smapp_analysis" ".txt" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let test_load_allowlist () =
+  (* a loaded file behaves exactly like allowlist_of_entries: the matching
+     key is suppressed with its justification threaded through *)
+  let ok = write_temp ("# comment\n\n" ^ scratch_key ^ " -- guarded by lock\n") in
+  (match Analysis.load_allowlist ok with
+  | Ok allow -> (
+      let r = Analysis.run_files ~allowlist:allow (fixture_files ()) in
+      Alcotest.(check bool)
+        "loaded entry suppresses" false
+        (List.mem scratch_key (Analysis.keys r));
+      match
+        List.find_opt
+          (fun (f, _) -> Analysis.key f = scratch_key)
+          r.Analysis.r_allowlisted
+      with
+      | Some (_, just) ->
+          Alcotest.(check string) "justification" "guarded by lock" just
+      | None -> Alcotest.fail "loaded entry not applied")
+  | Error e -> Alcotest.failf "valid allowlist rejected: %s" e);
+  Sys.remove ok;
+  let missing = write_temp "mutable-global Foo.bar\n" in
+  (match Analysis.load_allowlist missing with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "justification must be mandatory");
+  Sys.remove missing;
+  let malformed = write_temp "mutable-global -- why\n" in
+  (match Analysis.load_allowlist malformed with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "entry without a symbol must be rejected");
+  Sys.remove malformed
+
+(* The CI gate: with an empty baseline the hazard fixtures are regressions
+   (exactly what `tools/analyze --baseline` exits 1 on); with a baseline
+   covering the current keys the gate passes. *)
+let test_ci_gate () =
+  let r = Analysis.run_files (fixture_files ()) in
+  Alcotest.(check bool)
+    "empty baseline fails on planted hazards" true
+    (Analysis.regressions ~baseline:[] r <> []);
+  Alcotest.(check int)
+    "full baseline passes" 0
+    (List.length (Analysis.regressions ~baseline:(Analysis.keys r) r));
+  let b = write_temp "# accepted\n\nmutable-global Foo.bar\n" in
+  Alcotest.(check (list string))
+    "baseline parse skips comments and blanks"
+    [ "mutable-global Foo.bar" ] (Analysis.load_baseline b);
+  Sys.remove b
+
+(* Keys are content-based (rule + qualified symbol), so shuffling the
+   order the .cmt files are presented in must not change the report. *)
+let prop_order_stable =
+  QCheck.Test.make ~count:16 ~name:"finding keys stable under module reordering"
+    QCheck.(small_list small_nat)
+    (fun swaps ->
+      let arr = Array.of_list (Option.value ~default:[] (locate_fixtures ())) in
+      let n = Array.length arr in
+      n = 0
+      ||
+      (List.iteri
+         (fun i k ->
+           let a = i mod n and b = k mod n in
+           let t = arr.(a) in
+           arr.(a) <- arr.(b);
+           arr.(b) <- t)
+         swaps;
+       Analysis.keys (Analysis.run_files (Array.to_list arr)) = expected_keys))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "typed pass",
+        [
+          Alcotest.test_case "exact findings on fixtures" `Quick
+            test_exact_findings;
+          Alcotest.test_case "sanctioned patterns classify clean" `Quick
+            test_safe_clean;
+          Alcotest.test_case "allowlist suppression and stale entries" `Quick
+            test_allowlist;
+          Alcotest.test_case "allowlist parsing" `Quick test_load_allowlist;
+          Alcotest.test_case "baseline CI gate" `Quick test_ci_gate;
+          QCheck_alcotest.to_alcotest prop_order_stable;
+        ] );
+    ]

@@ -189,7 +189,7 @@ let test_fsm_illegal_transition_raises () =
       in
       (* drive the installed hook with an edge outside the table, as a
          regressed Tcb would *)
-      match !Tcb.transition_hook ~flow Tcp_info.Closed Tcp_info.Established with
+      match (Atomic.get Tcb.transition_hook) ~flow Tcp_info.Closed Tcp_info.Established with
       | () -> Alcotest.fail "expected Conformance"
       | exception Fsm.Conformance msg ->
           let has sub =
@@ -205,18 +205,18 @@ let test_fsm_post_fin_subflow_raises () =
   Fun.protect ~finally:Fsm.uninstall (fun () ->
       checkb "registering while established is fine" true
         (try
-           !Connection.subflow_open_hook ~id:1 Connection.P_established;
+           (Atomic.get Connection.subflow_open_hook) ~id:1 Connection.P_established;
            true
          with Fsm.Conformance _ -> false);
       checkb "registering after FIN raises" true
         (try
-           !Connection.subflow_open_hook ~id:1 Connection.P_finning;
+           (Atomic.get Connection.subflow_open_hook) ~id:1 Connection.P_finning;
            false
          with Fsm.Conformance _ -> true))
 
 let test_fsm_hooks_off_by_default () =
-  checkb "tcb hooks off" false !Tcb.checks_enabled;
-  checkb "connection hooks off" false !Connection.checks_enabled
+  checkb "tcb hooks off" false (Atomic.get Tcb.checks_enabled);
+  checkb "connection hooks off" false (Atomic.get Connection.checks_enabled)
 
 (* === tie-order exploration =================================================== *)
 

@@ -21,13 +21,13 @@ let checkf = Alcotest.check (Alcotest.float 1e-9)
 (* Every test runs in one process against the global registry/ring, so
    each uses metric names of its own and restores the switches it flips. *)
 let with_obs f =
-  let m = !Metrics.enabled and t = !Trace.enabled in
-  Metrics.enabled := true;
-  Trace.enabled := true;
+  let m = Atomic.get Metrics.enabled and t = Atomic.get Trace.enabled in
+  Atomic.set Metrics.enabled true;
+  Atomic.set Trace.enabled true;
   Fun.protect
     ~finally:(fun () ->
-      Metrics.enabled := m;
-      Trace.enabled := t)
+      Atomic.set Metrics.enabled m;
+      Atomic.set Trace.enabled t)
     f
 
 (* === metrics registry ======================================================== *)
@@ -45,10 +45,10 @@ let test_counter_identity () =
       checki "add" 5 (Metrics.value a))
 
 let test_disabled_is_noop () =
-  let saved = !Metrics.enabled in
-  Metrics.enabled := false;
+  let saved = Atomic.get Metrics.enabled in
+  Atomic.set Metrics.enabled false;
   Fun.protect
-    ~finally:(fun () -> Metrics.enabled := saved)
+    ~finally:(fun () -> Atomic.set Metrics.enabled saved)
     (fun () ->
       let c = Metrics.counter "t_gated_total" in
       let g = Metrics.gauge "t_gated_gauge" in
@@ -199,7 +199,7 @@ let test_timeline_render () =
 
 let test_disabled_records_nothing () =
   with_ring 8 (fun t ->
-      Trace.enabled := false;
+      Atomic.set Trace.enabled false;
       t := 1_000;
       Trace.instant ~cat:"test" "invisible";
       Trace.complete ~cat:"test" ~start_ns:0 "also-invisible";
@@ -207,7 +207,7 @@ let test_disabled_records_nothing () =
       Trace.with_span ~cat:"test" "still-runs" (fun () -> ran := true);
       checkb "with_span runs the thunk when disabled" true !ran;
       checki "nothing recorded" 0 (Trace.recorded ());
-      Trace.enabled := true)
+      Atomic.set Trace.enabled true)
 
 (* === log ===================================================================== *)
 
@@ -245,16 +245,16 @@ let test_instrumentation_is_inert () =
     E.Fig3.run ~seed:7 ~requests:20 ~file_bytes:(32 * 1024)
       ~variant:E.Fig3.Userspace ()
   in
-  let saved_m = !Metrics.enabled and saved_t = !Trace.enabled in
-  Metrics.enabled := false;
-  Trace.enabled := false;
+  let saved_m = Atomic.get Metrics.enabled and saved_t = Atomic.get Trace.enabled in
+  Atomic.set Metrics.enabled false;
+  Atomic.set Trace.enabled false;
   let plain = run () in
   Trace.clear ();
-  Metrics.enabled := true;
-  Trace.enabled := true;
+  Atomic.set Metrics.enabled true;
+  Atomic.set Trace.enabled true;
   let traced = run () in
-  Metrics.enabled := saved_m;
-  Trace.enabled := saved_t;
+  Atomic.set Metrics.enabled saved_m;
+  Atomic.set Trace.enabled saved_t;
   checki "same completions" plain.E.Fig3.requests_completed
     traced.E.Fig3.requests_completed;
   Alcotest.(check (list (float 0.0)))

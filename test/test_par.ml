@@ -81,10 +81,10 @@ let test_nested_map_rejected () =
 (* === ctx isolation =========================================================== *)
 
 let test_ctx_isolates_obs () =
-  let saved = !Metrics.enabled in
-  Metrics.enabled := true;
+  let saved = Atomic.get Metrics.enabled in
+  Atomic.set Metrics.enabled true;
   Fun.protect
-    ~finally:(fun () -> Metrics.enabled := saved)
+    ~finally:(fun () -> Atomic.set Metrics.enabled saved)
     (fun () ->
       let c = Metrics.counter "t_par_ctx_total" in
       Metrics.incr c;

@@ -1,0 +1,129 @@
+(* Typed domain-safety analyzer driver for the @analysis alias / CI.
+
+   usage: analyze [--allowlist FILE] [--baseline FILE] [--json FILE] [ROOT]
+
+   ROOT defaults to wherever the current directory keeps .cmt artifacts
+   (_build/default/lib from a checkout, lib from inside a dune action).
+   Exit 1 on any finding not covered by the baseline (or any finding at
+   all when no --baseline is given). *)
+
+module Analysis = Smapp_check.Analysis
+
+let () =
+  let allowlist_file = ref None in
+  let baseline_file = ref None in
+  let json_file = ref None in
+  let root = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--allowlist" :: f :: rest ->
+        allowlist_file := Some f;
+        parse rest
+    | "--baseline" :: f :: rest ->
+        baseline_file := Some f;
+        parse rest
+    | "--json" :: f :: rest ->
+        json_file := Some f;
+        parse rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+        root := Some arg;
+        parse rest
+    | arg :: _ ->
+        prerr_endline ("analyze: unknown argument " ^ arg);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let root =
+    match !root with
+    | Some r -> r
+    | None -> (
+        match Analysis.default_root () with
+        | Some r -> r
+        | None ->
+            prerr_endline
+              "analyze: no .cmt artifacts found (run `dune build` first)";
+            exit 2)
+  in
+  let allowlist_file =
+    match !allowlist_file with
+    | Some f -> Some f
+    | None ->
+        if Sys.file_exists "analysis-allowlist.txt" then
+          Some "analysis-allowlist.txt"
+        else None
+  in
+  let allowlist =
+    match allowlist_file with
+    | None -> Analysis.empty_allowlist
+    | Some f -> (
+        match Analysis.load_allowlist f with
+        | Ok a -> a
+        | Error e ->
+            prerr_endline ("analyze: bad allowlist: " ^ e);
+            exit 2)
+  in
+  let report = Analysis.run ~allowlist ~root () in
+  let baseline =
+    match !baseline_file with
+    | None -> []
+    | Some f -> Analysis.load_baseline f
+  in
+  let gate =
+    match !baseline_file with
+    | None -> report.Analysis.r_findings
+    | Some _ -> Analysis.regressions ~baseline report
+  in
+  List.iter
+    (fun f -> Format.printf "%a@." Analysis.pp_finding f)
+    report.Analysis.r_findings;
+  List.iter
+    (fun k -> Format.printf "analyze: stale allowlist entry: %s@." k)
+    report.Analysis.r_stale_allow;
+  (match !json_file with
+  | None -> ()
+  | Some path ->
+      let open Smapp_stats.Json in
+      let finding_json f =
+        Obj
+          [
+            ("rule", String (Analysis.rule_id f.Analysis.a_rule));
+            ("file", String f.Analysis.a_file);
+            ("line", Int f.Analysis.a_line);
+            ("col", Int f.Analysis.a_col);
+            ("module", String f.Analysis.a_module);
+            ("symbol", String f.Analysis.a_symbol);
+            ("key", String (Analysis.key f));
+            ("message", String f.Analysis.a_message);
+          ]
+      in
+      to_file path
+        (Obj
+           [
+             ("units", Int report.Analysis.r_units);
+             ("findings", List (List.map finding_json report.Analysis.r_findings));
+             ( "allowlisted",
+               List
+                 (List.map
+                    (fun (f, just) ->
+                      Obj
+                        [
+                          ("key", String (Analysis.key f));
+                          ("justification", String just);
+                        ])
+                    report.Analysis.r_allowlisted) );
+             ( "stale_allowlist",
+               List
+                 (List.map (fun k -> String k) report.Analysis.r_stale_allow) );
+             ("new_vs_baseline", List (List.map finding_json gate));
+           ]));
+  Printf.printf
+    "analysis: %d units, %d findings, %d allowlisted, %d stale allowlist \
+     entries%s\n"
+    report.Analysis.r_units
+    (List.length report.Analysis.r_findings)
+    (List.length report.Analysis.r_allowlisted)
+    (List.length report.Analysis.r_stale_allow)
+    (match !baseline_file with
+    | None -> ""
+    | Some _ -> Printf.sprintf ", %d new vs baseline" (List.length gate));
+  if gate <> [] then exit 1
