@@ -701,6 +701,114 @@ let obs_overhead () =
   metric "enabled_overhead_ratio" enabled_ratio;
   metric "trace_events_recorded" (float_of_int (Smapp_obs.Trace.recorded ()))
 
+(* -------------------------------------------------------- per-event cost *)
+
+(* The ROADMAP item 2 instrument: per-event wall time, allocation and GC
+   pressure from [Smapp_obs.Prof]'s engine dispatch brackets, at the 500-
+   and 5000-conn workloads, sequential and sharded 4 ways (windows run
+   sequentially so all profiling lands in this domain's scope). These are
+   the metrics BENCH_BASELINE.json pins: allocation per event is a
+   property of the compiled program and gets a tight benchdiff tolerance,
+   the wall-clock columns are host-dependent and only gate blowups. The
+   [prof_disabled_ratio] runs hold Prof to the same no-op-when-disabled
+   discipline as the [obs] section: all runs have the instrumentation
+   compiled in and disabled, so the ratio of best-of-3 throughputs is the
+   reproducible noise floor — single runs on a busy host can drift 10%,
+   but the best of three interleaved runs per side pins it near 1.0, so
+   the <= 1.05 CI gate holds without flaking. *)
+let perf_bench () =
+  let open Smapp_workload in
+  banner "Perf — per-event time/allocation/GC under Smapp_obs.Prof";
+  let mk conns shards =
+    {
+      Workload.default_config with
+      Workload.conns;
+      arrival_rate = float_of_int conns;
+      flow_dist = Workload.Fixed 200_000;
+      shards;
+    }
+  in
+  let saved = Atomic.get Smapp_obs.Prof.enabled in
+  Fun.protect ~finally:(fun () -> Atomic.set Smapp_obs.Prof.enabled saved)
+  @@ fun () ->
+  Atomic.set Smapp_obs.Prof.enabled false;
+  let cfg_small = mk (scale ~q:100 ~d:400 ~f:1000) 1 in
+  ignore (Workload.run cfg_small : Workload.result) (* warm up *);
+  (* interleave the two sides (ABABAB) so a load spike hits both equally *)
+  let best1 = ref 0.0 and best2 = ref 0.0 in
+  for _ = 1 to 3 do
+    let a = Workload.run cfg_small in
+    let b = Workload.run cfg_small in
+    best1 := Float.max !best1 a.Workload.events_per_sec;
+    best2 := Float.max !best2 b.Workload.events_per_sec
+  done;
+  let disabled_ratio = if !best2 > 0.0 then !best1 /. !best2 else 0.0 in
+  Printf.printf
+    "prof disabled, best of 3 per side: %.0f vs %.0f events/s (ratio x%.3f, gate <= 1.05)\n\n"
+    !best1 !best2 disabled_ratio;
+  metric "prof_disabled_ratio" disabled_ratio;
+  Atomic.set Smapp_obs.Prof.enabled true;
+  let class_slug c =
+    String.map
+      (fun ch -> if ch = '-' then '_' else ch)
+      (Smapp_obs.Prof.class_name c)
+  in
+  let profile tag conns shards =
+    Smapp_obs.Prof.reset ();
+    let r = Workload.run (mk conns shards) in
+    let rep = Smapp_obs.Prof.report () in
+    let events = rep.Smapp_obs.Prof.p_events in
+    let sum f =
+      List.fold_left (fun acc c -> acc +. f c) 0.0 rep.Smapp_obs.Prof.p_classes
+    in
+    let ns = sum (fun c -> c.Smapp_obs.Prof.c_ns) in
+    let bytes = sum (fun c -> c.Smapp_obs.Prof.c_bytes) in
+    let minor =
+      sum (fun c -> float_of_int c.Smapp_obs.Prof.c_minor_gcs)
+    in
+    let major =
+      sum (fun c -> float_of_int c.Smapp_obs.Prof.c_major_gcs)
+    in
+    let per x = if events > 0 then x /. float_of_int events else 0.0 in
+    Printf.printf
+      "%-9s %8d conns, shards %d: %9d events, %7.1f ns/event, %6.1f B/event (%5.2f words), %.0f minor / %.0f major GCs\n"
+      tag conns shards events (per ns) (per bytes)
+      (per bytes /. 8.0)
+      minor major;
+    metric (tag ^ "_events") (float_of_int events);
+    metric (tag ^ "_ns_per_event") (per ns);
+    metric (tag ^ "_bytes_per_event") (per bytes);
+    metric (tag ^ "_words_per_event") (per bytes /. 8.0);
+    metric (tag ^ "_minor_gcs") minor;
+    metric (tag ^ "_major_gcs") major;
+    metric (tag ^ "_events_per_sec")
+      (if r.Workload.wall_s > 0.0 then float_of_int events /. r.Workload.wall_s
+       else 0.0);
+    rep
+  in
+  let rep500 = profile "w500" 500 1 in
+  ignore (profile "w500_s4" 500 4 : Smapp_obs.Prof.report);
+  ignore (profile "w5000" 5000 1 : Smapp_obs.Prof.report);
+  ignore (profile "w5000_s4" 5000 4 : Smapp_obs.Prof.report);
+  (* per-class breakdown of the 500-conn sequential run: which event class
+     owns the allocation budget *)
+  Printf.printf "\n";
+  List.iter
+    (fun c ->
+      let open Smapp_obs.Prof in
+      if c.c_events > 0 then begin
+        let slug = class_slug c.c_class in
+        metric
+          (Printf.sprintf "w500_%s_bytes_per_event" slug)
+          (c.c_bytes /. float_of_int c.c_events);
+        metric
+          (Printf.sprintf "w500_%s_share" slug)
+          (float_of_int c.c_events /. float_of_int rep500.p_events)
+      end)
+    rep500.Smapp_obs.Prof.p_classes;
+  print_string (Smapp_obs.Prof.render rep500);
+  Smapp_obs.Prof.reset ()
+
 (* ------------------------------------------------------- microbenchmarks *)
 
 let microbench () =
@@ -811,6 +919,7 @@ let () =
   section "par" par_bench;
   section "check" check_overhead;
   section "obs" obs_overhead;
+  section "perf" perf_bench;
   section "microbench" microbench;
   write_bench_json "BENCH.json";
   Printf.printf "\nDone.\n"

@@ -838,14 +838,15 @@ let trace_cmd =
           timeline, and per-span statistics")
     Term.(const run_trace $ exp $ out $ seed $ requests $ width)
 
-let run_metrics exp seed =
+let run_metrics exp seed json =
   let saved = Atomic.get Obs.Metrics.enabled in
   Atomic.set Obs.Metrics.enabled true;
   Obs.Metrics.clear ();
   Fun.protect
     ~finally:(fun () -> Atomic.set Obs.Metrics.enabled saved)
     (fun () -> run_small exp seed);
-  print_string (Obs.Metrics.to_prometheus ())
+  if json then print_endline (Stats.Json.to_string (Obs.Metrics.to_json ()))
+  else print_string (Obs.Metrics.to_prometheus ())
 
 let metrics_cmd =
   let exp =
@@ -855,12 +856,124 @@ let metrics_cmd =
       & info [] ~docv:"EXPERIMENT" ~doc:"One of fig3, chaos, workload, fullmesh.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the registry as a JSON array instead of the Prometheus \
+             text exposition (for benchdiff and CI).")
+  in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run an experiment with the metrics registry on and print the \
-          Prometheus text exposition")
-    Term.(const run_metrics $ exp $ seed)
+          Prometheus text exposition (or JSON with $(b,--json))")
+    Term.(const run_metrics $ exp $ seed $ json)
+
+(* --- prof: the profiling front door ------------------------------------------- *)
+
+(* Run the scale-out workload with [Smapp_obs.Prof] on and print the
+   self-time/allocation report. The run sits inside one root frame, and
+   the same call is bracketed externally with the wall clock and
+   [Gc.allocated_bytes]: the report's totals must reconcile with both
+   within 5%, or the profiler's attribution can't be trusted and we exit
+   non-zero. (The bound is loose because the external bracket also sees
+   the profiler's own bookkeeping and anything outside event dispatch.) *)
+let run_prof conns seed shards json =
+  if shards < 1 then invalid_arg "--shards expects a positive count";
+  let open Smapp_workload in
+  let config =
+    {
+      Workload.default_config with
+      Workload.conns;
+      arrival_rate = float_of_int conns;
+      flow_dist = Workload.Fixed 200_000;
+      seed;
+      shards;
+    }
+  in
+  Printf.printf "prof: %d conns, seed %d%s, profiling on\n\n" conns seed
+    (if shards > 1 then Printf.sprintf ", %d shards (sequential windows)" shards
+     else "");
+  let saved = Atomic.get Obs.Prof.enabled in
+  Atomic.set Obs.Prof.enabled true;
+  Obs.Prof.reset ();
+  let result, wall_ns, alloc_bytes =
+    Fun.protect
+      ~finally:(fun () -> Atomic.set Obs.Prof.enabled saved)
+      (fun () ->
+        let a0 = Gc.allocated_bytes () in
+        let t0 = Unix.gettimeofday () in
+        let r = Obs.Prof.with_frame "run" (fun () -> Workload.run config) in
+        let t1 = Unix.gettimeofday () in
+        let a1 = Gc.allocated_bytes () in
+        (r, (t1 -. t0) *. 1e9, a1 -. a0))
+  in
+  let rep = Obs.Prof.report () in
+  print_string (Obs.Prof.render rep);
+  Printf.printf "\nengine: %d events dispatched (profiler saw %d)\n"
+    result.Workload.engine_events rep.Obs.Prof.p_events;
+  (* reconciliation: report totals vs the external bracket *)
+  let rel a b = if b = 0.0 then Float.abs a else Float.abs (a -. b) /. b in
+  let self_ns = List.fold_left (fun acc f -> acc +. Obs.Prof.sum_self_ns f) 0.0 rep.Obs.Prof.p_frames in
+  let total_ns = Obs.Prof.total_ns rep in
+  let total_bytes = Obs.Prof.total_bytes rep in
+  let ns_err = rel total_ns wall_ns in
+  let bytes_err = rel total_bytes alloc_bytes in
+  let self_err = rel self_ns total_ns in
+  Printf.printf
+    "reconcile: wall %.3f ms vs frames %.3f ms (%.2f%% off); Gc.allocated_bytes \
+     %.2f MB vs frames %.2f MB (%.2f%% off); self-sum %.2f%% off total\n"
+    (wall_ns /. 1e6) (total_ns /. 1e6) (ns_err *. 100.0) (alloc_bytes /. 1e6)
+    (total_bytes /. 1e6) (bytes_err *. 100.0) (self_err *. 100.0);
+  (match json with
+  | None -> ()
+  | Some path ->
+      Stats.Json.to_file path
+        (Stats.Json.Obj
+           [
+             ("conns", Stats.Json.Int conns);
+             ("seed", Stats.Json.Int seed);
+             ("shards", Stats.Json.Int shards);
+             ("wall_ns", Stats.Json.Float wall_ns);
+             ("allocated_bytes", Stats.Json.Float alloc_bytes);
+             ("report", Obs.Prof.report_json rep);
+           ]);
+      Printf.printf "wrote %s\n" path);
+  Obs.Prof.reset ();
+  if ns_err > 0.05 || bytes_err > 0.05 || self_err > 0.05 then begin
+    Printf.printf "prof: reconciliation outside 5%% — attribution untrustworthy\n";
+    exit 1
+  end
+
+let prof_cmd =
+  let conns =
+    Arg.(value & opt int 500 & info [ "conns" ] ~doc:"Connections to launch.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard the scenario across $(docv) engines (windows run \
+             sequentially so all profiling lands in one scope).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the machine-readable report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:
+         "Run the scale-out workload under the profiler: per-subsystem \
+          self-time and allocation, per-event-class costs, GC pauses; exits \
+          non-zero if the report fails to reconcile with wall time and \
+          Gc.allocated_bytes within 5%")
+    Term.(const run_prof $ conns $ seed $ shards $ json)
 
 let main_cmd =
   let doc = "SMAPP experiments: smart Multipath TCP path management" in
@@ -878,6 +991,7 @@ let main_cmd =
       analyze_cmd;
       trace_cmd;
       metrics_cmd;
+      prof_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

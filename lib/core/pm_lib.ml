@@ -168,8 +168,11 @@ let dispatch_event t ev =
   Smapp_obs.Metrics.incr Obs.events;
   let saved = t.dispatching in
   t.dispatching <- Some (event_label ev);
+  Smapp_obs.Prof.enter_class Controller "pm:dispatch";
   Fun.protect
-    ~finally:(fun () -> t.dispatching <- saved)
+    ~finally:(fun () ->
+      Smapp_obs.Prof.exit_frame ();
+      t.dispatching <- saved)
     (fun () ->
       iter_mask_bits
         (fun bit ->

@@ -204,24 +204,25 @@ let schedule_delivery t dir bytes =
       (float_of_int (Time.to_ns arrival - sent_ns));
     Smapp_obs.Trace.complete ~cat:"netlink" ~start_ns:sent_ns (Obs.span_name dir)
   in
-  ignore
-    (Engine.at t.engine arrival (fun () ->
-         st.in_flight <- st.in_flight - 1;
-         match dir with
-         | To_kernel ->
-             delivered ();
-             t.to_kernel bytes
-         | To_user ->
-             (* the daemon may have died while the message was in flight *)
-             if t.user_up then begin
-               delivered ();
-               t.to_user bytes
-             end
-             else begin
-               st.dropped <- st.dropped + 1;
-               Smapp_obs.Metrics.incr (Obs.dropped dir);
-               Smapp_obs.Trace.instant ~cat:"netlink" "drop-in-flight"
-             end))
+  Engine.schedule t.engine arrival (fun () ->
+      Smapp_obs.Prof.enter_class Netlink "netlink:crossing";
+      st.in_flight <- st.in_flight - 1;
+      (match dir with
+      | To_kernel ->
+          delivered ();
+          t.to_kernel bytes
+      | To_user ->
+          (* the daemon may have died while the message was in flight *)
+          if t.user_up then begin
+            delivered ();
+            t.to_user bytes
+          end
+          else begin
+            st.dropped <- st.dropped + 1;
+            Smapp_obs.Metrics.incr (Obs.dropped dir);
+            Smapp_obs.Trace.instant ~cat:"netlink" "drop-in-flight"
+          end);
+      Smapp_obs.Prof.exit_frame ())
 
 let send t dir bytes =
   let st = dir_state t dir in

@@ -80,8 +80,7 @@ let send t pkt =
            delivery is scheduled locally or merged in from another shard's
            mailbox. *)
         let rank = (Time.to_ns now, t.uid, t.stats.sent) in
-        ignore
-          (Engine.at t.engine tx_done (fun () -> t.queued <- t.queued - 1));
+        Engine.schedule t.engine tx_done (fun () -> t.queued <- t.queued - 1);
         if lost then t.stats.lost <- t.stats.lost + 1
         else
           match t.remote with
@@ -99,14 +98,15 @@ let send t pkt =
                  good, even if the link is back up by its nominal delivery
                  time. *)
               let gen = t.gen in
-              ignore
-                (Engine.at ~rank t.engine deliver_at (fun () ->
-                     if t.gen <> gen then t.stats.dropped <- t.stats.dropped + 1
-                     else begin
-                       t.stats.delivered <- t.stats.delivered + 1;
-                       t.stats.bytes_delivered <- t.stats.bytes_delivered + pkt.Packet.size;
-                       dst pkt
-                     end))
+              Engine.schedule ~rank t.engine deliver_at (fun () ->
+                  if t.gen <> gen then t.stats.dropped <- t.stats.dropped + 1
+                  else begin
+                    Smapp_obs.Prof.enter_class Link_delivery "link:deliver";
+                    t.stats.delivered <- t.stats.delivered + 1;
+                    t.stats.bytes_delivered <- t.stats.bytes_delivered + pkt.Packet.size;
+                    dst pkt;
+                    Smapp_obs.Prof.exit_frame ()
+                  end)
       end
 [@@smapp.hot]
 

@@ -307,3 +307,49 @@ let to_prometheus ?names () =
 
 let families () =
   List.map (fun m -> (metric_name m, metric_labels m, m)) (snapshot_registered ())
+
+(* --- JSON exposition ----------------------------------------------------------- *)
+
+let to_json ?names () =
+  let open Smapp_stats.Json in
+  let registered = snapshot_registered () in
+  let scope = Scope.current () in
+  let wanted m =
+    match names with None -> true | Some ns -> List.mem (metric_name m) ns
+  in
+  let labels_json labels = Obj (List.map (fun (k, v) -> (k, String v)) labels) in
+  let metric_json m =
+    let value =
+      match m with
+      | M_counter c -> [ ("value", Int (counter_cell scope c).cc_value) ]
+      | M_gauge g -> [ ("value", Float (gauge_cell scope g).cg_value) ]
+      | M_histogram h ->
+          let ch = hist_cell scope h in
+          [
+            ( "buckets",
+              List
+                (Array.to_list
+                   (Array.mapi
+                      (fun i bound ->
+                        Obj [ ("le", Float bound); ("count", Int ch.ch_counts.(i)) ])
+                      h.h_bounds)
+                @ [
+                    Obj
+                      [
+                        ("le", String "+Inf");
+                        ("count", Int ch.ch_counts.(Array.length h.h_bounds));
+                      ];
+                  ]) );
+            ("sum", Float ch.ch_sum);
+            ("count", Int ch.ch_total);
+          ]
+    in
+    Obj
+      ([
+         ("name", String (metric_name m));
+         ("type", String (type_name m));
+         ("labels", labels_json (metric_labels m));
+       ]
+      @ value)
+  in
+  List (List.filter_map (fun m -> if wanted m then Some (metric_json m) else None) registered)

@@ -92,6 +92,13 @@ val to_prometheus : ?names:string list -> unit -> string
 (** Prometheus text exposition, families in registration order.
     [names] restricts the export to the listed metric names. *)
 
+val to_json : ?names:string list -> unit -> Smapp_stats.Json.t
+(** The same export as {!to_prometheus} as a JSON array, one object per
+    registered metric in registration order: [name]/[type]/[labels] plus
+    [value] (counters, gauges) or [buckets]/[sum]/[count] (histograms;
+    bucket counts are per-bucket, not cumulative). For benchdiff and CI,
+    which consume metrics without scraping text. *)
+
 type metric = M_counter of counter | M_gauge of gauge | M_histogram of histogram
 
 val families : unit -> (string * labels * metric) list

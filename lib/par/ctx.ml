@@ -11,14 +11,21 @@
 type t = {
   metrics : Smapp_obs.Metrics.Scope.t;
   trace : Smapp_obs.Trace.Scope.t;
+  prof : Smapp_obs.Prof.Scope.t;
 }
 
 let create () =
-  { metrics = Smapp_obs.Metrics.Scope.create (); trace = Smapp_obs.Trace.Scope.create () }
+  {
+    metrics = Smapp_obs.Metrics.Scope.create ();
+    trace = Smapp_obs.Trace.Scope.create ();
+    prof = Smapp_obs.Prof.Scope.create ();
+  }
 
 let run t f =
   Smapp_obs.Metrics.Scope.with_scope t.metrics (fun () ->
-      Smapp_obs.Trace.Scope.with_scope t.trace f)
+      Smapp_obs.Trace.Scope.with_scope t.trace (fun () ->
+          Smapp_obs.Prof.Scope.with_scope t.prof f))
 
 let metrics t = t.metrics
 let trace t = t.trace
+let prof t = t.prof

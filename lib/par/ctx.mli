@@ -1,5 +1,5 @@
-(** Per-job isolation capsule: a private [Smapp_obs] metrics scope and
-    trace scope. [Sweep] wraps every pooled job in a fresh capsule so
+(** Per-job isolation capsule: a private [Smapp_obs] metrics scope, trace
+    scope and profiling scope. [Sweep] wraps every pooled job in a fresh capsule so
     worker domains cannot interfere through the (otherwise domain-local
     but job-shared) observability state, and a job behaves identically
     under sequential and parallel execution. *)
@@ -16,3 +16,4 @@ val run : t -> (unit -> 'a) -> 'a
 
 val metrics : t -> Smapp_obs.Metrics.Scope.t
 val trace : t -> Smapp_obs.Trace.Scope.t
+val prof : t -> Smapp_obs.Prof.Scope.t

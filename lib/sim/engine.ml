@@ -112,6 +112,12 @@ let schedule_event ?rank t when_ f =
   ev
 [@@smapp.hot]
 
+(* Fire-and-forget scheduling: no timer handle, so no timer record and no
+   wrapper closure per event. Consumes the same seq/rank stream as [at],
+   so switching a call site between the two never reorders dispatch. *)
+let schedule ?rank t when_ f = ignore (schedule_event ?rank t when_ f : event)
+[@@smapp.hot]
+
 let at ?rank t when_ f =
   let timer = { engine = t; current = None } in
   let ev =
@@ -218,7 +224,12 @@ let run ?until ?(max_events = max_int) t =
                     t.executed <- t.executed + 1;
                     Smapp_obs.Metrics.incr m_dispatched;
                     Smapp_obs.Metrics.set m_queue_depth (float_of_int t.live);
-                    f ())))
+                    if Atomic.get Smapp_obs.Prof.enabled then begin
+                      Smapp_obs.Prof.dispatch_begin ();
+                      f ();
+                      Smapp_obs.Prof.dispatch_end ()
+                    end
+                    else f ())))
   done;
   match until with
   | Some limit when Timer_wheel.is_empty t.queue && Time.(t.clock < limit) -> t.clock <- limit

@@ -81,6 +81,13 @@ val at : ?rank:int * int * int -> t -> Time.t -> (unit -> unit) -> timer
     scheduling calls happened to run in. Everything else keeps the
     default and the documented pure-FIFO tie order. *)
 
+val schedule : ?rank:int * int * int -> t -> Time.t -> (unit -> unit) -> unit
+(** {!at} without the handle: for events that are never cancelled. Skips
+    the timer record and wrapper closure {!at} allocates per event, which
+    is why the hot spine (link deliveries, netlink crossings, workload
+    launches) uses it. Consumes the same seq/rank stream as {!at}, so the
+    two are interchangeable without reordering dispatch. *)
+
 val after : t -> Time.span -> (unit -> unit) -> timer
 (** [after t d f] schedules [f] at [now t + d]. Negative [d] is clamped
     to zero. *)

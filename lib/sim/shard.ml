@@ -157,8 +157,7 @@ let drain g =
     | unordered ->
         let e = g.g_shards.(dst).sh_engine in
         List.iter
-          (fun m ->
-            ignore (Engine.at ~rank:m.m_rank e (Time.of_ns m.m_time) m.m_thunk))
+          (fun m -> Engine.schedule ~rank:m.m_rank e (Time.of_ns m.m_time) m.m_thunk)
           (List.sort compare_mail unordered)
   done
 

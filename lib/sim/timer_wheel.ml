@@ -103,8 +103,11 @@ let cascade t k idx =
   t.base <- ((t.base lsr above) lsl above) lor (idx lsl (slot_bits * k));
   let q = t.wheel.(k).(idx) in
   t.masks.(k) <- t.masks.(k) land lnot (1 lsl idx);
-  Queue.iter (fun entry -> place t entry) q;
-  Queue.clear q
+  (* pop-loop, not [Queue.iter]: iter's callback would be a fresh closure
+     over [t] on every cascade (a per-event cost at level-0 churn rates) *)
+  while not (Queue.is_empty q) do
+    place t (Queue.pop q)
+  done
 [@@smapp.hot]
 
 (* A level-0 slot holds one key value, but ranked ties must pop in

@@ -202,7 +202,7 @@ let run ?lanes ?perturb config =
   in
   for k = 0 to config.conns - 1 do
     let engine = Host.engine fabric.Topology.mm_clients.(flow_client.(k)) in
-    ignore (Engine.at engine (Time.of_ns start_ns.(k)) (fun () -> launch k))
+    Engine.schedule engine (Time.of_ns start_ns.(k)) (fun () -> launch k)
   done;
   (match perturb with None -> () | Some f -> f fabric);
   let lanes =

@@ -1,0 +1,357 @@
+(* Tests for Smapp_obs.Prof: the self-time/self-allocation tree invariants,
+   per-event-class dispatch accounting through the engine brackets, GC
+   instants on the trace timeline, the no-op-when-disabled discipline,
+   deterministic allocation deltas for a fixed scenario, per-domain scope
+   isolation under Smapp_par, and the benchdiff regression sentinel. *)
+
+module Prof = Smapp_obs.Prof
+module Trace = Smapp_obs.Trace
+module Json = Smapp_stats.Json
+module Benchdiff = Smapp_stats.Benchdiff
+open Smapp_sim
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let with_prof f =
+  let saved = Atomic.get Prof.enabled in
+  Atomic.set Prof.enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Prof.reset ();
+      Atomic.set Prof.enabled saved)
+    (fun () ->
+      Prof.reset ();
+      f ())
+
+let rec find_frame label = function
+  | [] -> None
+  | f :: rest ->
+      if f.Prof.f_label = label then Some f
+      else (
+        match find_frame label f.Prof.f_children with
+        | Some f -> Some f
+        | None -> find_frame label rest)
+
+(* === the self-time tree ====================================================== *)
+
+let test_self_time_tree () =
+  with_prof (fun () ->
+      (* outer{ inner inner } outer{ } at top level, twice nested once not *)
+      Prof.with_frame "outer" (fun () ->
+          Prof.with_frame "inner" (fun () -> Sys.opaque_identity (ignore [ 1; 2; 3 ]));
+          Prof.with_frame "inner" (fun () -> ()));
+      Prof.with_frame "outer" (fun () -> ());
+      let r = Prof.report () in
+      checki "one top-level label" 1 (List.length r.Prof.p_frames);
+      let outer = Option.get (find_frame "outer" r.Prof.p_frames) in
+      let inner = Option.get (find_frame "inner" r.Prof.p_frames) in
+      checki "outer count" 2 outer.Prof.f_count;
+      checki "inner count" 2 inner.Prof.f_count;
+      checkb "inner nests under outer" true
+        (List.exists (fun c -> c.Prof.f_label = "inner") outer.Prof.f_children);
+      (* the reconciliation invariant: self summed over a subtree equals the
+         subtree root's total, and self never exceeds total *)
+      let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b) in
+      checkb "self-sum reconciles with total (ns)" true
+        (close (Prof.sum_self_ns outer) outer.Prof.f_total_ns);
+      checkb "self-sum reconciles with total (bytes)" true
+        (close (Prof.sum_self_bytes outer) outer.Prof.f_total_bytes);
+      checkb "self <= total" true (outer.Prof.f_self_ns <= outer.Prof.f_total_ns +. 1e-6);
+      checkb "child time is real" true (inner.Prof.f_total_ns >= 0.0))
+
+let test_self_time_bounded_by_wall () =
+  with_prof (fun () ->
+      (* same clock arithmetic as the profiler (scale before subtracting),
+         so rounding cannot flip the containment into a spurious failure *)
+      let t0 = Unix.gettimeofday () *. 1e9 in
+      Prof.with_frame "work" (fun () ->
+          Prof.with_frame "child" (fun () ->
+              ignore (Sys.opaque_identity (Array.init 10_000 (fun i -> i)))));
+      let wall_ns = (Unix.gettimeofday () *. 1e9) -. t0 in
+      let r = Prof.report () in
+      let self_sum =
+        List.fold_left (fun acc f -> acc +. Prof.sum_self_ns f) 0.0 r.Prof.p_frames
+      in
+      checkb "self-time sums <= elapsed wall time" true (self_sum <= wall_ns);
+      checkb "some time was attributed" true (self_sum > 0.0))
+
+(* === event classes through the engine ======================================== *)
+
+let test_event_classes () =
+  with_prof (fun () ->
+      let e = Engine.create () in
+      Engine.schedule e (Time.add Time.zero (Time.span_s 1)) (fun () -> ());
+      Engine.schedule e
+        (Time.add Time.zero (Time.span_s 2))
+        (fun () -> Prof.mark Prof.Link_delivery);
+      Engine.schedule e
+        (Time.add Time.zero (Time.span_s 3))
+        (fun () ->
+          (* most specific mark wins: netlink crossing reaching a controller *)
+          Prof.mark Prof.Netlink;
+          Prof.mark Prof.Controller);
+      Engine.run e;
+      Engine.retire e;
+      let r = Prof.report () in
+      checki "three dispatches" 3 r.Prof.p_events;
+      let events cls =
+        let c = List.find (fun c -> c.Prof.c_class = cls) r.Prof.p_classes in
+        c.Prof.c_events
+      in
+      checki "unmarked counts as timer" 1 (events Prof.Timer);
+      checki "marked link delivery" 1 (events Prof.Link_delivery);
+      checki "last mark wins" 1 (events Prof.Controller);
+      checki "overridden mark not counted" 0 (events Prof.Netlink))
+
+let test_gc_instants_on_timeline () =
+  with_prof (fun () ->
+      let saved = Atomic.get Trace.enabled in
+      Atomic.set Trace.enabled true;
+      Trace.clear ();
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.clear ();
+          Atomic.set Trace.enabled saved)
+        (fun () ->
+          let e = Engine.create () in
+          Engine.schedule e (Time.add Time.zero (Time.span_s 1)) (fun () ->
+              Gc.minor () (* a forced collection inside a dispatch *));
+          Engine.run e;
+          Engine.retire e;
+          let r = Prof.report () in
+          let minor =
+            List.fold_left (fun acc c -> acc + c.Prof.c_minor_gcs) 0 r.Prof.p_classes
+          in
+          checkb "dispatch saw a minor collection" true (minor >= 1);
+          checkb "gc instant on the trace timeline" true
+            (List.exists
+               (fun ev ->
+                 ev.Trace.ev_name = "minor-gc"
+                 && ev.Trace.ev_cat = "gc"
+                 && ev.Trace.ev_kind = Trace.Instant)
+               (Trace.events ()))))
+
+(* === no-op when disabled ===================================================== *)
+
+let test_disabled_is_noop () =
+  let saved = Atomic.get Prof.enabled in
+  Atomic.set Prof.enabled false;
+  Fun.protect
+    ~finally:(fun () -> Atomic.set Prof.enabled saved)
+    (fun () ->
+      Prof.reset ();
+      Prof.enter "ghost";
+      Prof.exit_frame ();
+      Prof.with_frame "ghost2" (fun () -> ());
+      Prof.enter_class Prof.Controller "ghost3";
+      Prof.exit_frame ();
+      Prof.mark Prof.Netlink;
+      let e = Engine.create () in
+      Engine.schedule e (Time.add Time.zero (Time.span_s 1)) (fun () -> ());
+      Engine.run e;
+      Engine.retire e;
+      let r = Prof.report () in
+      checki "no frames recorded" 0 (List.length r.Prof.p_frames);
+      checki "no dispatches recorded" 0 r.Prof.p_events;
+      checkb "no class touched" true
+        (List.for_all (fun c -> c.Prof.c_events = 0) r.Prof.p_classes))
+
+(* === determinism ============================================================= *)
+
+(* A fixed scenario allocates the same bytes on every run: the engine is
+   deterministic and [Gc.minor_words]/[Gc.counters] deltas measure program
+   allocation, not GC scheduling. This is what lets benchdiff pin
+   bytes-per-event with a tight tolerance. *)
+let test_deterministic_alloc () =
+  let scenario () =
+    with_prof (fun () ->
+        let e = Engine.create ~seed:7 () in
+        for i = 1 to 200 do
+          Engine.schedule e
+            (Time.add Time.zero (Time.span_ms i))
+            (fun () ->
+              Prof.mark Prof.Link_delivery;
+              ignore (Sys.opaque_identity (List.init (1 + (i mod 7)) (fun j -> j))))
+        done;
+        Engine.run e;
+        Engine.retire e;
+        let r = Prof.report () in
+        List.map (fun c -> (c.Prof.c_events, c.Prof.c_bytes)) r.Prof.p_classes)
+  in
+  let a = scenario () and b = scenario () in
+  Alcotest.(check (list (pair int (float 1e-9)))) "alloc deltas identical" a b
+
+(* === per-domain scope isolation under Smapp_par ============================== *)
+
+let test_scope_isolation () =
+  with_prof (fun () ->
+      Prof.with_frame "main-domain" (fun () -> ());
+      let pool = Smapp_par.Pool.create ~domains:2 in
+      let reports =
+        Fun.protect
+          ~finally:(fun () -> Smapp_par.Pool.shutdown pool)
+          (fun () ->
+            Smapp_par.Pool.map pool
+              (fun k ->
+                (* each job profiles inside its own capsule, like Sweep *)
+                let ctx = Smapp_par.Ctx.create () in
+                Smapp_par.Ctx.run ctx (fun () ->
+                    for _ = 1 to k do
+                      Prof.with_frame (Printf.sprintf "job-%d" k) (fun () -> ())
+                    done;
+                    Prof.report ()))
+              [ 1; 2 ])
+          in
+      List.iter2
+        (fun k r ->
+          checki
+            (Printf.sprintf "job %d sees only its own frames" k)
+            1
+            (List.length r.Prof.p_frames);
+          let f = Option.get (find_frame (Printf.sprintf "job-%d" k) r.Prof.p_frames) in
+          checki "count landed in the right lane's scope" k f.Prof.f_count;
+          checkb "no cross-talk from main" true
+            (find_frame "main-domain" r.Prof.p_frames = None))
+        [ 1; 2 ] reports;
+      (* and the main domain's scope was untouched by the jobs *)
+      let main = Prof.report () in
+      checki "main scope has only its own frame" 1 (List.length main.Prof.p_frames);
+      checkb "main frame survives" true
+        (find_frame "main-domain" main.Prof.p_frames <> None))
+
+(* === report plumbing ========================================================= *)
+
+let test_report_json_shape () =
+  with_prof (fun () ->
+      Prof.with_frame "a" (fun () -> Prof.with_frame "b" (fun () -> ()));
+      let j = Prof.report_json (Prof.report ()) in
+      (* the emitted report must be parseable by our own parser *)
+      match Json.of_string (Json.to_string j) with
+      | Error e -> Alcotest.failf "report JSON does not round-trip: %s" e
+      | Ok parsed ->
+          checkb "frames present" true (Json.member "frames" parsed <> None);
+          checkb "classes present" true (Json.member "classes" parsed <> None))
+
+(* === benchdiff =============================================================== *)
+
+let bench ~scale sections =
+  Json.Obj
+    [
+      ("scale", Json.String scale);
+      ( "sections",
+        Json.List
+          (List.map
+             (fun (name, metrics) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("wall_s", Json.Float 1.0);
+                   ( "metrics",
+                     Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) metrics) );
+                 ])
+             sections) );
+    ]
+
+let perf_baseline = bench ~scale:"quick" [ ("perf", [ ("w500_bytes_per_event", 1000.0) ]) ]
+
+let test_benchdiff_regression_exits_1 () =
+  (* +50% bytes/event against a 10% tolerance: the synthetic regression *)
+  let current = bench ~scale:"quick" [ ("perf", [ ("w500_bytes_per_event", 1500.0) ]) ] in
+  let r = Benchdiff.compare_bench ~baseline:perf_baseline ~current () in
+  checki "regression detected" 1 (List.length (Benchdiff.regressions r));
+  checki "exit code 1" 1 (Benchdiff.exit_code r)
+
+let test_benchdiff_within_tolerance () =
+  let current = bench ~scale:"quick" [ ("perf", [ ("w500_bytes_per_event", 1050.0) ]) ] in
+  let r = Benchdiff.compare_bench ~baseline:perf_baseline ~current () in
+  checki "within tolerance" 0 (Benchdiff.exit_code r);
+  let current = bench ~scale:"quick" [ ("perf", [ ("w500_bytes_per_event", 700.0) ]) ] in
+  let r = Benchdiff.compare_bench ~baseline:perf_baseline ~current () in
+  checki "improvement is not a regression" 0 (Benchdiff.exit_code r);
+  checkb "improvement is reported" true
+    (List.exists
+       (fun e -> e.Benchdiff.e_status = Benchdiff.Improved)
+       r.Benchdiff.d_entries)
+
+let test_benchdiff_missing_and_scale () =
+  let r =
+    Benchdiff.compare_bench ~baseline:perf_baseline
+      ~current:(bench ~scale:"quick" [ ("perf", []) ])
+      ()
+  in
+  checki "missing tracked metric fails" 1 (Benchdiff.exit_code r);
+  let r =
+    Benchdiff.compare_bench ~baseline:perf_baseline
+      ~current:(bench ~scale:"full" [ ("perf", [ ("w500_bytes_per_event", 1000.0) ]) ])
+      ()
+  in
+  checkb "scale mismatch detected" false (Benchdiff.scale_ok r);
+  checki "scale mismatch fails" 1 (Benchdiff.exit_code r)
+
+let test_benchdiff_rules () =
+  (* untracked metrics never gate; exact metrics gate on any drift; wall
+     metrics only gate on blowups *)
+  let baseline =
+    bench ~scale:"quick"
+      [
+        ( "workload",
+          [ ("engine_events", 878749.0); ("events_per_sec", 500000.0) ] );
+        ("fig2a", [ ("failover_s", 2.24) ]);
+        ("perf", [ ("w500_ns_per_event", 1000.0) ]);
+      ]
+  in
+  let current =
+    bench ~scale:"quick"
+      [
+        ( "workload",
+          [ ("engine_events", 878750.0); ("events_per_sec", 200000.0) ] );
+        ("fig2a", [ ("failover_s", 99.0) ]);
+        ("perf", [ ("w500_ns_per_event", 4500.0) ]);
+      ]
+  in
+  let r = Benchdiff.compare_bench ~baseline ~current () in
+  let status key =
+    (List.find (fun e -> e.Benchdiff.e_key = key) r.Benchdiff.d_entries)
+      .Benchdiff.e_status
+  in
+  checkb "exact metric regresses on one-event drift" true
+    (status "workload.engine_events" = Benchdiff.Regressed);
+  checkb "60% events/sec drop is within the loose wall bound" true
+    (status "workload.events_per_sec" = Benchdiff.Within);
+  checkb "untracked metric never gates" true
+    (status "fig2a.failover_s" = Benchdiff.Untracked);
+  checkb "4.5x ns/event blowup trips the loose bound" true
+    (status "perf.w500_ns_per_event" = Benchdiff.Regressed)
+
+let () =
+  Alcotest.run "prof"
+    [
+      ( "frames",
+        [
+          Alcotest.test_case "self-time tree" `Quick test_self_time_tree;
+          Alcotest.test_case "self <= wall" `Quick test_self_time_bounded_by_wall;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "event classes" `Quick test_event_classes;
+          Alcotest.test_case "gc instants" `Quick test_gc_instants_on_timeline;
+        ] );
+      ( "discipline",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "deterministic alloc" `Quick test_deterministic_alloc;
+          Alcotest.test_case "scope isolation" `Quick test_scope_isolation;
+          Alcotest.test_case "report json" `Quick test_report_json_shape;
+        ] );
+      ( "benchdiff",
+        [
+          Alcotest.test_case "synthetic regression exits 1" `Quick
+            test_benchdiff_regression_exits_1;
+          Alcotest.test_case "tolerance and improvement" `Quick
+            test_benchdiff_within_tolerance;
+          Alcotest.test_case "missing metric and scale" `Quick
+            test_benchdiff_missing_and_scale;
+          Alcotest.test_case "rule table" `Quick test_benchdiff_rules;
+        ] );
+    ]

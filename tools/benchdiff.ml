@@ -1,0 +1,50 @@
+(* BENCH.json regression gate driver for the @benchdiff alias / CI.
+
+   usage: benchdiff [--baseline FILE] [--current FILE] [--json FILE]
+
+   Defaults: baseline BENCH_BASELINE.json, current BENCH.json, both in the
+   working directory. --json writes the machine-readable diff (the CI
+   artifact). Exit 0 within tolerances, 1 on any regression / missing
+   tracked metric / scale mismatch, 2 on unreadable input. *)
+
+module Json = Smapp_stats.Json
+module Benchdiff = Smapp_stats.Benchdiff
+
+let () =
+  let baseline_file = ref "BENCH_BASELINE.json" in
+  let current_file = ref "BENCH.json" in
+  let json_file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: f :: rest ->
+        baseline_file := f;
+        parse rest
+    | "--current" :: f :: rest ->
+        current_file := f;
+        parse rest
+    | "--json" :: f :: rest ->
+        json_file := Some f;
+        parse rest
+    | arg :: _ ->
+        prerr_endline ("benchdiff: unknown argument " ^ arg);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let load name path =
+    match Json.of_file path with
+    | Ok v -> v
+    | Error msg ->
+        Printf.eprintf "benchdiff: %s %s: parse error %s\n" name path msg;
+        exit 2
+    | exception Sys_error msg ->
+        Printf.eprintf "benchdiff: %s\n" msg;
+        exit 2
+  in
+  let baseline = load "baseline" !baseline_file in
+  let current = load "current" !current_file in
+  let result = Benchdiff.compare_bench ~baseline ~current () in
+  print_string (Benchdiff.render result);
+  (match !json_file with
+  | Some path -> Json.to_file path (Benchdiff.to_json result)
+  | None -> ());
+  exit (Benchdiff.exit_code result)
