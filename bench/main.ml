@@ -30,6 +30,32 @@ let jobs =
 
 let pool = if jobs > 1 then Some (Smapp_par.Pool.create ~domains:jobs) else None
 
+(* --minor-heap WORDS[k|m]: applied via Gc.set before any section runs.
+   Performance only — every digest and event count is byte-identical at
+   any setting; the perf section's sweep point tracks the effect. *)
+let () =
+  let parse s =
+    let len = String.length s in
+    let mult, digits =
+      if len = 0 then (1, s)
+      else
+        match s.[len - 1] with
+        | 'k' | 'K' -> (1024, String.sub s 0 (len - 1))
+        | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (len - 1))
+        | _ -> (1, s)
+    in
+    match int_of_string_opt digits with
+    | Some n when n > 0 -> n * mult
+    | Some _ | None -> invalid_arg "bench: --minor-heap expects WORDS (e.g. 512k, 8m)"
+  in
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then ()
+    else if Sys.argv.(i) = "--minor-heap" then
+      Gc.set { (Gc.get ()) with Gc.minor_heap_size = parse Sys.argv.(i + 1) }
+    else find (i + 1)
+  in
+  find 1
+
 let scale ~q ~d ~f = if quick then q else if full then f else d
 
 (* --- machine-readable output (BENCH.json) ------------------------------- *)
@@ -806,6 +832,24 @@ let perf_bench () =
           (float_of_int c.c_events /. float_of_int rep500.p_events)
       end)
     rep500.Smapp_obs.Prof.p_classes;
+  (* A/B: pooling and batching off — the legacy allocate-per-segment
+     datapath. Event counts stay exact (the arena is behavior-neutral by
+     construction; benchdiff pins w500_arena_off_events Exact), only the
+     bytes/event move. *)
+  let saved_pool = Smapp_tcp.Segment.pooling_enabled ()
+  and saved_batch = Smapp_netsim.Link.batching_enabled () in
+  Smapp_tcp.Segment.set_pooling false;
+  Smapp_netsim.Link.set_batching false;
+  Fun.protect ~finally:(fun () ->
+      Smapp_tcp.Segment.set_pooling saved_pool;
+      Smapp_netsim.Link.set_batching saved_batch)
+  @@ (fun () -> ignore (profile "w500_arena_off" 500 1 : Smapp_obs.Prof.report));
+  (* minor-heap sweep point: the --minor-heap knob at 8M words vs the
+     default, same workload — records what GC sizing buys on this host *)
+  let saved_gc = Gc.get () in
+  Gc.set { saved_gc with Gc.minor_heap_size = 8 * 1024 * 1024 };
+  Fun.protect ~finally:(fun () -> Gc.set saved_gc)
+  @@ (fun () -> ignore (profile "w500_minor8m" 500 1 : Smapp_obs.Prof.report));
   print_string (Smapp_obs.Prof.render rep500);
   Smapp_obs.Prof.reset ()
 

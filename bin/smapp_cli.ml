@@ -437,8 +437,48 @@ let flow_dist_conv =
 let controller_conv =
   Arg.enum [ ("none", `None); ("fullmesh", `Fullmesh); ("backup", `Backup) ]
 
+(* --minor-heap WORDS[k|m]: Gc.set at startup, before any engine exists.
+   Sizing the minor heap to the datapath's working set trades minor-GC
+   frequency against cache footprint; the bench perf section records a
+   sweep point so the effect is tracked per host. Purely a performance
+   knob: results are byte-identical at any setting (the determinism
+   gates run the same digests regardless of GC schedule). *)
+let parse_minor_heap s =
+  let len = String.length s in
+  let mult, digits =
+    if len = 0 then (1, s)
+    else
+      match s.[len - 1] with
+      | 'k' | 'K' -> (1024, String.sub s 0 (len - 1))
+      | 'm' | 'M' -> (1024 * 1024, String.sub s 0 (len - 1))
+      | _ -> (1, s)
+  in
+  match int_of_string_opt digits with
+  | Some n when n > 0 -> Ok (n * mult)
+  | Some _ | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "bad minor-heap size %S (want WORDS, e.g. 512k or 8m)" s))
+
+let minor_heap_conv =
+  Arg.conv (parse_minor_heap, fun ppf words -> Format.fprintf ppf "%d" words)
+
+let minor_heap_arg =
+  Arg.(
+    value
+    & opt (some minor_heap_conv) None
+    & info [ "minor-heap" ] ~docv:"WORDS"
+        ~doc:
+          "Set the GC minor heap size in words (suffixes k/m) before the run. \
+           Performance only — results are byte-identical at any setting.")
+
+let apply_minor_heap = function
+  | None -> ()
+  | Some words -> Gc.set { (Gc.get ()) with Gc.minor_heap_size = words }
+
 let run_workload conns arrival_rate flow_dist controller clients servers paths shards
-    seed runs jobs trace =
+    seed runs minor_heap jobs trace =
+  apply_minor_heap minor_heap;
   with_pool ~tracing:(trace <> None) jobs @@ fun pool ->
   let open Smapp_workload in
   if shards < 1 then invalid_arg "--shards expects a positive count";
@@ -559,7 +599,7 @@ let workload_cmd =
        ~doc:"Scale-out traffic: many connections under per-connection controllers")
     Term.(
       const run_workload $ conns $ arrival_rate $ flow_dist $ controller $ clients
-      $ servers $ paths $ shards $ seed $ runs $ jobs_arg $ trace_arg)
+      $ servers $ paths $ shards $ seed $ runs $ minor_heap_arg $ jobs_arg $ trace_arg)
 
 (* --- check: the correctness tooling ----------------------------------------- *)
 
@@ -880,7 +920,8 @@ let metrics_cmd =
    within 5%, or the profiler's attribution can't be trusted and we exit
    non-zero. (The bound is loose because the external bracket also sees
    the profiler's own bookkeeping and anything outside event dispatch.) *)
-let run_prof conns seed shards json =
+let run_prof conns seed shards minor_heap json =
+  apply_minor_heap minor_heap;
   if shards < 1 then invalid_arg "--shards expects a positive count";
   let open Smapp_workload in
   let config =
@@ -973,7 +1014,7 @@ let prof_cmd =
           self-time and allocation, per-event-class costs, GC pauses; exits \
           non-zero if the report fails to reconcile with wall time and \
           Gc.allocated_bytes within 5%")
-    Term.(const run_prof $ conns $ seed $ shards $ json)
+    Term.(const run_prof $ conns $ seed $ shards $ minor_heap_arg $ json)
 
 let main_cmd =
   let doc = "SMAPP experiments: smart Multipath TCP path management" in

@@ -57,18 +57,43 @@ let addresses t = List.filter_map (fun n -> if n.up then Some n.addr else None) 
 
 let set_receive t f = t.receive <- Some f
 
-let deliver t pkt =
-  let dst_addr = pkt.Packet.flow.Ip.dst.Ip.addr in
-  match (find_nic t dst_addr, t.receive) with
-  | Some nic, Some receive when nic.up -> receive pkt
-  | _ -> t.discarded <- t.discarded + 1
+(* The datapath walks [nic_list] inline instead of going through
+   [find_nic]: [List.find_opt] boxes a [Some] per packet, twice per
+   delivery (once on send, once on receive). *)
+let rec deliver_on t nics addr pkt =
+  match nics with
+  | [] -> t.discarded <- t.discarded + 1
+  | n :: rest ->
+      if Ip.equal n.addr addr then begin
+        match t.receive with
+        | Some receive when n.up -> receive pkt
+        | _ -> t.discarded <- t.discarded + 1
+      end
+      else deliver_on t rest addr pkt
+
+let deliver t pkt = deliver_on t t.nic_list pkt.Packet.flow.Ip.dst.Ip.addr pkt
+[@@smapp.hot]
+
+let rec send_via nics addr pkt =
+  match nics with
+  | [] -> ()
+  | n :: rest ->
+      if Ip.equal n.addr addr then begin
+        if n.up then match n.tx with Some link -> Link.send link pkt | None -> ()
+      end
+      else send_via rest addr pkt
+
+let rec run_taps taps pkt =
+  match taps with
+  | [] -> ()
+  | tap :: rest ->
+      tap pkt;
+      run_taps rest pkt
 
 let send t pkt =
-  List.iter (fun tap -> tap pkt) t.taps;
-  let src_addr = pkt.Packet.flow.Ip.src.Ip.addr in
-  match find_nic t src_addr with
-  | Some { up = true; tx = Some link; _ } -> Link.send link pkt
-  | Some _ | None -> ()
+  run_taps t.taps pkt;
+  send_via t.nic_list pkt.Packet.flow.Ip.src.Ip.addr pkt
+[@@smapp.hot]
 
 let on_addr_change t f = t.addr_listeners <- t.addr_listeners @ [ f ]
 let add_tap t f = t.taps <- t.taps @ [ f ]

@@ -1,7 +1,7 @@
 type payload = ..
 type payload += Raw of string
 
-type t = { flow : Ip.flow; size : int; payload : payload }
+type t = { mutable flow : Ip.flow; mutable size : int; mutable payload : payload }
 
 let make ~flow ~size payload =
   if size <= 0 then invalid_arg "Packet.make: size must be positive";

@@ -71,15 +71,16 @@ let hist_index bytes =
 
 type class_cell = {
   mutable k_events : int;
-  mutable k_ns : float;
-  mutable k_bytes : float; (* minor-heap bytes allocated during dispatch *)
+  k_f : float array; (* 0 = ns, 1 = minor-heap bytes allocated during dispatch.
+                        A float array, not mutable float fields: stores into a
+                        mixed record box, and these are written per dispatch. *)
   mutable k_minor_gcs : int;
   mutable k_major_gcs : int;
   k_hist : int array; (* log2 bytes-per-event buckets *)
 }
 
 let class_cell () =
-  { k_events = 0; k_ns = 0.0; k_bytes = 0.0; k_minor_gcs = 0; k_major_gcs = 0;
+  { k_events = 0; k_f = Array.make 2 0.0; k_minor_gcs = 0; k_major_gcs = 0;
     k_hist = Array.make hist_buckets 0 }
 
 (* --- call-tree nodes ---------------------------------------------------------- *)
@@ -122,12 +123,14 @@ module Scope = struct
     stack_child_ns : float array;
     stack_child_bytes : float array;
     mutable truncated : int; (* enters beyond [max_depth], recorded nowhere *)
-    (* dispatch bracket state *)
+    (* dispatch bracket state. Floats live in [d_f] (0 = t0, 1 = words0)
+       because storing a float into a mixed record boxes it, and the
+       bracket runs around every single event dispatch. *)
     mutable d_class : int;
-    mutable d_t0 : float;
-    mutable d_words0 : float;
-    mutable d_minor0 : int;
-    mutable d_major0 : int;
+    d_f : float array;
+    mutable d_minor_free0 : int; (* Gc.get_minor_free at dispatch_begin *)
+    mutable d_minor_last : int; (* minor_collections at the last quick_stat *)
+    mutable d_major_last : int;
     mutable d_events : int;
   }
 
@@ -143,10 +146,10 @@ module Scope = struct
       stack_child_bytes = Array.make max_depth 0.0;
       truncated = 0;
       d_class = 0;
-      d_t0 = 0.0;
-      d_words0 = 0.0;
-      d_minor0 = 0;
-      d_major0 = 0;
+      d_f = Array.make 2 0.0;
+      d_minor_free0 = 0;
+      d_minor_last = 0;
+      d_major_last = 0;
       d_events = 0;
     }
 
@@ -161,6 +164,9 @@ end
 
 let reset () =
   let s = Scope.current () in
+  let st = Gc.quick_stat () in
+  s.Scope.d_minor_last <- st.Gc.minor_collections;
+  s.Scope.d_major_last <- st.Gc.major_collections;
   s.Scope.root.n_count <- 0;
   s.Scope.root.n_total_ns <- 0.0;
   s.Scope.root.n_self_ns <- 0.0;
@@ -247,41 +253,57 @@ let enter_class cls label =
     enter label
   end
 
+(* The bracket runs around every event dispatch, so it must not allocate
+   itself (beyond the wall-clock stub's boxed float return): the profiler's
+   own garbage used to dominate total allocation and depress the very
+   events/sec it was measuring. [Gc.minor_words] is an unboxed [@@noalloc]
+   external, floats go into preallocated float arrays, and [Gc.quick_stat]
+   (which builds a stat record per call) is paid only on dispatches where a
+   minor GC actually ran — detected for free by comparing the minor-heap
+   headroom drop against the words allocated. *)
 let dispatch_begin () =
   let s = Scope.current () in
   s.Scope.d_class <- 0 (* Timer unless the callback marks otherwise *);
-  let st = Gc.quick_stat () in
-  s.Scope.d_minor0 <- st.Gc.minor_collections;
-  s.Scope.d_major0 <- st.Gc.major_collections;
-  s.Scope.d_t0 <- now_ns ();
-  (* last: quick_stat's own record stays out of the event's delta *)
-  s.Scope.d_words0 <- Gc.minor_words ()
+  s.Scope.d_minor_free0 <- Gc.get_minor_free ();
+  let f = s.Scope.d_f in
+  f.(0) <- now_ns ();
+  f.(1) <- Gc.minor_words ()
 
 let dispatch_end () =
   let words1 = Gc.minor_words () in
+  let free1 = Gc.get_minor_free () in
   let t1 = now_ns () in
   let s = Scope.current () in
-  let st = Gc.quick_stat () in
+  let f = s.Scope.d_f in
   let c = s.Scope.classes.(s.Scope.d_class) in
-  let bytes = (words1 -. s.Scope.d_words0) *. float_of_int (Sys.word_size / 8) in
+  let words = words1 -. f.(1) in
+  let bytes = words *. float_of_int (Sys.word_size / 8) in
   c.k_events <- c.k_events + 1;
-  c.k_ns <- c.k_ns +. (t1 -. s.Scope.d_t0);
-  c.k_bytes <- c.k_bytes +. bytes;
-  c.k_hist.(hist_index bytes) <- c.k_hist.(hist_index bytes) + 1;
+  c.k_f.(0) <- c.k_f.(0) +. (t1 -. f.(0));
+  c.k_f.(1) <- c.k_f.(1) +. bytes;
+  let hi = hist_index bytes in
+  c.k_hist.(hi) <- c.k_hist.(hi) + 1;
   s.Scope.d_events <- s.Scope.d_events + 1;
-  let dminor = st.Gc.minor_collections - s.Scope.d_minor0 in
-  let dmajor = st.Gc.major_collections - s.Scope.d_major0 in
-  if dminor > 0 then begin
-    c.k_minor_gcs <- c.k_minor_gcs + dminor;
-    Trace.instant ~cat:"gc"
-      ~args:[ ("count", string_of_int dminor); ("class", class_name class_of_index.(s.Scope.d_class)) ]
-      "minor-gc"
-  end;
-  if dmajor > 0 then begin
-    c.k_major_gcs <- c.k_major_gcs + dmajor;
-    Trace.instant ~cat:"gc"
-      ~args:[ ("count", string_of_int dmajor); ("class", class_name class_of_index.(s.Scope.d_class)) ]
-      "major-gc"
+  (* with no GC, minor headroom drops by exactly the words allocated;
+     any other trajectory means a collection ran during this dispatch *)
+  if s.Scope.d_minor_free0 - free1 <> int_of_float words then begin
+    let st = Gc.quick_stat () in
+    let dminor = st.Gc.minor_collections - s.Scope.d_minor_last in
+    let dmajor = st.Gc.major_collections - s.Scope.d_major_last in
+    s.Scope.d_minor_last <- st.Gc.minor_collections;
+    s.Scope.d_major_last <- st.Gc.major_collections;
+    if dminor > 0 then begin
+      c.k_minor_gcs <- c.k_minor_gcs + dminor;
+      Trace.instant ~cat:"gc"
+        ~args:[ ("count", string_of_int dminor); ("class", class_name class_of_index.(s.Scope.d_class)) ]
+        "minor-gc"
+    end;
+    if dmajor > 0 then begin
+      c.k_major_gcs <- c.k_major_gcs + dmajor;
+      Trace.instant ~cat:"gc"
+        ~args:[ ("count", string_of_int dmajor); ("class", class_name class_of_index.(s.Scope.d_class)) ]
+        "major-gc"
+    end
   end
 
 (* --- report ------------------------------------------------------------------- *)
@@ -336,8 +358,8 @@ let report () =
           {
             c_class = class_of_index.(i);
             c_events = c.k_events;
-            c_ns = c.k_ns;
-            c_bytes = c.k_bytes;
+            c_ns = c.k_f.(0);
+            c_bytes = c.k_f.(1);
             c_minor_gcs = c.k_minor_gcs;
             c_major_gcs = c.k_major_gcs;
             c_hist = Array.copy c.k_hist;

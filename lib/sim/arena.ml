@@ -1,0 +1,111 @@
+(* A generic freelist: hot paths reuse pooled records instead of
+   allocating fresh ones per event, which is where most of the per-event
+   byte budget measured by [Smapp_obs.Prof] went (ROADMAP item 2).
+
+   The pool is a plain array-backed stack of free slots. [take] pops a
+   slot (or calls [make] on a pool miss), [put] pushes one back. Slots
+   are never cleared by the arena itself — the client overwrites every
+   field on reuse, and clears anything heap-retaining before [put]
+   (see [Smapp_tcp.Segment.release] for the pattern).
+
+   Aliasing discipline is the client's obligation; the [Gen] helpers
+   below implement the generation-parity protocol the clients stamp
+   their slots with so that conformance hooks can catch use-after-free
+   and double-free in debug runs. *)
+
+type stats = {
+  live : int;  (* taken and not yet put back *)
+  free : int;  (* slots parked in the pool *)
+  fresh : int;  (* takes that missed the pool and allocated *)
+  takes : int;
+  puts : int;
+  adopted : int;  (* puts of slots taken from another domain's pool *)
+  high_water : int;  (* maximum simultaneous [live] *)
+}
+
+type 'a t = {
+  make : unit -> 'a;
+  mutable slots : 'a array;  (* free slots at indices [0, free) *)
+  mutable free : int;
+  mutable live : int;
+  mutable fresh : int;
+  mutable takes : int;
+  mutable puts : int;
+  mutable adopted : int;
+  mutable high_water : int;
+}
+
+let create make =
+  {
+    make;
+    slots = [||];
+    free = 0;
+    live = 0;
+    fresh = 0;
+    takes = 0;
+    puts = 0;
+    adopted = 0;
+    high_water = 0;
+  }
+
+let take t =
+  t.takes <- t.takes + 1;
+  t.live <- t.live + 1;
+  if t.live > t.high_water then t.high_water <- t.live;
+  if t.free = 0 then begin
+    t.fresh <- t.fresh + 1;
+    t.make ()
+  end
+  else begin
+    let i = t.free - 1 in
+    t.free <- i;
+    t.slots.(i)
+  end
+[@@smapp.hot]
+
+(* Doubling growth, seeded with the value being parked: only cells below
+   [free] are ever read, so the seed duplicates in the padding cells can
+   never be handed out twice. *)
+let grow t v =
+  let cap = Array.length t.slots in
+  let slots = Array.make (max 8 (2 * cap)) v in
+  Array.blit t.slots 0 slots 0 cap;
+  t.slots <- slots
+
+let put t v =
+  t.puts <- t.puts + 1;
+  (* more puts than takes is legal across domains: a slot taken on the
+     domain that sent a segment is put back by the domain whose shard
+     consumed it — ownership migrates with the slot *)
+  if t.live > 0 then t.live <- t.live - 1 else t.adopted <- t.adopted + 1;
+  if t.free = Array.length t.slots then grow t v;
+  t.slots.(t.free) <- v;
+  t.free <- t.free + 1
+[@@smapp.hot]
+
+let stats t =
+  {
+    live = t.live;
+    free = t.free;
+    fresh = t.fresh;
+    takes = t.takes;
+    puts = t.puts;
+    adopted = t.adopted;
+    high_water = t.high_water;
+  }
+
+(* Even = live, odd = retired. A slot is born at generation 0; each
+   retire/revive increments, so any generation a client captured before a
+   retire can never test live again. *)
+module Gen = struct
+  let fresh = 0
+  let is_live g = g land 1 = 0
+
+  let retire g =
+    if g land 1 = 1 then Bug.fail "Arena.Gen.retire: double free (generation %d)" g;
+    g + 1
+
+  let revive g =
+    if g land 1 = 0 then Bug.fail "Arena.Gen.revive: slot already live (generation %d)" g;
+    g + 1
+end

@@ -1,20 +1,28 @@
+(* The shared no-op callback: an event whose callback is physically [nop]
+   has been cancelled or already fired. Using a sentinel instead of an
+   option shaves the [Some] box off every scheduled event. *)
+let nop () = ()
+
 type event = {
-  time : Time.t;
-  seq : int;
-  mutable callback : (unit -> unit) option; (* None once cancelled or fired *)
+  mutable ev_time : Time.t;
+  mutable ev_callback : unit -> unit; (* == [nop] once cancelled or fired *)
+  mutable ev_owner : timer option; (* set when a cancellable handle is attached *)
 }
 
 (* A timer is a handle over the currently armed event. Periodic timers
    ([every]) re-arm by replacing [current]; cancelling the handle always
-   cancels whichever event is armed right now. *)
-type timer = { engine : t; mutable current : event option }
+   cancels whichever event is armed right now. The armed event points
+   back at its handle ([ev_owner]) so the dispatch loop can clear
+   [current] without the per-event wrapper closure [at] used to build. *)
+and timer = { t_engine : t; mutable t_current : event option }
 
 and t = {
   mutable clock : Time.t;
   queue : event Timer_wheel.t;
+  ev_dummy : event; (* the wheel's empty-queue sentinel *)
+  ev_pool : event Arena.t; (* fired events recycle through here *)
   mutable root_rng : Rng.t; (* swapped once by [Shard.seal] on sharded runs *)
   mutable uids : int ref; (* construction-order ids; shared across a group *)
-  mutable next_seq : int;
   mutable live : int; (* queued events not yet cancelled *)
   mutable executed : int; (* callbacks run over the engine's lifetime *)
   mutable last_dispatch : Time.t; (* time of the latest executed callback *)
@@ -40,14 +48,18 @@ let m_horizon =
   Smapp_obs.Metrics.histogram
     ~help:"ns between scheduling an event and its deadline" "sim_schedule_horizon_ns"
 
+let fresh_event () = { ev_time = Time.zero; ev_callback = nop; ev_owner = None }
+
 let create ?(seed = 42) () =
+  let ev_dummy = fresh_event () in
   let rec t =
     {
       clock = Time.zero;
-      queue = Timer_wheel.create ();
+      queue = Timer_wheel.create ~dummy:ev_dummy;
+      ev_dummy;
+      ev_pool = Arena.create fresh_event;
       root_rng = Rng.of_int seed;
       uids = ref 0;
-      next_seq = 0;
       live = 0;
       executed = 0;
       last_dispatch = Time.zero;
@@ -93,39 +105,53 @@ let fresh_uid t =
 let adopt_uids t ~from = t.uids <- from.uids
 
 let next_event_time t =
-  match Timer_wheel.peek t.queue with
-  | None -> None
-  | Some (time, _) -> Some (Time.of_ns time)
+  let ns = Timer_wheel.next_time t.queue in
+  if ns < 0 then None else Some (Time.of_ns ns)
 
 let last_event_time t = t.last_dispatch
 
-let schedule_event ?rank t when_ f =
-  if Time.(when_ < t.clock) then
-    invalid_arg
-      (Format.asprintf "Engine.at: %a is before now (%a)" Time.pp when_ Time.pp t.clock);
-  let ev = { time = when_; seq = t.next_seq; callback = Some f } in
-  t.next_seq <- t.next_seq + 1;
-  Timer_wheel.add t.queue ~time:(Time.to_ns when_) ?rank ev;
+let schedule_past t when_ =
+  invalid_arg
+    (Format.asprintf "Engine.at: %a is before now (%a)" Time.pp when_ Time.pp t.clock)
+
+(* The spine all scheduling funnels through: one pooled event record, the
+   rank as plain ints, no closure. *)
+let schedule_ranked_event t when_ ~r1 ~r2 ~r3 f =
+  if Time.(when_ < t.clock) then schedule_past t when_;
+  let ev = Arena.take t.ev_pool in
+  ev.ev_time <- when_;
+  ev.ev_callback <- f;
+  ev.ev_owner <- None;
+  Timer_wheel.add_ranked t.queue ~time:(Time.to_ns when_) ~r1 ~r2 ~r3 ev;
   t.live <- t.live + 1;
-  Smapp_obs.Metrics.observe m_horizon
-    (float_of_int (Time.to_ns when_ - Time.to_ns t.clock));
+  (* the enabled check lives here, not just inside [observe]: the float
+     argument would otherwise be boxed per schedule even when disabled *)
+  if Atomic.get Smapp_obs.Metrics.enabled then
+    Smapp_obs.Metrics.observe m_horizon
+      (float_of_int (Time.to_ns when_ - Time.to_ns t.clock));
   ev
 [@@smapp.hot]
 
-(* Fire-and-forget scheduling: no timer handle, so no timer record and no
-   wrapper closure per event. Consumes the same seq/rank stream as [at],
-   so switching a call site between the two never reorders dispatch. *)
+let schedule_event ?rank t when_ f =
+  match rank with
+  | None -> schedule_ranked_event t when_ ~r1:0 ~r2:0 ~r3:0 f
+  | Some (r1, r2, r3) -> schedule_ranked_event t when_ ~r1 ~r2 ~r3 f
+[@@smapp.hot]
+
+(* Fire-and-forget scheduling: no timer handle, so no timer record per
+   event. Consumes the same seq/rank stream as [at], so switching a call
+   site between the two never reorders dispatch. *)
 let schedule ?rank t when_ f = ignore (schedule_event ?rank t when_ f : event)
 [@@smapp.hot]
 
+let schedule_ranked t when_ ~r1 ~r2 ~r3 f =
+  ignore (schedule_ranked_event t when_ ~r1 ~r2 ~r3 f : event)
+[@@smapp.hot]
+
 let at ?rank t when_ f =
-  let timer = { engine = t; current = None } in
-  let ev =
-    schedule_event ?rank t when_ (fun () ->
-        timer.current <- None;
-        f ())
-  in
-  timer.current <- Some ev;
+  let ev = schedule_event ?rank t when_ f in
+  let timer = { t_engine = t; t_current = Some ev } in
+  ev.ev_owner <- Some timer;
   timer
 [@@smapp.hot]
 
@@ -134,34 +160,30 @@ let after t d f =
   at t (Time.add t.clock d) f
 
 let cancel timer =
-  match timer.current with
+  match timer.t_current with
   | None -> ()
   | Some ev ->
-      if Option.is_some ev.callback then begin
-        ev.callback <- None;
-        timer.engine.live <- timer.engine.live - 1
+      if ev.ev_callback != nop then begin
+        ev.ev_callback <- nop;
+        ev.ev_owner <- None;
+        timer.t_engine.live <- timer.t_engine.live - 1
       end;
-      timer.current <- None
+      timer.t_current <- None
 
 let timer_active timer =
-  match timer.current with
-  | None -> false
-  | Some ev -> Option.is_some ev.callback
+  match timer.t_current with None -> false | Some ev -> ev.ev_callback != nop
 
 let every t ?start period f =
   let start = Option.value start ~default:period in
-  let timer = { engine = t; current = None } in
+  let timer = { t_engine = t; t_current = None } in
   let rec arm delay =
     let ev =
       schedule_event t
         (Time.add t.clock (Time.span_max delay Time.span_zero))
-        (fun () ->
-          timer.current <- None;
-          match f () with
-          | `Continue -> arm period
-          | `Stop -> ())
+        (fun () -> match f () with `Continue -> arm period | `Stop -> ())
     in
-    timer.current <- Some ev
+    ev.ev_owner <- Some timer;
+    timer.t_current <- Some ev
   in
   arm start;
   timer
@@ -190,46 +212,56 @@ let pop_shuffled t rng =
       Array.iteri (fun j ev' -> if j <> i then Timer_wheel.add t.queue ~time ev') arr;
       Some arr.(i)
 
-let pop_next t =
-  match t.tie_break with
-  | Fifo -> (
-      match Timer_wheel.pop t.queue with None -> None | Some (_, ev) -> Some ev)
-  | Shuffle rng -> pop_shuffled t rng
-
 let run ?until ?(max_events = max_int) t =
   let executed = ref 0 in
   let continue = ref true in
   while !continue && !executed < max_events do
-    match Timer_wheel.peek t.queue with
-    | None -> continue := false
-    | Some (_, ev) -> (
-        match until with
-        | Some limit when Time.(ev.time > limit) ->
-            t.clock <- limit;
-            continue := false
-        | _ -> (
-            (* under [Shuffle] the popped event may differ from the peeked
-               one, but shares its timestamp *)
-            match pop_next t with
-            | None -> continue := false
-            | Some ev -> (
-                match ev.callback with
-                | None -> () (* cancelled: already uncounted *)
-                | Some f ->
-                    ev.callback <- None;
-                    t.live <- t.live - 1;
-                    t.clock <- ev.time;
-                    t.last_dispatch <- ev.time;
-                    incr executed;
-                    t.executed <- t.executed + 1;
-                    Smapp_obs.Metrics.incr m_dispatched;
-                    Smapp_obs.Metrics.set m_queue_depth (float_of_int t.live);
-                    if Atomic.get Smapp_obs.Prof.enabled then begin
-                      Smapp_obs.Prof.dispatch_begin ();
-                      f ();
-                      Smapp_obs.Prof.dispatch_end ()
-                    end
-                    else f ())))
+    let next_ns = Timer_wheel.next_time t.queue in
+    if next_ns < 0 then continue := false
+    else
+      match until with
+      | Some limit when next_ns > Time.to_ns limit ->
+          t.clock <- limit;
+          continue := false
+      | _ ->
+          (* under [Shuffle] the taken event may differ from the peeked
+             one, but shares its timestamp *)
+          let ev =
+            match t.tie_break with
+            | Fifo -> Timer_wheel.take t.queue
+            | Shuffle rng -> (
+                match pop_shuffled t rng with None -> t.ev_dummy | Some ev -> ev)
+          in
+          if ev == t.ev_dummy then continue := false
+          else begin
+            let f = ev.ev_callback in
+            if f == nop then Arena.put t.ev_pool ev (* cancelled: already uncounted *)
+            else begin
+              ev.ev_callback <- nop;
+              (match ev.ev_owner with
+              | None -> ()
+              | Some tm ->
+                  tm.t_current <- None;
+                  ev.ev_owner <- None);
+              t.live <- t.live - 1;
+              t.clock <- ev.ev_time;
+              t.last_dispatch <- ev.ev_time;
+              incr executed;
+              t.executed <- t.executed + 1;
+              (* recycle before dispatch: the callback's own scheduling may
+                 reuse the slot, which is fine — every field is dead here *)
+              Arena.put t.ev_pool ev;
+              Smapp_obs.Metrics.incr m_dispatched;
+              if Atomic.get Smapp_obs.Metrics.enabled then
+                Smapp_obs.Metrics.set m_queue_depth (float_of_int t.live);
+              if Atomic.get Smapp_obs.Prof.enabled then begin
+                Smapp_obs.Prof.dispatch_begin ();
+                f ();
+                Smapp_obs.Prof.dispatch_end ()
+              end
+              else f ()
+            end
+          end
   done;
   match until with
   | Some limit when Timer_wheel.is_empty t.queue && Time.(t.clock < limit) -> t.clock <- limit

@@ -83,10 +83,16 @@ val at : ?rank:int * int * int -> t -> Time.t -> (unit -> unit) -> timer
 
 val schedule : ?rank:int * int * int -> t -> Time.t -> (unit -> unit) -> unit
 (** {!at} without the handle: for events that are never cancelled. Skips
-    the timer record and wrapper closure {!at} allocates per event, which
-    is why the hot spine (link deliveries, netlink crossings, workload
-    launches) uses it. Consumes the same seq/rank stream as {!at}, so the
-    two are interchangeable without reordering dispatch. *)
+    the timer record {!at} allocates per event, which is why the hot
+    spine (link deliveries, netlink crossings, workload launches) uses
+    it. Consumes the same seq/rank stream as {!at}, so the two are
+    interchangeable without reordering dispatch. *)
+
+val schedule_ranked : t -> Time.t -> r1:int -> r2:int -> r3:int -> (unit -> unit) -> unit
+(** {!schedule} with the rank flattened into plain int arguments, so a
+    ranked hot-path call boxes neither a tuple nor an option. Same
+    seq/rank stream as {!schedule}[ ~rank:(r1, r2, r3)]: the two are
+    interchangeable without reordering dispatch. *)
 
 val after : t -> Time.span -> (unit -> unit) -> timer
 (** [after t d f] schedules [f] at [now t + d]. Negative [d] is clamped

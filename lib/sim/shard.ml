@@ -16,7 +16,9 @@ type shard = {
    it would have, had it been scheduled locally. *)
 type mail = {
   m_time : int;
-  m_rank : int * int * int;
+  m_r1 : int; (* the rank triple, flattened: no tuple kept per mail *)
+  m_r2 : int;
+  m_r3 : int;
   m_src : int;
   m_seq : int;
   m_thunk : unit -> unit;
@@ -123,19 +125,27 @@ let post g ~src ~dst ~time ~rank thunk =
   let seq = g.g_mail_seq.(src).(dst) in
   g.g_mail_seq.(src).(dst) <- seq + 1;
   let box = g.g_mail.(src).(dst) in
+  let r1, r2, r3 = rank in
   box :=
-    { m_time = ns; m_rank = rank; m_src = src; m_seq = seq; m_thunk = thunk }
+    { m_time = ns; m_r1 = r1; m_r2 = r2; m_r3 = r3; m_src = src; m_seq = seq;
+      m_thunk = thunk }
     :: !box
 
 let compare_mail a b =
-  let c = compare a.m_time b.m_time in
+  let c = Int.compare a.m_time b.m_time in
   if c <> 0 then c
   else
-    let c = compare a.m_rank b.m_rank in
+    let c = Int.compare a.m_r1 b.m_r1 in
     if c <> 0 then c
     else
-      let c = compare a.m_src b.m_src in
-      if c <> 0 then c else compare a.m_seq b.m_seq
+      let c = Int.compare a.m_r2 b.m_r2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.m_r3 b.m_r3 in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.m_src b.m_src in
+          if c <> 0 then c else Int.compare a.m_seq b.m_seq
 
 (* Inject the mailboxed events into their destination engines. Sorting by
    (time, rank, src, seq) — a total order over the drained set — makes
@@ -157,7 +167,9 @@ let drain g =
     | unordered ->
         let e = g.g_shards.(dst).sh_engine in
         List.iter
-          (fun m -> Engine.schedule ~rank:m.m_rank e (Time.of_ns m.m_time) m.m_thunk)
+          (fun m ->
+            Engine.schedule_ranked e (Time.of_ns m.m_time) ~r1:m.m_r1 ~r2:m.m_r2
+              ~r3:m.m_r3 m.m_thunk)
           (List.sort compare_mail unordered)
   done
 

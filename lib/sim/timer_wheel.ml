@@ -12,7 +12,14 @@
    ahead — or behind [base], which can run ahead of the caller's clock by
    up to one window — overflow to a stable binary-heap tier and are served
    from there, ordered against wheel elements by a global insertion
-   counter. *)
+   counter.
+
+   Entries are intrusive: each slot is a singly-linked chain through the
+   entries' own [e_next] field, and popped entries park on a freelist, so
+   steady-state add/pop allocates nothing — neither a container cell nor
+   an entry record. The rank triple is flattened into three int fields
+   for the same reason. This is the wheel's half of ROADMAP item 2's
+   allocation budget. *)
 
 let slot_bits = 5
 let slots = 1 lsl slot_bits (* 32 *)
@@ -20,33 +27,53 @@ let slot_mask = slots - 1
 let levels = 8 (* horizon: 2^(5*8) ns *)
 
 type 'a entry = {
-  e_time : int;
-  e_rank : int * int * int;
-  e_seq : int;
-  e_value : 'a;
+  mutable e_time : int;
+  mutable e_r1 : int;
+  mutable e_r2 : int;
+  mutable e_r3 : int;
+  mutable e_seq : int;
+  mutable e_value : 'a;
+  mutable e_next : 'a entry; (* slot chain / freelist link; [nil] terminates *)
 }
 
 let compare_entry a b =
   let c = Int.compare a.e_time b.e_time in
   if c <> 0 then c
   else
-    let c = compare a.e_rank b.e_rank in
-    if c <> 0 then c else Int.compare a.e_seq b.e_seq
+    let c = Int.compare a.e_r1 b.e_r1 in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.e_r2 b.e_r2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.e_r3 b.e_r3 in
+        if c <> 0 then c else Int.compare a.e_seq b.e_seq
 
 type 'a t = {
-  wheel : 'a entry Queue.t array array; (* [level].[slot] *)
+  nil : 'a entry; (* self-linked sentinel: end-of-chain and empty-slot marker *)
+  dummy : 'a;
+  heads : 'a entry array; (* [level * 32 + slot] *)
+  tails : 'a entry array;
   masks : int array; (* per-level slot-occupancy bitmask *)
   overflow : 'a entry Heap.t;
+  mutable free_list : 'a entry;
   mutable base : int; (* all wheel entries have e_time >= base *)
   mutable next_seq : int; (* global insertion counter, for stable ties *)
   mutable size : int;
 }
 
-let create () =
+let create ~dummy =
+  let rec nil =
+    { e_time = max_int; e_r1 = 0; e_r2 = 0; e_r3 = 0; e_seq = 0; e_value = dummy; e_next = nil }
+  in
   {
-    wheel = Array.init levels (fun _ -> Array.init slots (fun _ -> Queue.create ()));
+    nil;
+    dummy;
+    heads = Array.make (levels * slots) nil;
+    tails = Array.make (levels * slots) nil;
     masks = Array.make levels 0;
     overflow = Heap.create ~cmp:compare_entry;
+    free_list = nil;
     base = 0;
     next_seq = 0;
     size = 0;
@@ -54,6 +81,30 @@ let create () =
 
 let length t = t.size
 let is_empty t = t.size = 0
+
+(* Pool miss: the one cold record allocation; reuses go through the
+   freelist with every field overwritten. *)
+let take_entry t ~time ~r1 ~r2 ~r3 value =
+  let e = t.free_list in
+  if e == t.nil then
+    { e_time = time; e_r1 = r1; e_r2 = r2; e_r3 = r3; e_seq = t.next_seq; e_value = value;
+      e_next = t.nil }
+  else begin
+    t.free_list <- e.e_next;
+    e.e_time <- time;
+    e.e_r1 <- r1;
+    e.e_r2 <- r2;
+    e.e_r3 <- r3;
+    e.e_seq <- t.next_seq;
+    e.e_value <- value;
+    e.e_next <- t.nil;
+    e
+  end
+
+let free_entry t e =
+  e.e_value <- t.dummy;
+  e.e_next <- t.free_list;
+  t.free_list <- e
 
 (* Smallest level whose aligned window around [base] contains [time];
    [levels] when the key is past the horizon. *)
@@ -65,117 +116,161 @@ let level_for t time =
   in
   find 0
 
-let place t entry =
-  if entry.e_time < t.base then Heap.add t.overflow entry
+let push_slot t j e =
+  if t.heads.(j) == t.nil then t.heads.(j) <- e else t.tails.(j).e_next <- e;
+  t.tails.(j) <- e
+
+let place t e =
+  if e.e_time < t.base then Heap.add t.overflow e
   else
-    let k = level_for t entry.e_time in
-    if k >= levels then Heap.add t.overflow entry
+    let k = level_for t e.e_time in
+    if k >= levels then Heap.add t.overflow e
     else begin
-      let idx = (entry.e_time lsr (slot_bits * k)) land slot_mask in
-      Queue.push entry t.wheel.(k).(idx);
+      let idx = (e.e_time lsr (slot_bits * k)) land slot_mask in
+      push_slot t ((k lsl slot_bits) lor idx) e;
       t.masks.(k) <- t.masks.(k) lor (1 lsl idx)
     end
 
-let default_rank = (0, 0, 0)
-
-let add t ~time ?(rank = default_rank) value =
+let add_ranked t ~time ~r1 ~r2 ~r3 value =
   if time < 0 then invalid_arg "Timer_wheel.add: negative time";
-  let entry = { e_time = time; e_rank = rank; e_seq = t.next_seq; e_value = value } in
+  let e = take_entry t ~time ~r1 ~r2 ~r3 value in
   t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
-  place t entry
+  place t e
+[@@smapp.hot]
+
+let add t ~time ?rank value =
+  match rank with
+  | None -> add_ranked t ~time ~r1:0 ~r2:0 ~r3:0 value
+  | Some (r1, r2, r3) -> add_ranked t ~time ~r1 ~r2 ~r3 value
 [@@smapp.hot]
 
 let lowest_bit_index m =
   let rec go i v = if v land 1 = 1 then i else go (i + 1) (v lsr 1) in
   go 0 (m land -m)
 
-(* First occupied slot at [level] at or after [base]'s own slot there. *)
+(* First occupied slot at [level] at or after [base]'s own slot there;
+   [-1] when the level is clear ahead. *)
 let scan_level t k =
   let idx = (t.base lsr (slot_bits * k)) land slot_mask in
   let m = t.masks.(k) land (-1 lsl idx) in
-  if m = 0 then None else Some (lowest_bit_index m)
+  if m = 0 then -1 else lowest_bit_index m
+
+(* Detach a whole chain from its slot and re-place every entry one level
+   down. *)
+let rec place_chain t e =
+  if e != t.nil then begin
+    let next = e.e_next in
+    e.e_next <- t.nil;
+    place t e;
+    place_chain t next
+  end
 
 (* Redistribute one level-[k] slot into the levels below it, advancing
    [base] to the start of that slot's window first. *)
 let cascade t k idx =
   let above = slot_bits * (k + 1) in
   t.base <- ((t.base lsr above) lsl above) lor (idx lsl (slot_bits * k));
-  let q = t.wheel.(k).(idx) in
+  let j = (k lsl slot_bits) lor idx in
+  let head = t.heads.(j) in
+  t.heads.(j) <- t.nil;
+  t.tails.(j) <- t.nil;
   t.masks.(k) <- t.masks.(k) land lnot (1 lsl idx);
-  (* pop-loop, not [Queue.iter]: iter's callback would be a fresh closure
-     over [t] on every cascade (a per-event cost at level-0 churn rates) *)
-  while not (Queue.is_empty q) do
-    place t (Queue.pop q)
-  done
+  place_chain t head
 [@@smapp.hot]
 
 (* A level-0 slot holds one key value, but ranked ties must pop in
    (rank, seq) order rather than insertion order, so the head of a slot
    is its [compare_entry]-minimal element (a linear scan; same-instant
    groups are small). *)
-let queue_min q =
-  Queue.fold
-    (fun acc e ->
-      match acc with
-      | Some m when compare_entry m e <= 0 -> acc
-      | _ -> Some e)
-    None q
+let rec min_from best e t =
+  if e == t.nil then best
+  else min_from (if compare_entry best e <= 0 then best else e) e.e_next t
 
-(* Remove the (physically) given element, preserving the order of the
-   rest. *)
-let queue_remove q target =
-  let keep = Queue.create () in
-  let removed = ref false in
-  Queue.iter
-    (fun x ->
-      if (not !removed) && x == target then removed := true else Queue.push x keep)
-    q;
-  Queue.clear q;
-  Queue.transfer keep q
-
-(* The level-0 slot holding the earliest wheel entry, cascading as needed. *)
+(* The [compare_entry]-minimal entry of the earliest occupied level-0
+   slot, cascading as needed; [t.nil] when the wheel tier is empty. *)
 let rec wheel_front t =
-  let rec find k = if k >= levels then None else
-      match scan_level t k with
-      | Some idx -> Some (k, idx)
-      | None -> find (k + 1)
+  let rec find k =
+    if k >= levels then t.nil
+    else
+      let idx = scan_level t k in
+      if idx < 0 then find (k + 1)
+      else if k > 0 then begin
+        cascade t k idx;
+        wheel_front t
+      end
+      else
+        let h = t.heads.(idx) in
+        if h == t.nil then
+          Bug.fail "Timer_wheel: occupancy bit set on empty level-0 slot %d" idx
+        else min_from h h.e_next t
   in
-  match find 0 with
-  | None -> None
-  | Some (0, idx) -> (
-      match queue_min t.wheel.(0).(idx) with
-      | Some e -> Some (e, idx)
-      | None ->
-          Bug.fail "Timer_wheel: occupancy bit set on empty level-0 slot %d" idx)
-  | Some (k, idx) ->
-      cascade t k idx;
-      wheel_front t
+  find 0
 
+(* Overall minimum across the wheel and overflow tiers; [t.nil] when
+   empty. Does not remove. *)
 let front t =
-  match (wheel_front t, Heap.peek t.overflow) with
-  | None, None -> None
-  | Some (e, idx), None -> Some (e, `Wheel idx)
-  | None, Some e -> Some (e, `Overflow)
-  | Some (we, idx), Some he ->
-      if compare_entry we he <= 0 then Some (we, `Wheel idx) else Some (he, `Overflow)
+  let we = wheel_front t in
+  match Heap.peek t.overflow with
+  | None -> we
+  | Some he -> if we != t.nil && compare_entry we he <= 0 then we else he
+
+(* Unlink a level-0 entry from its slot chain (identity match), clearing
+   the occupancy bit when the slot empties. *)
+let slot_remove t target =
+  let j = target.e_time land slot_mask in
+  let h = t.heads.(j) in
+  if h == target then begin
+    t.heads.(j) <- h.e_next;
+    if t.heads.(j) == t.nil then begin
+      t.tails.(j) <- t.nil;
+      t.masks.(0) <- t.masks.(0) land lnot (1 lsl j)
+    end
+  end
+  else begin
+    let rec unlink prev =
+      let e = prev.e_next in
+      if e == t.nil then Bug.fail "Timer_wheel: entry missing from its level-0 slot"
+      else if e == target then begin
+        prev.e_next <- e.e_next;
+        if t.tails.(j) == e then t.tails.(j) <- prev
+      end
+      else unlink e
+    in
+    unlink h
+  end;
+  target.e_next <- t.nil
+
+let next_time t =
+  let e = front t in
+  if e == t.nil then -1 else e.e_time
 
 let peek t =
-  match front t with
-  | None -> None
-  | Some (e, _) -> Some (e.e_time, e.e_value)
+  let e = front t in
+  if e == t.nil then None else Some (e.e_time, e.e_value)
+
+(* Remove and recycle the front entry, handing back its value; [t.dummy]
+   when empty. The engine's hot loop uses this (and [next_time]) so that
+   a dispatch round allocates no option or tuple. *)
+let take t =
+  let e = front t in
+  if e == t.nil then t.dummy
+  else begin
+    (match Heap.peek t.overflow with
+    | Some he when he == e -> ignore (Heap.pop t.overflow : 'a entry option)
+    | _ -> slot_remove t e);
+    t.size <- t.size - 1;
+    let v = e.e_value in
+    free_entry t e;
+    v
+  end
+[@@smapp.hot]
 
 let pop t =
-  match front t with
-  | None -> None
-  | Some (e, `Overflow) ->
-      ignore (Heap.pop t.overflow);
-      t.size <- t.size - 1;
-      Some (e.e_time, e.e_value)
-  | Some (e, `Wheel idx) ->
-      let q = t.wheel.(0).(idx) in
-      if Queue.length q = 1 then ignore (Queue.pop q) else queue_remove q e;
-      if Queue.is_empty q then t.masks.(0) <- t.masks.(0) land lnot (1 lsl idx);
-      t.size <- t.size - 1;
-      Some (e.e_time, e.e_value)
-[@@smapp.hot]
+  let e = front t in
+  if e == t.nil then None
+  else begin
+    let time = e.e_time in
+    let v = take t in
+    Some (time, v)
+  end

@@ -6,12 +6,18 @@
     binary-heap tier and cost O(log n) — far timers are the rare case in
     a busy simulation. Elements with equal keys pop in ([rank],
     insertion) order — with the default rank that is plain insertion
-    order, so the engine's FIFO tie-breaking is preserved exactly. *)
+    order, so the engine's FIFO tie-breaking is preserved exactly.
+
+    Entries are pooled: slots chain through the entries themselves and
+    popped entries park on an internal freelist, so steady-state
+    add/take allocates nothing. *)
 
 type 'a t
 
-val create : unit -> 'a t
-(** An empty wheel based at time 0. *)
+val create : dummy:'a -> 'a t
+(** An empty wheel based at time 0. [dummy] seeds the intrusive chain
+    sentinel and is what {!take} returns on an empty wheel; it is never
+    popped as an element. *)
 
 val add : 'a t -> time:int -> ?rank:int * int * int -> 'a -> unit
 (** [add t ~time v] inserts [v] with key [time] (>= 0; raises
@@ -27,13 +33,27 @@ val add : 'a t -> time:int -> ?rank:int * int * int -> 'a -> unit
     order — the property that makes sharded runs
     ({!Smapp_sim.Shard}) bit-identical to sequential ones. *)
 
+val add_ranked : 'a t -> time:int -> r1:int -> r2:int -> r3:int -> 'a -> unit
+(** {!add} with the rank flattened into plain int arguments: the hot
+    spine's entry point, no tuple or option boxed per call. [add] with
+    and without [?rank] is sugar over this. *)
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+val next_time : 'a t -> int
+(** Key of the earliest element, or [-1] when empty. Allocation-free,
+    unlike {!peek}. May internally advance the wheel (amortised O(1)). *)
 
 val peek : 'a t -> (int * 'a) option
 (** Earliest (key, value) without removing it. May internally advance
     the wheel (amortised O(1)). *)
 
+val take : 'a t -> 'a
+(** Remove and return the earliest element ([dummy] when empty); equal
+    keys leave in (rank, insertion) order. Allocation-free: the engine's
+    dispatch loop pairs this with {!next_time}. *)
+
 val pop : 'a t -> (int * 'a) option
-(** Remove and return the earliest element; equal keys pop in
-    (rank, insertion) order. *)
+(** Remove and return the earliest element with its key; equal keys pop
+    in (rank, insertion) order. *)

@@ -15,9 +15,16 @@ val sample : t -> Time.span -> unit
     algorithm is the caller's responsibility). *)
 
 val srtt : t -> Time.span option
-(** [None] before the first sample. *)
+(** [None] before the first sample. Boxes a [Some]; per-ack readers use
+    {!has_srtt}/{!srtt_value}. *)
 
 val rttvar : t -> Time.span option
+
+val has_srtt : t -> bool
+(** Whether a sample has arrived yet. *)
+
+val srtt_value : t -> Time.span
+(** Allocation-free SRTT read; only meaningful once {!has_srtt}. *)
 
 val rto : t -> Time.span
 (** Current base RTO (without exponential backoff). *)

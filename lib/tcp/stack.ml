@@ -84,9 +84,11 @@ let handle_syn t seg =
 
 let handle_tcp t seg =
   let local_flow = Ip.reverse seg.Segment.flow in
-  match Ip.Flow_map.find_opt local_flow t.tcbs with
-  | Some tcb -> Tcb.handle_segment tcb seg
-  | None ->
+  (* [find] over [find_opt]: the latter boxes a [Some] per delivered
+     segment, and this lookup runs once per arriving segment *)
+  match Ip.Flow_map.find local_flow t.tcbs with
+  | tcb -> Tcb.handle_segment tcb seg
+  | exception Not_found ->
       if seg.Segment.syn && not seg.Segment.ack then handle_syn t seg
       else send_rst_for t seg
 
@@ -99,7 +101,11 @@ let receive t pkt =
   match pkt.Packet.payload with
   | Segment.Tcp seg ->
       Smapp_obs.Metrics.incr m_segments;
-      handle_tcp t seg
+      handle_tcp t seg;
+      (* the stack is the segment's final consumer: everything above
+         (TCB, MPTCP option handlers, accept callbacks) runs
+         synchronously inside [handle_tcp] and must not retain it *)
+      Segment.release seg
   | Packet.Icmp_unreachable orig_flow -> handle_icmp t orig_flow
   | _ -> ()
 

@@ -72,7 +72,7 @@ and t = {
   mutable peer_rwnd : int;
   send_queue : chunk Queue.t;
   mutable queued_bytes : int;
-  mutable rtx_queue : rtx list;  (* sorted by r_off *)
+  rtx_queue : rtx Queue.t;  (* sorted by r_off; cumulative acks pop a prefix *)
   mutable rto_timer : Engine.timer option;
   mutable rto_backoffs : int;
   mutable total_retrans : int;
@@ -155,7 +155,7 @@ let srtt t = Rtt.srtt t.rtt
 let current_rto t = Rtt.backoff t.rtt (Rtt.rto t.rtt) t.rto_backoffs
 
 let srtt_seconds t =
-  match Rtt.srtt t.rtt with None -> 0.0 | Some s -> Time.span_to_float_s s
+  if Rtt.has_srtt t.rtt then Time.span_to_float_s (Rtt.srtt_value t.rtt) else 0.0
 
 let pacing_rate t = Cc.pacing_rate t.cc ~srtt:(srtt_seconds t)
 
@@ -182,9 +182,9 @@ let emit t seg = t.tx seg
 
 let send_ack_segment t ?(options = []) () =
   emit t
-    (Segment.make ~flow:t.flow ~ack:true ~seq:(wire_of_snd t t.snd_nxt)
-       ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t)
-       ~sack:(sack_blocks t) ~options ())
+    (Segment.stamp ~flow:t.flow ~syn:false ~ack:true ~fin:false ~rst:false
+       ~seq:(wire_of_snd t t.snd_nxt) ~ack_seq:(wire_of_rcv t t.rcv_nxt)
+       ~window:(advertised_window t) ~sack:(sack_blocks t) ~dsn:0 ~len:0 ~options)
 
 let send_rst t =
   emit t
@@ -195,14 +195,20 @@ let send_rst t =
 
 let cancel_timer = function Some timer -> Engine.cancel timer | None -> ()
 
+(* First queue entry satisfying [f]; linear, for the cold recovery paths. *)
+let queue_find f q =
+  Queue.fold
+    (fun acc r -> match acc with Some _ -> acc | None -> if f r then Some r else None)
+    None q
+
 let rec arm_rto t =
   cancel_timer t.rto_timer;
-  if t.rtx_queue = [] then t.rto_timer <- None
+  if Queue.is_empty t.rtx_queue then t.rto_timer <- None
   else t.rto_timer <- Some (Engine.after t.engine (current_rto t) (fun () -> on_rto_expire t))
 
 and on_rto_expire t =
   t.rto_timer <- None;
-  if t.rtx_queue <> [] then begin
+  if not (Queue.is_empty t.rtx_queue) then begin
     t.rto_backoffs <- t.rto_backoffs + 1;
     Smapp_obs.Metrics.incr m_rto_fired;
     Smapp_obs.Trace.instant ~cat:"tcp"
@@ -222,7 +228,7 @@ and on_rto_expire t =
       t.recover <- t.snd_nxt;
       t.dup_acks <- 0;
       (* RFC 2018: after an RTO, SACK information must not be trusted *)
-      List.iter (fun r -> r.r_sacked <- false) t.rtx_queue;
+      Queue.iter (fun r -> r.r_sacked <- false) t.rtx_queue;
       t.recovery_epoch <- t.recovery_epoch + 1;
       retransmit_first t;
       t.cbs.on_rto_event t (current_rto t) t.rto_backoffs;
@@ -237,27 +243,28 @@ and retransmit_entry t r =
   Smapp_obs.Metrics.incr m_retransmits;
   Smapp_obs.Trace.instant ~cat:"tcp" "retransmit";
   r.r_sent_at <- Engine.now t.engine;
-  let payload =
-    if r.r_len > 0 then Some { Segment.dsn = r.r_dsn; len = r.r_len } else None
-  in
   emit t
-    (Segment.make ~flow:t.flow ~ack:true ~fin:r.r_fin ~seq:(wire_of_snd t r.r_off)
-       ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t)
-       ~sack:(sack_blocks t) ?payload ())
+    (Segment.stamp ~flow:t.flow ~syn:false ~ack:true ~fin:r.r_fin ~rst:false
+       ~seq:(wire_of_snd t r.r_off) ~ack_seq:(wire_of_rcv t t.rcv_nxt)
+       ~window:(advertised_window t) ~sack:(sack_blocks t) ~dsn:r.r_dsn ~len:r.r_len
+       ~options:[])
 
 and retransmit_first t =
-  match List.find_opt (fun r -> not r.r_sacked) t.rtx_queue with
+  match queue_find (fun r -> not r.r_sacked) t.rtx_queue with
   | Some r -> retransmit_entry t r
   | None -> (
-      match t.rtx_queue with [] -> () | r :: _ -> retransmit_entry t r)
+      match Queue.peek_opt t.rtx_queue with
+      | Some r -> retransmit_entry t r
+      | None -> ())
 
 (* --- teardown -------------------------------------------------------------- *)
 
 and compute_unacked t =
   let sent =
-    List.filter_map
-      (fun r -> if r.r_len > 0 then Some (r.r_dsn, r.r_len) else None)
-      t.rtx_queue
+    List.rev
+      (Queue.fold
+         (fun acc r -> if r.r_len > 0 then (r.r_dsn, r.r_len) :: acc else acc)
+         [] t.rtx_queue)
   in
   let queued =
     Queue.fold
@@ -275,7 +282,7 @@ and teardown t err =
   cancel_timer t.syn_timer;
   t.syn_timer <- None;
   set_state t Tcp_info.Closed;
-  t.rtx_queue <- [];
+  Queue.clear t.rtx_queue;
   Queue.clear t.send_queue;
   t.queued_bytes <- 0;
   if not t.closed_notified then begin
@@ -305,8 +312,10 @@ let window_space t = max 0 (send_window t - bytes_in_flight t)
 let available_window t = max 0 (window_space t - t.queued_bytes)
 
 let insert_rtx t entry =
-  (* entries are emitted in offset order, so append keeps the sort *)
-  t.rtx_queue <- t.rtx_queue @ [ entry ]
+  (* entries are emitted in offset order, so a FIFO push keeps the sort —
+     and unlike the list-append this used to be, it is O(1), not a full
+     copy of the queue per transmitted segment *)
+  Queue.push entry t.rtx_queue
 
 let transmit_chunk_bytes t =
   (* Slow start after idle: an application pause longer than the RTO decays
@@ -340,9 +349,9 @@ let transmit_chunk_bytes t =
         r_sent_at = Engine.now t.engine; r_rexmit = false; r_sacked = false;
         r_retx_epoch = -1; r_born_epoch = t.recovery_epoch };
     emit t
-      (Segment.make ~flow:t.flow ~ack:true ~seq:(wire_of_snd t off)
-         ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t)
-         ~sack:(sack_blocks t) ~payload:{ Segment.dsn; len } ());
+      (Segment.stamp ~flow:t.flow ~syn:false ~ack:true ~fin:false ~rst:false
+         ~seq:(wire_of_snd t off) ~ack_seq:(wire_of_rcv t t.rcv_nxt)
+         ~window:(advertised_window t) ~sack:(sack_blocks t) ~dsn ~len ~options:[]);
     if t.rto_timer = None then arm_rto t;
     true
   end
@@ -361,8 +370,9 @@ let maybe_send_fin t =
         r_sent_at = Engine.now t.engine; r_rexmit = false; r_sacked = false;
         r_retx_epoch = -1; r_born_epoch = t.recovery_epoch };
     emit t
-      (Segment.make ~flow:t.flow ~ack:true ~fin:true ~seq:(wire_of_snd t off)
-         ~ack_seq:(wire_of_rcv t t.rcv_nxt) ~window:(advertised_window t) ());
+      (Segment.stamp ~flow:t.flow ~syn:false ~ack:true ~fin:true ~rst:false
+         ~seq:(wire_of_snd t off) ~ack_seq:(wire_of_rcv t t.rcv_nxt)
+         ~window:(advertised_window t) ~sack:[] ~dsn:0 ~len:0 ~options:[]);
     if t.rto_timer = None then arm_rto t;
     set_state t
       (match t.state with
@@ -427,7 +437,7 @@ let apply_sack t seg =
         (t.snd_una + Seq32.diff lo base, t.snd_una + Seq32.diff hi base)
       in
       let ranges = List.map unwrap_block blocks in
-      List.iter
+      Queue.iter
         (fun r ->
           if (not r.r_sacked) && r.r_len > 0 then
             let r_end = r.r_off + r.r_len in
@@ -436,7 +446,7 @@ let apply_sack t seg =
         t.rtx_queue
 
 let sacked_bytes t =
-  List.fold_left (fun acc r -> if r.r_sacked then acc + r.r_len else acc) 0 t.rtx_queue
+  Queue.fold (fun acc r -> if r.r_sacked then acc + r.r_len else acc) 0 t.rtx_queue
 
 (* SACK-based loss detection and retransmission (RFC 6675 in spirit): an
    unsacked range with >= 3 MSS of sacked data above it is deemed lost;
@@ -444,7 +454,7 @@ let sacked_bytes t =
    the congestion window allows. *)
 let sack_retransmit t =
   match
-    List.fold_left (fun acc r -> if r.r_sacked then max acc (r.r_off + r.r_len) else acc)
+    Queue.fold (fun acc r -> if r.r_sacked then max acc (r.r_off + r.r_len) else acc)
       (-1) t.rtx_queue
   with
   | -1 -> ()
@@ -453,7 +463,7 @@ let sack_retransmit t =
         (not r.r_sacked) && r.r_len > 0
         && r.r_off + r.r_len + (3 * t.config.mss) <= highest_sacked
       in
-      if List.exists lost t.rtx_queue then begin
+      if Queue.fold (fun acc r -> acc || lost r) false t.rtx_queue then begin
         if not t.in_recovery then begin
           t.in_recovery <- true;
           t.recover <- t.snd_nxt;
@@ -461,7 +471,7 @@ let sack_retransmit t =
           Cc.on_retransmit_loss t.cc ~in_flight:(bytes_in_flight t)
         end;
         let budget = ref (max 1 ((Cc.cwnd t.cc - (bytes_in_flight t - sacked_bytes t)) / t.config.mss)) in
-        List.iter
+        Queue.iter
           (fun r ->
             if !budget > 0 && lost r && r.r_retx_epoch < t.recovery_epoch then begin
               retransmit_entry t r;
@@ -491,22 +501,23 @@ let process_ack t seg =
          recovery epoch, i.e. no loss event separates send from ack. *)
       let sample = ref None in
       let acked_chunks = ref [] in
-      let remaining =
-        List.fold_left
-          (fun keep r ->
-            if r.r_off + max r.r_len (if r.r_fin then 1 else 0) <= ack_off then begin
-              if
-                (not r.r_rexmit) && (not r.r_sacked)
-                && r.r_born_epoch = t.recovery_epoch
-                && !sample = None
-              then sample := Some r.r_sent_at;
-              if r.r_len > 0 then acked_chunks := (r.r_dsn, r.r_len) :: !acked_chunks;
-              keep
-            end
-            else r :: keep)
-          [] t.rtx_queue
-      in
-      t.rtx_queue <- List.rev remaining;
+      (* the queue is sorted by r_off with contiguous ranges, so the
+         fully-covered entries are exactly a prefix: pop until the head
+         survives. Callbacks stay deferred until the queue is consistent. *)
+      let covered = ref true in
+      while !covered && not (Queue.is_empty t.rtx_queue) do
+        let r = Queue.peek t.rtx_queue in
+        if r.r_off + max r.r_len (if r.r_fin then 1 else 0) <= ack_off then begin
+          ignore (Queue.pop t.rtx_queue : rtx);
+          if
+            (not r.r_rexmit) && (not r.r_sacked)
+            && r.r_born_epoch = t.recovery_epoch
+            && !sample = None
+          then sample := Some r.r_sent_at;
+          if r.r_len > 0 then acked_chunks := (r.r_dsn, r.r_len) :: !acked_chunks
+        end
+        else covered := false
+      done;
       List.iter (fun (dsn, len) -> t.cbs.on_chunk_acked t ~dsn ~len) (List.rev !acked_chunks);
       (match !sample with
       | Some sent_at -> Rtt.sample t.rtt (Time.diff (Engine.now t.engine) sent_at)
@@ -526,7 +537,7 @@ let process_ack t seg =
             let quiet = Time.diff (Engine.now t.engine) r.r_sent_at in
             Time.compare_span quiet (Rtt.rto t.rtt) >= 0
           in
-          match List.find_opt (fun r -> not r.r_sacked) t.rtx_queue with
+          match queue_find (fun r -> not r.r_sacked) t.rtx_queue with
           | Some r when head_stale r -> retransmit_entry t r
           | Some _ | None -> ()
         end
@@ -534,12 +545,17 @@ let process_ack t seg =
       else sack_retransmit t;
       if not t.in_recovery then
         Cc.on_ack t.cc ~acked:acked_bytes ~srtt:(srtt_seconds t);
-      Smapp_obs.Metrics.observe m_cwnd (float_of_int (Cc.cwnd t.cc));
+      (* gated at the call site: the float argument would box per ack even
+         while metrics are disabled *)
+      if Atomic.get Smapp_obs.Metrics.enabled then
+        Smapp_obs.Metrics.observe m_cwnd (float_of_int (Cc.cwnd t.cc));
       arm_rto t;
       t.cbs.on_ack_progress t
     end
     else if
-      ack_off = t.snd_una && t.rtx_queue <> [] && Segment.payload_len seg = 0
+      ack_off = t.snd_una
+      && (not (Queue.is_empty t.rtx_queue))
+      && Segment.payload_len seg = 0
       && not seg.Segment.syn && not seg.Segment.fin
     then begin
       t.dup_acks <- t.dup_acks + 1;
@@ -661,6 +677,14 @@ let become_established t =
 (* --- main receive entry ------------------------------------------------------ *)
 
 let handle_segment t seg =
+  (* Arena use-after-free tripwire: under conformance checking a segment
+     whose pooled slot was already released must never re-enter the FSM.
+     Same load-and-branch cost model as the transition hook. *)
+  if Atomic.get checks_enabled && not (Segment.is_live seg) then
+    Smapp_sim.Bug.fail
+      "Tcb.handle_segment: segment slot was released (generation %d) — \
+       use after arena free"
+      (Segment.generation seg);
   if t.state = Tcp_info.Closed then ()
   else if seg.Segment.rst then begin
     let err =
@@ -767,7 +791,7 @@ let make_tcb engine ~tx ~flow ~config ~backup ~syn_options ~synack_options cbs s
     peer_rwnd = 1 lsl 20;
     send_queue = Queue.create ();
     queued_bytes = 0;
-    rtx_queue = [];
+    rtx_queue = Queue.create ();
     rto_timer = None;
     rto_backoffs = 0;
     total_retrans = 0;

@@ -31,7 +31,8 @@ let fixture_files () =
         (Sys.getcwd ())
 
 (* Every hazard planted in fx_hazard.ml / fx_allowlisted.ml, and nothing
-   else — fx_safe.ml and the library wrapper must contribute zero keys. *)
+   else — fx_safe.ml, fx_arena.ml and the library wrapper must
+   contribute zero keys. *)
 let expected_keys =
   List.sort String.compare
     [
@@ -58,7 +59,7 @@ let test_exact_findings () =
   Alcotest.(check (list string)) "no stale entries" [] r.Analysis.r_stale_allow;
   Alcotest.(check bool)
     "all fixture units loaded" true
-    (r.Analysis.r_units >= 3)
+    (r.Analysis.r_units >= 4)
 
 let has_sub ~sub s =
   let n = String.length sub and m = String.length s in
@@ -70,7 +71,11 @@ let test_safe_clean () =
   List.iter
     (fun k ->
       if has_sub ~sub:"Fx_safe" k then
-        Alcotest.failf "sanctioned pattern flagged: %s" k)
+        Alcotest.failf "sanctioned pattern flagged: %s" k;
+      (* the arena'd take/stamp/put cycle is the allocation-free hot-path
+         idiom the hot-alloc rule must not fire on *)
+      if has_sub ~sub:"Fx_arena" k then
+        Alcotest.failf "arena reuse pattern flagged: %s" k)
     (Analysis.keys r)
 
 let scratch_key = "mutable-global Analysis_fixtures.Fx_allowlisted.scratch"

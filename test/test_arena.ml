@@ -1,0 +1,245 @@
+(* Property tests for the hot-path freelist (Smapp_sim.Arena) and the
+   pooled-segment client built on it: the aliasing discipline (the pool
+   never hands one slot to two owners), slot clearing on release, the
+   generation-parity use-after-free tripwire, and the counter
+   reconciliation identity [takes + adopted = live + puts]. *)
+
+open Smapp_sim
+module Segment = Smapp_tcp.Segment
+module Seq32 = Smapp_tcp.Seq32
+module Ip = Smapp_netsim.Ip
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* === aliasing: no two live owners ============================================ *)
+
+(* Slots are mutable records so physical identity is meaningful. *)
+type slot = { mutable tag : int }
+
+(* An op sequence over one pool: [true] takes, [false] puts back the
+   most recently taken live slot (LIFO, like the datapath's
+   acquire/release nesting). Skewed towards takes so the pool both
+   grows and recycles. *)
+let gen_ops = QCheck.Gen.(list_size (int_range 20 400) (int_range 0 9))
+
+let arb_ops =
+  QCheck.make gen_ops ~print:(fun ops ->
+      String.concat ""
+        (List.map (fun op -> if op < 6 then "T" else "P") ops))
+
+let prop_no_live_aliases =
+  QCheck.Test.make ~count:100 ~name:"take never returns a slot that is already live"
+    arb_ops (fun ops ->
+      let pool = Arena.create (fun () -> { tag = 0 }) in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op < 6 then begin
+            let s = Arena.take pool in
+            (* the freshly taken slot must not alias any live one *)
+            if List.memq s !live then ok := false;
+            live := s :: !live
+          end
+          else
+            match !live with
+            | [] -> ()
+            | s :: rest ->
+                Arena.put pool s;
+                live := rest)
+        ops;
+      !ok)
+
+let prop_no_tag_clobber =
+  (* Same walk, but each owner stamps its slot with a unique tag and
+     re-checks it at put time: a second owner of the same slot would
+     have overwritten it. Catches aliasing that [memq] alone would only
+     see at take instants. *)
+  QCheck.Test.make ~count:100 ~name:"a live slot's contents survive other takes/puts"
+    arb_ops (fun ops ->
+      let pool = Arena.create (fun () -> { tag = 0 }) in
+      let live = ref [] in
+      let next = ref 1 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op < 6 then begin
+            let s = Arena.take pool in
+            s.tag <- !next;
+            live := (s, !next) :: !live;
+            incr next
+          end
+          else
+            match !live with
+            | [] -> ()
+            | (s, expect) :: rest ->
+                if s.tag <> expect then ok := false;
+                Arena.put pool s;
+                live := rest)
+        ops;
+      !ok)
+
+(* === counter reconciliation ================================================== *)
+
+let prop_stats_reconcile =
+  QCheck.Test.make ~count:100
+    ~name:"stats reconcile: takes + adopted = live + puts" arb_ops (fun ops ->
+      let pool = Arena.create (fun () -> { tag = 0 }) in
+      let live = ref [] in
+      let model_live = ref 0 and model_high = ref 0 in
+      List.iter
+        (fun op ->
+          if op < 6 then begin
+            live := Arena.take pool :: !live;
+            incr model_live;
+            if !model_live > !model_high then model_high := !model_live
+          end
+          else
+            match !live with
+            | [] -> ()
+            | s :: rest ->
+                Arena.put pool s;
+                live := rest;
+                decr model_live)
+        ops;
+      let st = Arena.stats pool in
+      st.Arena.takes + st.Arena.adopted = st.Arena.live + st.Arena.puts
+      && st.Arena.live = !model_live
+      && st.Arena.high_water = !model_high
+      && st.Arena.adopted = 0
+      (* every take either reused a parked slot or allocated fresh *)
+      && st.Arena.free = st.Arena.puts - (st.Arena.takes - st.Arena.fresh)
+      && st.Arena.fresh <= st.Arena.takes)
+
+let test_adoption_counted () =
+  (* Ownership migration across pools (the cross-domain hand-off in the
+     sharded datapath): a slot taken from [a] and parked on [b] is an
+     adoption on [b], and both pools still reconcile. *)
+  let a = Arena.create (fun () -> { tag = 0 }) in
+  let b = Arena.create (fun () -> { tag = 0 }) in
+  let s = Arena.take a in
+  Arena.put b s;
+  let sa = Arena.stats a and sb = Arena.stats b in
+  checki "b adopted the slot" 1 sb.Arena.adopted;
+  checki "b holds it free" 1 sb.Arena.free;
+  checkb "a reconciles" true
+    (sa.Arena.takes + sa.Arena.adopted = sa.Arena.live + sa.Arena.puts);
+  checkb "b reconciles" true
+    (sb.Arena.takes + sb.Arena.adopted = sb.Arena.live + sb.Arena.puts);
+  (* the adopted slot is now b's to hand out *)
+  let s' = Arena.take b in
+  checkb "adopted slot is reused by b" true (s == s')
+
+(* === the generation-parity tripwire ========================================== *)
+
+let test_gen_protocol () =
+  checkb "fresh is live" true (Arena.Gen.is_live Arena.Gen.fresh);
+  let g1 = Arena.Gen.retire Arena.Gen.fresh in
+  checkb "retired is not live" false (Arena.Gen.is_live g1);
+  let g2 = Arena.Gen.revive g1 in
+  checkb "revived is live" true (Arena.Gen.is_live g2);
+  checkb "generations strictly increase" true
+    (Arena.Gen.fresh < g1 && g1 < g2);
+  (match Arena.Gen.retire g1 with
+  | _ -> Alcotest.fail "double free must raise Bug"
+  | exception Bug.Bug _ -> ());
+  match Arena.Gen.revive g2 with
+  | _ -> Alcotest.fail "reviving a live slot must raise Bug"
+  | exception Bug.Bug _ -> ()
+
+(* === the pooled-segment client =============================================== *)
+
+let flow =
+  Ip.flow
+    ~src:(Ip.endpoint (Ip.v4 10 0 0 1) 4000)
+    ~dst:(Ip.endpoint (Ip.v4 10 0 0 2) 80)
+
+let mk_data_segment () =
+  Segment.make ~flow ~ack:true ~seq:(Seq32.of_int 100)
+    ~ack_seq:(Seq32.of_int 7)
+    ~sack:[ (Seq32.of_int 1, Seq32.of_int 2) ]
+    ~payload:{ Segment.dsn = 5000; len = 1460 }
+    ()
+
+let with_pooling f =
+  let saved = Segment.pooling_enabled () in
+  Segment.set_pooling true;
+  Fun.protect ~finally:(fun () -> Segment.set_pooling saved) f
+
+let test_release_clears_slot () =
+  with_pooling @@ fun () ->
+  let seg = mk_data_segment () in
+  checkb "live while owned" true (Segment.is_live seg);
+  checki "payload present" 1460 (Segment.payload_len seg);
+  Segment.release seg;
+  (* everything heap-retaining is dropped before the slot parks, so a
+     pooled slot never pins dead payload/options/sack lists *)
+  checkb "payload cleared" true (seg.Segment.payload = None);
+  checkb "sack cleared" true (seg.Segment.sack = []);
+  checkb "options cleared" true (seg.Segment.options = []);
+  checkb "not live once released" false (Segment.is_live seg)
+
+let test_generation_catches_uaf () =
+  with_pooling @@ fun () ->
+  let seg = mk_data_segment () in
+  let g0 = Segment.generation seg in
+  checkb "stamp starts live" true (Arena.Gen.is_live g0);
+  Segment.release seg;
+  (* the synthetic use-after-free: a stale handle captured before the
+     release. While the slot is parked its generation is odd ... *)
+  checkb "stale handle sees a retired stamp" false (Segment.is_live seg);
+  checki "retire bumped the stamp" (g0 + 1) (Segment.generation seg);
+  (* ... and once the slot is reused, the stale handle's recorded
+     generation [g0] no longer matches the slot's stamp, which is how a
+     conformance hook rejects it even though the slot is live again. *)
+  let seg' = mk_data_segment () in
+  checkb "LIFO pool reuses the slot" true (seg == seg');
+  checkb "revived" true (Segment.is_live seg');
+  checkb "stale capture is detectable" true (Segment.generation seg' <> g0);
+  checki "generation moved on by a full retire/revive" (g0 + 2)
+    (Segment.generation seg');
+  (* a second release of the *old* handle is a double free on the same
+     slot: release the live slot once, then again via the stale alias *)
+  Segment.release seg';
+  match Segment.release seg with
+  | () -> Alcotest.fail "double release must raise Bug"
+  | exception Bug.Bug _ -> ()
+
+let test_segment_pool_reconciles () =
+  with_pooling @@ fun () ->
+  (* churn the pool, releasing only some segments (losses fall to the
+     GC), then check the domain pool's books still reconcile *)
+  let segs = List.init 64 (fun _ -> mk_data_segment ()) in
+  List.iteri (fun i s -> if i mod 3 <> 0 then Segment.release s) segs;
+  let st = Segment.pool_stats () in
+  checkb "segment pool reconciles" true
+    (st.Arena.takes + st.Arena.adopted = st.Arena.live + st.Arena.puts);
+  checkb "high water covers the burst" true (st.Arena.high_water >= 22)
+
+(* === runner ================================================================== *)
+
+let () =
+  Alcotest.run "arena"
+    [
+      ( "aliasing",
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_no_live_aliases;
+          QCheck_alcotest.to_alcotest ~long:false prop_no_tag_clobber;
+        ] );
+      ( "stats",
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_stats_reconcile;
+          Alcotest.test_case "adoption counted" `Quick test_adoption_counted;
+        ] );
+      ( "generation",
+        [
+          Alcotest.test_case "parity protocol" `Quick test_gen_protocol;
+          Alcotest.test_case "release clears the slot" `Quick
+            test_release_clears_slot;
+          Alcotest.test_case "generation catches use-after-free" `Quick
+            test_generation_catches_uaf;
+          Alcotest.test_case "segment pool reconciles" `Quick
+            test_segment_pool_reconciles;
+        ] );
+    ]

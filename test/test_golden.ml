@@ -98,6 +98,48 @@ let test_mobile_handover_golden () =
       checkf 1e-3 "completion time" 10.15 t;
       checkf 1e4 "final goodput" 9.46e6 r.E.Chaos.dp_goodput_bps
 
+(* === workload digests: the datapath end to end ============================== *)
+
+module Workload = Smapp_workload.Workload
+
+(* The scale-out workload's MD5 digest covers every FCT and goodput bit
+   for bit, so these pins catch any behavioural drift in the pooled,
+   batched datapath — including a drift that only shows at connection
+   scale. The first config matches the CI sharded byte-identity step,
+   the second the CI 50k workload smoke (ci.yml): if either digest moves
+   on purpose, update it here and there together. *)
+
+let test_workload_digest_golden () =
+  let r =
+    Workload.run
+      {
+        Workload.default_config with
+        Workload.conns = 500;
+        arrival_rate = 500.0;
+        flow_dist = Workload.Fixed 200_000;
+      }
+  in
+  checki "all connections complete" 500 r.Workload.completed;
+  Alcotest.check Alcotest.string "500-conn digest"
+    "389027f40e2814c4f1d5363071ea2971" (Workload.digest r)
+
+let test_workload_smoke_digest_golden () =
+  let r =
+    Workload.run
+      {
+        Workload.default_config with
+        Workload.conns = 50_000;
+        arrival_rate = 2500.0;
+        flow_dist = Workload.Fixed 5_000;
+        clients = 16;
+        servers = 8;
+        shards = 4;
+      }
+  in
+  checki "all 50k connections complete" 50_000 r.Workload.completed;
+  Alcotest.check Alcotest.string "50k smoke digest"
+    "8a804792231d827d89cce5f4a86ad79b" (Workload.digest r)
+
 (* === sequential vs pooled: bit-identical results ============================ *)
 
 let with_pool4 f =
@@ -144,6 +186,9 @@ let () =
             test_fig2c_refresh_beats_ndiffports;
           Alcotest.test_case "mobile handover chaos" `Quick
             test_mobile_handover_golden;
+          Alcotest.test_case "workload digest" `Quick test_workload_digest_golden;
+          Alcotest.test_case "50k workload smoke digest" `Slow
+            test_workload_smoke_digest_golden;
         ] );
       ( "seq-vs-pool",
         [

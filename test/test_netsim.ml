@@ -148,6 +148,130 @@ let test_link_up_again_does_not_resurrect () =
   checki "only the post-recovery packet arrives" 1 !count;
   checki "the in-flight one was dropped" 1 (Link.stats link).Link.dropped
 
+(* --- batched drains: byte-identity against the legacy per-packet path ---------- *)
+
+(* Tie-heavy scenarios: several identically shaped links fed bursts at
+   coarse instants, so many deliveries share a drain instant within and
+   across links. The batched walk must reproduce the legacy per-packet
+   closures' arrival log byte for byte — same times, same canonical
+   (tx-time, link, serial) order, same loss draws, same kill semantics. *)
+type drain_scenario = {
+  ds_links : int;
+  ds_rate : float;
+  ds_delay_ms : int;
+  ds_loss : float;
+  ds_qcap : int;
+  ds_sends : (int * int * int) list;  (* (ms instant, link, size class) *)
+  ds_kill : (int * int) option;  (* cable pull: (ms instant, link) *)
+  ds_seed : int;
+}
+
+let gen_drain_scenario =
+  let open QCheck.Gen in
+  let* ds_links = int_range 2 4 in
+  let* ds_rate = oneofl [ 8e6; 1e6 ] in
+  let* ds_delay_ms = int_range 1 3 in
+  let* ds_loss = oneofl [ 0.0; 0.0; 0.25 ] in
+  let* ds_qcap = int_range 3 40 in
+  let* ds_sends =
+    list_size (int_range 10 80)
+      (triple (int_range 0 20) (int_range 0 (ds_links - 1)) (int_range 0 2))
+  in
+  let* ds_kill = opt (pair (int_range 0 25) (int_range 0 (ds_links - 1))) in
+  let* ds_seed = int_range 1 1_000 in
+  return { ds_links; ds_rate; ds_delay_ms; ds_loss; ds_qcap; ds_sends; ds_kill; ds_seed }
+
+let arb_drain_scenario =
+  QCheck.make gen_drain_scenario ~print:(fun sc ->
+      Printf.sprintf "links=%d rate=%g delay=%dms loss=%g qcap=%d sends=%d kill=%s seed=%d"
+        sc.ds_links sc.ds_rate sc.ds_delay_ms sc.ds_loss sc.ds_qcap
+        (List.length sc.ds_sends)
+        (match sc.ds_kill with
+        | None -> "none"
+        | Some (ms, l) -> Printf.sprintf "%dms@l%d" ms l)
+        sc.ds_seed)
+
+let run_drain_scenario batching sc =
+  let saved = Link.batching_enabled () in
+  Link.set_batching batching;
+  Fun.protect ~finally:(fun () -> Link.set_batching saved) @@ fun () ->
+  let e = Engine.create ~seed:sc.ds_seed () in
+  let log = Buffer.create 1024 in
+  let links =
+    Array.init sc.ds_links (fun i ->
+        let l =
+          Link.create e
+            ~name:(Printf.sprintf "l%d" i)
+            ~rate_bps:sc.ds_rate
+            ~delay:(Time.span_ms sc.ds_delay_ms)
+            ~loss:sc.ds_loss ~queue_capacity:sc.ds_qcap ()
+        in
+        Link.set_dst l (fun pkt ->
+            Buffer.add_string log
+              (Printf.sprintf "%d:%d:%d;" (Time.to_ns (Engine.now e)) i
+                 pkt.Packet.size));
+        l)
+  in
+  List.iter
+    (fun (ms, li, cls) ->
+      ignore
+        (Engine.at e
+           (Time.of_ns (ms * 1_000_000))
+           (fun () ->
+             Link.send links.(li) (raw_packet ~size:(400 + (300 * cls)) ()))))
+    sc.ds_sends;
+  (match sc.ds_kill with
+  | None -> ()
+  | Some (ms, li) ->
+      ignore
+        (Engine.at e
+           (Time.of_ns (ms * 1_000_000))
+           (fun () -> Link.set_up links.(li) false)));
+  Engine.run e;
+  Array.iteri
+    (fun i l ->
+      let st = Link.stats l in
+      Buffer.add_string log
+        (Printf.sprintf "|%d:%d/%d/%d/%d" i st.Link.sent st.Link.delivered
+           st.Link.lost st.Link.dropped))
+    links;
+  Buffer.contents log
+
+let prop_batched_drains_identical =
+  QCheck.Test.make ~count:60
+    ~name:"batched drains reproduce the per-packet arrival log byte for byte"
+    arb_drain_scenario (fun sc ->
+      run_drain_scenario true sc = run_drain_scenario false sc)
+
+let mid_drain_kill batching =
+  let saved = Link.batching_enabled () in
+  Link.set_batching batching;
+  Fun.protect ~finally:(fun () -> Link.set_batching saved) @@ fun () ->
+  let e = Engine.create ~seed:11 () in
+  let link = Link.create e ~rate_bps:8e6 ~delay:(Time.span_ms 10) () in
+  let arrivals = ref [] in
+  Link.set_dst link (fun _ -> arrivals := Time.to_ns (Engine.now e) :: !arrivals);
+  (* six queued 1 ms transmissions deliver at 11..16 ms; the cable is
+     pulled at exactly 13 ms — the same instant as the third delivery,
+     the worst case for a batched walk that has that instant's drain
+     already scheduled *)
+  for _ = 1 to 6 do
+    Link.send link (raw_packet ())
+  done;
+  ignore (Engine.at e (Time.of_ns 13_000_000) (fun () -> Link.set_up link false));
+  Engine.run e;
+  let st = Link.stats link in
+  (List.rev !arrivals, st.Link.delivered, st.Link.dropped)
+
+let test_mid_drain_kill_identical () =
+  let arr_b, del_b, drop_b = mid_drain_kill true in
+  let arr_l, del_l, drop_l = mid_drain_kill false in
+  Alcotest.check (Alcotest.list Alcotest.int) "same arrival instants" arr_l arr_b;
+  checki "same delivered count" del_l del_b;
+  checki "same dropped count" drop_l drop_b;
+  (* and the kill really bit mid-drain: some of the six died *)
+  checkb "kill dropped in-flight packets" true (drop_b > 0 && del_b < 6)
+
 (* --- Host ---------------------------------------------------------------------- *)
 
 let test_host_routes_by_source () =
@@ -467,6 +591,12 @@ let () =
             test_link_down_kills_in_flight;
           Alcotest.test_case "re-up does not resurrect" `Quick
             test_link_up_again_does_not_resurrect;
+        ] );
+      ( "batched drains",
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_batched_drains_identical;
+          Alcotest.test_case "mid-drain kill identical" `Quick
+            test_mid_drain_kill_identical;
         ] );
       ( "host",
         [

@@ -220,6 +220,66 @@ let test_scope_isolation () =
       checkb "main frame survives" true
         (find_frame "main-domain" main.Prof.p_frames <> None))
 
+(* === the datapath memory wall ================================================ *)
+
+(* The profiled 500-conn workload from the bench's perf section, with the
+   arena'd datapath on. Two pins: the profiler's books must stay honest
+   (the same 5% reconciliation bound the CLI's [smapp prof] gates on —
+   pooling must not hide or double-count allocation), and link delivery
+   must stay inside the per-event self-allocation budget the hot-path
+   work bought. Either pin failing means a change quietly re-introduced
+   per-event garbage or broke attribution. *)
+let test_arena_books_and_budget () =
+  let module Segment = Smapp_tcp.Segment in
+  let module Link = Smapp_netsim.Link in
+  let module Workload = Smapp_workload.Workload in
+  let saved_pool = Segment.pooling_enabled ()
+  and saved_batch = Link.batching_enabled () in
+  Segment.set_pooling true;
+  Link.set_batching true;
+  Fun.protect
+    ~finally:(fun () ->
+      Segment.set_pooling saved_pool;
+      Link.set_batching saved_batch)
+  @@ fun () ->
+  with_prof (fun () ->
+      let config =
+        {
+          Workload.default_config with
+          Workload.conns = 500;
+          arrival_rate = 500.0;
+          flow_dist = Workload.Fixed 200_000;
+          shards = 1;
+        }
+      in
+      let a0 = Gc.allocated_bytes () in
+      let t0 = Unix.gettimeofday () in
+      let result = Prof.with_frame "run" (fun () -> Workload.run config) in
+      let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      let alloc_bytes = Gc.allocated_bytes () -. a0 in
+      let r = Prof.report () in
+      checki "profiler saw every dispatch" result.Workload.engine_events
+        r.Prof.p_events;
+      let rel a b = if b = 0.0 then Float.abs a else Float.abs (a -. b) /. b in
+      let self_ns =
+        List.fold_left (fun acc f -> acc +. Prof.sum_self_ns f) 0.0 r.Prof.p_frames
+      in
+      checkb "frame time reconciles with wall within 5%" true
+        (rel (Prof.total_ns r) wall_ns <= 0.05);
+      checkb "frame bytes reconcile with Gc.allocated_bytes within 5%" true
+        (rel (Prof.total_bytes r) alloc_bytes <= 0.05);
+      checkb "self-sum reconciles with total within 5%" true
+        (rel self_ns (Prof.total_ns r) <= 0.05);
+      let ld =
+        List.find (fun c -> c.Prof.c_class = Prof.Link_delivery) r.Prof.p_classes
+      in
+      checkb "link delivery dispatched" true (ld.Prof.c_events > 0);
+      let bytes_per_event = ld.Prof.c_bytes /. float_of_int ld.Prof.c_events in
+      if bytes_per_event > 1100.0 then
+        Alcotest.failf
+          "link-delivery self-allocation %.1f B/event blew the 1100 B budget"
+          bytes_per_event)
+
 (* === report plumbing ========================================================= *)
 
 let test_report_json_shape () =
@@ -342,6 +402,8 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
           Alcotest.test_case "deterministic alloc" `Quick test_deterministic_alloc;
           Alcotest.test_case "scope isolation" `Quick test_scope_isolation;
+          Alcotest.test_case "arena books and allocation budget" `Slow
+            test_arena_books_and_budget;
           Alcotest.test_case "report json" `Quick test_report_json_shape;
         ] );
       ( "benchdiff",

@@ -74,6 +74,34 @@ let prop_shards_identical =
           Workload.digest r = base_digest && r.Workload.fcts = base.Workload.fcts)
         [ 2; 4; 8 ])
 
+(* The datapath memory knobs are performance-only: pooled segment slots
+   and batched link drains schedule the same engine events at the same
+   canonical (tx-time, link, serial) keys, so any combination of the two
+   toggles — across shard counts, which also routes cross-shard trunk
+   deliveries through both code paths — must reproduce the pooled,
+   batched, sequential digest byte for byte. *)
+let prop_memory_toggles_identical =
+  let module Segment = Smapp_tcp.Segment in
+  let module Link = Smapp_netsim.Link in
+  QCheck.Test.make ~count:8
+    ~name:"segment pooling and batched drains never change the digest"
+    arb_config (fun config ->
+      let saved_pool = Segment.pooling_enabled ()
+      and saved_batch = Link.batching_enabled () in
+      Fun.protect ~finally:(fun () ->
+          Segment.set_pooling saved_pool;
+          Link.set_batching saved_batch)
+      @@ fun () ->
+      Segment.set_pooling true;
+      Link.set_batching true;
+      let base = Workload.digest (Workload.run { config with shards = 1 }) in
+      List.for_all
+        (fun (pool, batch, shards) ->
+          Segment.set_pooling pool;
+          Link.set_batching batch;
+          Workload.digest (Workload.run { config with shards }) = base)
+        [ (false, false, 1); (true, false, 1); (false, true, 4); (false, false, 8) ])
+
 (* === window-edge micro-tests ================================================= *)
 
 (* A 2-shard group with 1 ms cross edges both ways: windows are 1 ms wide,
@@ -274,7 +302,10 @@ let () =
   Alcotest.run "shard"
     [
       ( "identity",
-        [ QCheck_alcotest.to_alcotest ~long:false prop_shards_identical ] );
+        [
+          QCheck_alcotest.to_alcotest ~long:false prop_shards_identical;
+          QCheck_alcotest.to_alcotest ~long:false prop_memory_toggles_identical;
+        ] );
       ( "windows",
         [
           Alcotest.test_case "mail on window boundary" `Quick

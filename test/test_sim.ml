@@ -212,7 +212,7 @@ let test_otable_iter_self_removal () =
 (* Drain a wheel and compare against a stable sort by key: same multiset,
    same order, ties in insertion order. *)
 let wheel_drain_matches times =
-  let w = Timer_wheel.create () in
+  let w = Timer_wheel.create ~dummy:(-1) in
   List.iteri (fun i time -> Timer_wheel.add w ~time i) times;
   let rec drain acc =
     match Timer_wheel.pop w with
@@ -261,7 +261,7 @@ let wheel_props =
       wheel_drain_matches;
     QCheck.Test.make ~name:"wheel matches heap under interleaved add/pop" ~count:300 ops
       (fun ops ->
-        let w = Timer_wheel.create () in
+        let w = Timer_wheel.create ~dummy:(-1) in
         let h = reference_heap () in
         let seq = ref 0 in
         (* the engine never schedules before [now]: floor each add at the
